@@ -1,0 +1,304 @@
+(* The ALADIN command-line front end.
+
+   aladin integrate FILE...     integrate sources, print the summary
+   aladin discover FILE         steps 1-3 for one source, print structure
+   aladin browse FILE... -a ACC render one object's page
+   aladin search FILE... -q Q   ranked full-text search
+   aladin query FILE... -s SQL  run SQL over the warehouse
+   aladin links FILE...         list discovered links
+   aladin demo                  integrate a generated synthetic corpus *)
+
+open Cmdliner
+open Aladin
+
+let import_all paths =
+  List.map Aladin_system.import_file paths
+
+let config_arg =
+  Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF"
+         ~doc:"Load pipeline tunables from a key = value file (see Config).")
+
+let load_config = function
+  | Some path -> Config.of_file path
+  | None -> Config.default
+
+let build_warehouse ?config paths =
+  let config = load_config config in
+  Warehouse.integrate ~config (import_all paths)
+
+let paths_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Source files or dump directories.")
+
+(* --- integrate --- *)
+
+let integrate_cmd =
+  let save =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"META"
+           ~doc:"Write the metadata repository to $(docv).")
+  in
+  let run paths save config =
+    let w = build_warehouse ?config paths in
+    print_string (Aladin_system.summary w);
+    match save with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Aladin_metadata.Repository.save (Warehouse.repository w));
+        close_out oc;
+        Printf.printf "metadata written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
+    Term.(const run $ paths_arg $ save $ config_arg)
+
+(* --- discover --- *)
+
+let discover_cmd =
+  let run path =
+    let cat = Aladin_system.import_file path in
+    let sp = Aladin_discovery.Source_profile.analyze cat in
+    Format.printf "%a@." Aladin_discovery.Source_profile.pp sp
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "discover"
+       ~doc:"Import one source and print its discovered structure (steps 1-3).")
+    Term.(const run $ path)
+
+(* --- browse --- *)
+
+let browse_cmd =
+  let accession =
+    Arg.(required & opt (some string) None & info [ "a"; "accession" ] ~docv:"ACC"
+           ~doc:"Accession number of the object to display.")
+  in
+  let source =
+    Arg.(value & opt (some string) None & info [ "s"; "source" ] ~docv:"SRC"
+           ~doc:"Source holding the object (default: resolve by accession).")
+  in
+  let run paths accession source =
+    let w = build_warehouse paths in
+    let browser = Warehouse.browser w in
+    let view =
+      match source with
+      | Some s -> Aladin_access.Browser.view_accession browser ~source:s accession
+      | None -> (
+          match Aladin_access.Search.resolve (Warehouse.search w) accession with
+          | Some obj -> Aladin_access.Browser.view browser obj
+          | None -> None)
+    in
+    match view with
+    | Some v -> print_string (Aladin_access.Browser.render v)
+    | None ->
+        Printf.eprintf "object %s not found\n" accession;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "browse" ~doc:"Integrate sources and render one object's page.")
+    Term.(const run $ paths_arg $ accession $ source)
+
+(* --- search --- *)
+
+let search_cmd =
+  let query =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY")
+  in
+  let source =
+    Arg.(value & opt (some string) None & info [ "s"; "source" ] ~docv:"SRC"
+           ~doc:"Restrict hits to one source (horizontal partition).")
+  in
+  let field =
+    Arg.(value & opt (some string) None & info [ "f"; "field" ] ~docv:"REL.ATTR"
+           ~doc:"Restrict to one indexed field (vertical partition).")
+  in
+  let run paths query source field =
+    let w = build_warehouse paths in
+    let s = Warehouse.search w in
+    let hits =
+      match (source, field) with
+      | None, None -> Aladin_access.Search.search s query
+      | _ -> Aladin_access.Search.focused s ?source ?field query
+    in
+    if hits = [] then print_endline "(no hits)"
+    else
+      List.iter
+        (fun (h : Aladin_access.Search.hit) ->
+          Printf.printf "%-28s %.3f  [%s]\n"
+            (Aladin_links.Objref.to_string h.obj)
+            h.score
+            (String.concat ", " h.matched))
+        hits
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Ranked full-text search over the warehouse.")
+    Term.(const run $ paths_arg $ query $ source $ field)
+
+(* --- query --- *)
+
+let query_cmd =
+  let sql =
+    Arg.(required & opt (some string) None & info [ "s"; "sql" ] ~docv:"SQL"
+           ~doc:"Query; address tables as source.relation.")
+  in
+  let run paths sql =
+    let w = build_warehouse paths in
+    match Warehouse.sql w sql with
+    | result -> print_endline (Aladin_access.Sql_eval.render_result result)
+    | exception Aladin_access.Sql_parser.Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | exception Aladin_access.Sql_eval.Eval_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a SQL query against the integrated warehouse.")
+    Term.(const run $ paths_arg $ sql)
+
+(* --- links --- *)
+
+let links_cmd =
+  let kind =
+    Arg.(value & opt (some string) None & info [ "k"; "kind" ] ~docv:"KIND"
+           ~doc:"Only links of this kind (xref, seq, text, shared-term, mention, duplicate).")
+  in
+  let format =
+    Arg.(value & opt (some (enum [ ("csv", `Csv); ("dot", `Dot) ])) None
+           & info [ "format" ] ~docv:"FMT"
+               ~doc:"Output as $(docv): csv or dot (GraphViz). Default: text.")
+  in
+  let run paths kind format =
+    let w = build_warehouse paths in
+    let links =
+      Warehouse.links w
+      |> List.filter (fun (l : Aladin_links.Link.t) ->
+             match kind with
+             | Some k -> Aladin_links.Link.kind_name l.kind = k
+             | None -> true)
+    in
+    match format with
+    | Some `Csv -> print_string (Aladin_access.Link_export.to_csv links)
+    | Some `Dot -> print_string (Aladin_access.Link_export.to_dot links)
+    | None ->
+        List.iter (fun l -> Format.printf "%a@." Aladin_links.Link.pp l) links
+  in
+  Cmd.v
+    (Cmd.info "links" ~doc:"List discovered object links (text, CSV or DOT).")
+    Term.(const run $ paths_arg $ kind $ format)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run path =
+    let cat = Aladin_system.import_file path in
+    let sp = Aladin_discovery.Source_profile.analyze cat in
+    print_string (Aladin_discovery.Profile_report.render sp)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Data-profiling report of one source: per-attribute statistics              and content classes.")
+    Term.(const run $ path)
+
+(* --- dups --- *)
+
+let dups_cmd =
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Show the field-level evidence for each flagged pair.")
+  in
+  let run paths explain =
+    let w = build_warehouse paths in
+    match Warehouse.duplicates w with
+    | None -> print_endline "(no duplicate analysis)"
+    | Some d ->
+        Printf.printf "%d duplicate pairs in %d clusters\n"
+          (List.length d.links) (List.length d.clusters);
+        List.iter
+          (fun cluster ->
+            Printf.printf "  { %s }\n" (String.concat ", " cluster))
+          d.clusters;
+        if explain then begin
+          let by_key = Hashtbl.create 64 in
+          List.iter
+            (fun (r : Aladin_dup.Object_sim.repr) ->
+              Hashtbl.replace by_key (Aladin_links.Objref.to_string r.obj) r)
+            d.reprs;
+          let context = Aladin_dup.Object_sim.context_of d.reprs in
+          List.iter
+            (fun (l : Aladin_links.Link.t) ->
+              match
+                ( Hashtbl.find_opt by_key (Aladin_links.Objref.to_string l.src),
+                  Hashtbl.find_opt by_key (Aladin_links.Objref.to_string l.dst) )
+              with
+              | Some a, Some b ->
+                  print_newline ();
+                  print_string (Aladin_dup.Object_sim.explain ~context a b)
+              | _ -> ())
+            d.links
+        end
+  in
+  Cmd.v
+    (Cmd.info "dups" ~doc:"List flagged duplicate objects (never merged).")
+    Term.(const run $ paths_arg $ explain)
+
+(* --- export --- *)
+
+let export_cmd =
+  let dir =
+    Arg.(required & opt (some string) None & info [ "d"; "dir" ] ~docv:"DIR"
+           ~doc:"Directory to write the static site into.")
+  in
+  let run paths dir =
+    let w = build_warehouse paths in
+    let n = Aladin_access.Html_export.write_site (Warehouse.browser w) ~dir in
+    Printf.printf "wrote %d object pages + index.html to %s\n" n dir
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Integrate sources and export the object web as a static HTML site.")
+    Term.(const run $ paths_arg $ dir)
+
+(* --- shell --- *)
+
+let shell_cmd =
+  let run paths =
+    let w = build_warehouse paths in
+    print_string (Aladin_system.summary w);
+    print_endline "type 'help' for commands";
+    Shell.repl (Shell.create w) stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Integrate sources and browse them in an interactive shell.")
+    Term.(const run $ paths_arg)
+
+(* --- demo --- *)
+
+let demo_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Corpus seed.")
+  in
+  let run seed =
+    let corpus =
+      Aladin_datagen.Corpus.generate
+        { Aladin_datagen.Corpus.default_params with seed }
+    in
+    let w = Warehouse.integrate corpus.catalogs in
+    print_string (Aladin_system.summary w)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Generate a synthetic life-science corpus and integrate it.")
+    Term.(const run $ seed)
+
+let () =
+  let info =
+    Cmd.info "aladin" ~version:"1.0.0"
+      ~doc:"(Almost) hands-off information integration for the life sciences"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ integrate_cmd; discover_cmd; browse_cmd; search_cmd; query_cmd;
+            links_cmd; profile_cmd; dups_cmd; export_cmd; shell_cmd;
+            demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/cross_db_query.ml: Aladin Aladin_access Aladin_datagen Aladin_links Aladin_relational Aladin_system Array Filename Float Format List Printf Relation Value Warehouse

@@ -1,0 +1,1 @@
+examples/microarray_browse.ml: Aladin Aladin_access Aladin_datagen Aladin_links Aladin_system List Printf Warehouse

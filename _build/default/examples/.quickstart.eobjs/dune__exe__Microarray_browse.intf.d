@@ -1,0 +1,1 @@
+examples/microarray_browse.mli:

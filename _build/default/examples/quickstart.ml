@@ -1,0 +1,124 @@
+(* Quickstart: hands-off integration of two tiny sources.
+
+   Two in-memory "databases" — a Swiss-Prot-style flat file and a
+   PDB-style structure file — are imported, and ALADIN discovers
+   everything else: primary relations, secondary structure, the
+   cross-references between them, and how to browse the result.
+
+     dune exec examples/quickstart.exe *)
+
+open Aladin
+open Aladin_relational
+
+let swissprot_flat =
+  "ID   KINASE_HUMAN\n\
+   AC   P10001;\n\
+   DE   Alpha kinase involved in DNA repair and damage signaling pathways.\n\
+   OS   Homo sapiens.\n\
+   KW   ATP binding; DNA repair.\n\
+   DR   PDB; 1AKX.\n\
+   DR   GO; GO:0005524.\n\
+   RX   MEDLINE; 10000001; Kinase structure and function.\n\
+   SQ   SEQUENCE 36 AA\n\
+   ..   MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK\n\
+   //\n\
+   ID   TRP_YEAST\n\
+   AC   P10002;\n\
+   DE   Beta transporter.\n\
+   OS   Saccharomyces cerevisiae.\n\
+   KW   ion transport.\n\
+   DR   PDB; 2TRB.\n\
+   SQ   SEQUENCE 30 AA\n\
+   ..   ACDEFGHIKLMNPQRSTVWYACDEFGHIKL\n\
+   //\n\
+   ID   HS_ECOLI\n\
+   AC   P10003;\n\
+   DE   Heat-shock chaperone of the small HSP family, cytoplasmic form.\n\
+   OS   Escherichia coli.\n\
+   KW   protein folding; ATP binding.\n\
+   RX   MEDLINE; 10000002; Chaperones revisited.\n\
+   SQ   SEQUENCE 48 AA\n\
+   ..   MSLIPGFSEMFDRMNQEMNRAFDSLVPQFWQPSMSGFAPSMRTDIKE\n\
+   //\n\
+   ID   POLGAMMA_HUMAN\n\
+   AC   P10004;\n\
+   DE   Polymerase gamma.\n\
+   OS   Homo sapiens.\n\
+   KW   DNA repair.\n\
+   SQ   SEQUENCE 60 AA\n\
+   ..   MARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTW\n\
+   //\n"
+
+let pdb_flat =
+  "HEADER    TRANSFERASE              1AKX\n\
+   TITLE     STRUCTURE OF THE ALPHA KINASE\n\
+   COMPND    ALPHA KINASE\n\
+   EXPDTA    X-RAY DIFFRACTION\n\
+   DBREF     1AKX A SWS P10001\n\
+   SEQRES    A MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK\n\
+   SEQRES    B MKWVTFISLLFLFSSAYSRGVFRRDAH\n\
+   END\n\
+   HEADER    TRANSPORT PROTEIN              2TRB\n\
+   TITLE     CHANNEL\n\
+   COMPND    BETA TRANSPORTER\n\
+   DBREF     2TRB A SWS P10002\n\
+   SEQRES    A ACDEFGHIKLMNPQRSTVWYACDEFGHIKL\n\
+   END\n\
+   HEADER    CHAPERONE              3HSP\n\
+   TITLE     CRYO-EM RECONSTRUCTION OF THE SMALL HEAT SHOCK CHAPERONE\n\
+   COMPND    SMALL HSP\n\
+   DBREF     3HSP A SWS P10003\n\
+   SEQRES    A MSLIPGFSEMFDRMNQEMNRAFDSLVPQFWQPSMSGFAPSMRTDIKE\n\
+   END\n\
+   HEADER    POLYMERASE              4POL\n\
+   TITLE     GAMMA POLYMERASE AT HIGH RESOLUTION IN COMPLEX WITH DNA\n\
+   COMPND    POLYMERASE GAMMA\n\
+   SEQRES    A MARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTW\n\
+   END\n"
+
+let () =
+  (* step 1: import — the only step that knows about file formats *)
+  let swissprot = Aladin_formats.Swissprot.parse ~name:"swissprot" swissprot_flat in
+  let pdb = Aladin_formats.Pdb_flat.parse ~name:"pdb" pdb_flat in
+
+  (* steps 2-5 are fully automatic *)
+  let w = Warehouse.integrate [ swissprot; pdb ] in
+  print_string (Aladin_system.summary w);
+
+  (* what did discovery find? *)
+  List.iter
+    (fun source ->
+      match Warehouse.profile w source with
+      | Some sp ->
+          Format.printf "@.--- discovered structure of %s ---@.%a@." source
+            Aladin_discovery.Source_profile.pp sp
+      | None -> ())
+    (Warehouse.sources w);
+
+  (* browse an object: its fields, annotations, and discovered links *)
+  let browser = Warehouse.browser w in
+  (match Aladin_access.Browser.view_accession browser ~source:"swissprot" "P10001" with
+  | Some view -> print_string (Aladin_access.Browser.render view)
+  | None -> print_endline "P10001 not found");
+
+  (* search the whole warehouse *)
+  let search = Warehouse.search w in
+  print_endline "\nsearch \"kinase\":";
+  List.iter
+    (fun (h : Aladin_access.Search.hit) ->
+      Printf.printf "  %s (score %.2f)\n"
+        (Aladin_links.Objref.to_string h.obj)
+        h.score)
+    (Aladin_access.Search.search search "kinase");
+
+  (* and SQL over the imported schemas, across sources *)
+  print_endline "\nSQL: accessions of entries with a PDB cross-reference:";
+  let result =
+    Warehouse.sql w
+      "SELECT swissprot.bioentry.accession, dbname FROM swissprot.bioentry \
+       JOIN swissprot.dbxref ON swissprot.bioentry.bioentry_id = \
+       swissprot.dbxref.bioentry_id WHERE dbname = 'PDB' \
+       ORDER BY swissprot.bioentry.accession"
+  in
+  ignore (Relation.cardinality result);
+  print_endline (Aladin_access.Sql_eval.render_result result)

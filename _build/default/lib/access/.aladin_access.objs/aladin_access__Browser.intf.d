@@ -1,0 +1,1 @@
+lib/access/browser.mli: Aladin_dup Aladin_links Aladin_metadata Link Objref Profile_list Repository

@@ -1,0 +1,1 @@
+lib/access/html_export.ml: Aladin_dup Aladin_links Browser Buffer Filename Hashtbl Link List Objref Printf String Sys

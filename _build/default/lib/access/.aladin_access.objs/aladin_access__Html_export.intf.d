@@ -1,0 +1,1 @@
+lib/access/html_export.mli: Aladin_links Browser Objref

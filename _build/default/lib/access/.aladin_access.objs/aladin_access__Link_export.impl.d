@@ -1,0 +1,1 @@
+lib/access/link_export.ml: Aladin_links Aladin_relational Buffer Float Hashtbl Link List Objref Printf String

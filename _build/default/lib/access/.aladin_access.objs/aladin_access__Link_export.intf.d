@@ -1,0 +1,1 @@
+lib/access/link_export.mli: Aladin_links Link

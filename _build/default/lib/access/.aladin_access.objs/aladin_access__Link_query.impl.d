@@ -1,0 +1,1 @@
+lib/access/link_query.ml: Aladin_links Float Hashtbl Link List Objref

@@ -1,0 +1,1 @@
+lib/access/link_query.mli: Aladin_links Link Objref

@@ -1,0 +1,1 @@
+lib/access/path_rank.ml: Aladin_links Float Hashtbl Link List Objref

@@ -1,0 +1,1 @@
+lib/access/path_rank.mli: Aladin_links Link Objref

@@ -1,0 +1,1 @@
+lib/access/search.mli: Aladin_links Aladin_text Objref Profile_list

@@ -1,0 +1,1 @@
+lib/access/sql_eval.ml: Aladin_relational Array Catalog Float Hashtbl List Printf Relation Schema Sql_parser String Value

@@ -1,0 +1,1 @@
+lib/access/sql_eval.mli: Aladin_relational Catalog Relation Sql_parser

@@ -1,0 +1,1 @@
+lib/access/sql_lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/access/sql_parser.ml: Format List Printf Sql_lexer String

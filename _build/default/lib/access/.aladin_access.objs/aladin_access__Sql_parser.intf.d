@@ -1,0 +1,1 @@
+lib/access/sql_parser.mli:

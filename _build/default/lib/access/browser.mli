@@ -1,0 +1,45 @@
+(** The generic browsing front-end (§4.6).
+
+    "Users can follow not only cross-references, but all four types of
+    relationships between objects: 1. Same relation [...] 2. Dependency
+    [...] 3. Duplicates [...] Conflicts are highlighted [...] 4. Linked."
+
+    A {!view} is one object's page: its own fields, its annotations
+    (secondary objects), its duplicates with highlighted conflicts, and its
+    outgoing links. *)
+
+open Aladin_links
+open Aladin_metadata
+
+type annotation = {
+  relation : string;
+  fields : (string * string) list;  (** (attribute, value) *)
+}
+
+type view = {
+  obj : Objref.t;
+  fields : (string * string) list;  (** the primary row *)
+  annotations : annotation list;  (** rows of secondary relations owned *)
+  siblings : Objref.t list;  (** neighbours within the same relation *)
+  duplicates : (Objref.t * float) list;
+  conflicts : Aladin_dup.Conflict.t list;
+  linked : Link.t list;  (** non-duplicate links, best first *)
+}
+
+type t
+
+val create : Profile_list.t -> Repository.t -> t
+
+val view : t -> Objref.t -> view option
+(** [None] for unknown objects. *)
+
+val view_accession : t -> source:string -> string -> view option
+
+val objects : t -> Objref.t list
+(** Every browsable primary object. *)
+
+val follow : t -> view -> int -> view option
+(** Follow the [i]-th link of a view (0-based into [linked]). *)
+
+val render : view -> string
+(** Plain-text "page" for CLI browsing. *)

@@ -1,0 +1,171 @@
+open Aladin_links
+module Dup = Aladin_dup
+
+let escape_html s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+let page_filename (o : Objref.t) =
+  Printf.sprintf "%s__%s.html" (sanitize o.source) (sanitize o.accession)
+
+let style =
+  "body{font-family:sans-serif;max-width:60em;margin:2em auto;color:#222}\n\
+   h1{font-size:1.3em} h2{font-size:1.05em;margin-top:1.4em;color:#444}\n\
+   table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:2px 8px;\n\
+   text-align:left;vertical-align:top} .conflict{background:#ffe8e8}\n\
+   .kind{color:#777;font-size:0.85em} a{color:#1552a0}"
+
+let header title =
+  Printf.sprintf
+    "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>%s</title>\n\
+     <style>%s</style></head><body>\n"
+    (escape_html title) style
+
+let footer = "</body></html>\n"
+
+let truncate n s = if String.length s > n then String.sub s 0 (n - 3) ^ "..." else s
+
+let object_page browser (v : Browser.view) =
+  ignore browser;
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf (header (Objref.to_string v.obj));
+  add "<p><a href=\"index.html\">&larr; index</a></p>\n";
+  add "<h1>%s</h1>\n" (escape_html (Objref.to_string v.obj));
+  add "<table>\n";
+  List.iter
+    (fun (attr, value) ->
+      add "<tr><th>%s</th><td>%s</td></tr>\n" (escape_html attr)
+        (escape_html (truncate 300 value)))
+    v.fields;
+  add "</table>\n";
+  if v.annotations <> [] then begin
+    add "<h2>Annotations (secondary objects)</h2>\n<table>\n";
+    List.iter
+      (fun (a : Browser.annotation) ->
+        add "<tr><th>%s</th><td>%s</td></tr>\n" (escape_html a.relation)
+          (escape_html
+             (truncate 300
+                (String.concat "; "
+                   (List.map (fun (k, value) -> k ^ "=" ^ value) a.fields)))))
+      v.annotations;
+    add "</table>\n"
+  end;
+  if v.duplicates <> [] then begin
+    add "<h2>Duplicates (flagged, not merged)</h2>\n<ul>\n";
+    List.iter
+      (fun (o, c) ->
+        add "<li><a href=\"%s\">%s</a> (similarity %.2f)</li>\n"
+          (page_filename o)
+          (escape_html (Objref.to_string o))
+          c)
+      v.duplicates;
+    add "</ul>\n"
+  end;
+  if v.conflicts <> [] then begin
+    add "<h2>Conflicting values</h2>\n<table>\n";
+    List.iter
+      (fun (c : Dup.Conflict.t) ->
+        add
+          "<tr class=\"conflict\"><td>%s.%s = %s</td><td>%s.%s = %s</td></tr>\n"
+          (escape_html (Objref.to_string c.obj_a))
+          (escape_html c.attr_a)
+          (escape_html (truncate 80 c.value_a))
+          (escape_html (Objref.to_string c.obj_b))
+          (escape_html c.attr_b)
+          (escape_html (truncate 80 c.value_b)))
+      v.conflicts;
+    add "</table>\n"
+  end;
+  if v.linked <> [] then begin
+    add "<h2>Links</h2>\n<ul>\n";
+    List.iter
+      (fun (l : Link.t) ->
+        let other = if Objref.equal l.src v.obj then l.dst else l.src in
+        add
+          "<li><span class=\"kind\">[%s %.2f]</span> <a href=\"%s\">%s</a> \
+           <span class=\"kind\">%s</span></li>\n"
+          (Link.kind_name l.kind) l.confidence (page_filename other)
+          (escape_html (Objref.to_string other))
+          (escape_html (truncate 80 l.evidence)))
+      v.linked;
+    add "</ul>\n"
+  end;
+  if v.siblings <> [] then begin
+    add "<h2>Neighbours in the same relation</h2>\n<ul>\n";
+    List.iter
+      (fun o ->
+        add "<li><a href=\"%s\">%s</a></li>\n" (page_filename o)
+          (escape_html (Objref.to_string o)))
+      v.siblings;
+    add "</ul>\n"
+  end;
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let index_page browser =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf (header "ALADIN warehouse");
+  add "<h1>ALADIN warehouse</h1>\n";
+  let objects = Browser.objects browser in
+  let by_source : (string, Objref.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (o : Objref.t) ->
+      match Hashtbl.find_opt by_source o.source with
+      | Some l -> l := o :: !l
+      | None ->
+          Hashtbl.add by_source o.source (ref [ o ]);
+          order := o.source :: !order)
+    objects;
+  List.iter
+    (fun source ->
+      let members = List.rev !(Hashtbl.find by_source source) in
+      add "<h2>%s (%d objects)</h2>\n<p>\n" (escape_html source)
+        (List.length members);
+      List.iter
+        (fun o ->
+          add "<a href=\"%s\">%s</a>\n" (page_filename o)
+            (escape_html o.Objref.accession))
+        members;
+      add "</p>\n")
+    (List.rev !order);
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let write_site browser ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "index.html" (index_page browser);
+  let count = ref 0 in
+  List.iter
+    (fun o ->
+      match Browser.view browser o with
+      | Some v ->
+          write (page_filename o) (object_page browser v);
+          incr count
+      | None -> ())
+    (Browser.objects browser);
+  !count

@@ -1,0 +1,38 @@
+(** Queries across the web of objects (§6 conclusions).
+
+    "Consider a query for all genes of a certain species on a certain
+    chromosome that are connected to a disease via a protein whose function
+    is known." No mediated schema exists, so such queries traverse the
+    discovered link graph: start from a set of objects (usually produced by
+    SQL or search) and follow a sequence of typed link steps; results carry
+    their evidence paths and a confidence score. *)
+
+open Aladin_links
+
+type step = {
+  kinds : Link.kind list;  (** acceptable link kinds; [] = any *)
+  target_source : string option;  (** restrict the step's endpoint *)
+  min_confidence : float;  (** per-link threshold (default 0.0) *)
+}
+
+val step : ?kinds:Link.kind list -> ?target_source:string -> ?min_confidence:float -> unit -> step
+
+type hit = {
+  endpoint : Objref.t;
+  path : Link.t list;  (** one witness path, start -> endpoint *)
+  score : float;  (** product of link confidences along the path *)
+  start : Objref.t;
+}
+
+type t
+
+val create : Link.t list -> t
+
+val run : t -> start:Objref.t list -> steps:step list -> hit list
+(** Traverse (links are followed in both directions); objects are never
+    revisited within one path. One hit per (start, endpoint) pair, keeping
+    the best-scoring witness; descending score. With [steps = []] every
+    start object is its own hit. *)
+
+val reachable_count : t -> Objref.t -> int
+(** Objects connected by at least one link (degree), for diagnostics. *)

@@ -1,0 +1,25 @@
+(** Path-based ranking between objects in the link graph.
+
+    §6: "query results can be ordered based on the number, consistency, and
+    length of different paths between two objects" (cf. BioFast
+    [BLM+04]). The relatedness of two objects aggregates every simple path
+    up to a depth bound: each path contributes the product of its link
+    confidences, discounted by length. *)
+
+open Aladin_links
+
+type t
+
+val build : Link.t list -> t
+(** Undirected multigraph over the links (all kinds). *)
+
+val neighbors : t -> Objref.t -> (Objref.t * Link.t) list
+
+val relatedness : ?max_depth:int -> ?decay:float -> t -> Objref.t -> Objref.t -> float
+(** Sum over simple paths (length <= [max_depth], default 3) of
+    [decay^(len-1) * prod confidence] with [decay] default 0.5. 0 when
+    unconnected. *)
+
+val rank_from :
+  ?max_depth:int -> ?decay:float -> t -> Objref.t -> (Objref.t * float) list
+(** All objects reachable within [max_depth], by descending relatedness. *)

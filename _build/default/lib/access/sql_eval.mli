@@ -1,0 +1,26 @@
+(** Evaluator for parsed SQL over warehouse relations.
+
+    Tables are resolved through a callback so the same evaluator works for
+    one catalog or for the whole warehouse (where tables are addressed as
+    [source.relation]). Supports boolean WHERE expressions (AND/OR/NOT,
+    IN, LIKE, IS NULL), GROUP BY and the COUNT/SUM/AVG/MIN/MAX
+    aggregates. *)
+
+open Aladin_relational
+
+exception Eval_error of string
+
+val eval : resolve:(string -> Relation.t option) -> Sql_parser.query -> Relation.t
+(** @raise Eval_error on unknown tables/columns, ambiguous references, or
+    non-grouped columns selected next to aggregates. *)
+
+val eval_catalog : Catalog.t -> Sql_parser.query -> Relation.t
+
+val run : resolve:(string -> Relation.t option) -> string -> Relation.t
+(** Parse + eval. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with '%' (any run) and '_' (any char), case-insensitive. *)
+
+val render_result : ?max_rows:int -> Relation.t -> string
+(** ASCII table for CLI/examples. *)

@@ -1,0 +1,114 @@
+type token =
+  | Ident of string
+  | String_lit of string
+  | Number_lit of float
+  | Comma
+  | Star
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Kw of string
+
+exception Lex_error of string
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "JOIN"; "ON"; "AND"; "OR"; "ORDER"; "BY";
+    "GROUP"; "LIMIT"; "ASC"; "DESC"; "LIKE"; "DISTINCT"; "NULL"; "IS"; "NOT";
+    "IN" ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec loop i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | ',' -> emit Comma; loop (i + 1)
+      | '*' -> emit Star; loop (i + 1)
+      | '(' -> emit Lparen; loop (i + 1)
+      | ')' -> emit Rparen; loop (i + 1)
+      | '=' -> emit Eq; loop (i + 1)
+      | '<' ->
+          if i + 1 < n && input.[i + 1] = '>' then begin emit Neq; loop (i + 2) end
+          else if i + 1 < n && input.[i + 1] = '=' then begin emit Le; loop (i + 2) end
+          else begin emit Lt; loop (i + 1) end
+      | '>' ->
+          if i + 1 < n && input.[i + 1] = '=' then begin emit Ge; loop (i + 2) end
+          else begin emit Gt; loop (i + 1) end
+      | '!' ->
+          if i + 1 < n && input.[i + 1] = '=' then begin emit Neq; loop (i + 2) end
+          else raise (Lex_error "stray '!'")
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Lex_error "unterminated string literal")
+            else if input.[j] = '\'' then
+              if j + 1 < n && input.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                str (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              str (j + 1)
+            end
+          in
+          let next = str (i + 1) in
+          emit (String_lit (Buffer.contents buf));
+          loop next
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+          let start = i in
+          let j = ref (i + 1) in
+          while
+            !j < n && (is_digit input.[!j] || input.[!j] = '.' || input.[!j] = 'e'
+                       || input.[!j] = 'E' || input.[!j] = '+'
+                       || (input.[!j] = '-' && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E')))
+          do
+            incr j
+          done;
+          let s = String.sub input start (!j - start) in
+          (match float_of_string_opt s with
+          | Some f -> emit (Number_lit f)
+          | None -> raise (Lex_error (Printf.sprintf "bad number %S" s)));
+          loop !j
+      | c when is_ident_char c ->
+          let start = i in
+          let j = ref i in
+          while !j < n && is_ident_char input.[!j] do incr j done;
+          let word = String.sub input start (!j - start) in
+          let upper = String.uppercase_ascii word in
+          if List.mem upper keywords then emit (Kw upper) else emit (Ident word);
+          loop !j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  in
+  loop 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident(%s)" s
+  | String_lit s -> Format.fprintf ppf "string(%S)" s
+  | Number_lit f -> Format.fprintf ppf "number(%g)" f
+  | Comma -> Format.pp_print_string ppf ","
+  | Star -> Format.pp_print_string ppf "*"
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Eq -> Format.pp_print_string ppf "="
+  | Neq -> Format.pp_print_string ppf "<>"
+  | Lt -> Format.pp_print_string ppf "<"
+  | Gt -> Format.pp_print_string ppf ">"
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Kw k -> Format.pp_print_string ppf k

@@ -1,0 +1,302 @@
+type column = { table : string option; attr : string }
+
+type operand =
+  | Col of column
+  | Lit_string of string
+  | Lit_number of float
+
+type comparison = Ceq | Cneq | Clt | Cgt | Cle | Cge | Clike
+
+type expr =
+  | Compare of column * comparison * operand
+  | Is_null of column
+  | Is_not_null of column
+  | In_list of column * operand list
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type aggregate = Count_star | Count of column | Sum of column | Avg of column | Min_agg of column | Max_agg of column
+
+type select_item = Item_col of column | Item_agg of aggregate
+
+type order = { order_col : column; descending : bool }
+
+type query = {
+  distinct : bool;
+  projection : select_item list;
+  from_table : string;
+  joins : (string * column * column) list;
+  where : expr option;
+  group_by : column list;
+  order_by : order option;
+  limit : int option;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : Sql_lexer.token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> fail "unexpected end of query"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let token_str t = Format.asprintf "%a" Sql_lexer.pp_token t
+
+let expect st tok what =
+  let got = next st in
+  if got <> tok then fail "expected %s, got %s" what (token_str got)
+
+let expect_kw st kw =
+  match next st with
+  | Sql_lexer.Kw k when k = kw -> ()
+  | t -> fail "expected %s, got %s" kw (token_str t)
+
+let accept_kw st kw =
+  match peek st with
+  | Some (Sql_lexer.Kw k) when k = kw ->
+      ignore (next st);
+      true
+  | Some _ | None -> false
+
+let column_of_ident s =
+  match String.rindex_opt s '.' with
+  | None -> { table = None; attr = s }
+  | Some i ->
+      { table = Some (String.sub s 0 i);
+        attr = String.sub s (i + 1) (String.length s - i - 1) }
+
+let column_to_string c =
+  match c.table with Some t -> t ^ "." ^ c.attr | None -> c.attr
+
+let parse_column st =
+  match next st with
+  | Sql_lexer.Ident s -> column_of_ident s
+  | t -> fail "expected column, got %s" (token_str t)
+
+let aggregate_name = function
+  | Count_star -> "count(*)"
+  | Count c -> Printf.sprintf "count(%s)" (column_to_string c)
+  | Sum c -> Printf.sprintf "sum(%s)" (column_to_string c)
+  | Avg c -> Printf.sprintf "avg(%s)" (column_to_string c)
+  | Min_agg c -> Printf.sprintf "min(%s)" (column_to_string c)
+  | Max_agg c -> Printf.sprintf "max(%s)" (column_to_string c)
+
+let aggregate_keywords = [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let parse_select_item st =
+  match peek st with
+  | Some (Sql_lexer.Ident s)
+    when List.mem (String.uppercase_ascii s) aggregate_keywords -> (
+      ignore (next st);
+      let kind = String.uppercase_ascii s in
+      expect st Sql_lexer.Lparen "(";
+      let arg =
+        match peek st with
+        | Some Sql_lexer.Star ->
+            ignore (next st);
+            None
+        | Some _ | None -> Some (parse_column st)
+      in
+      expect st Sql_lexer.Rparen ")";
+      match (kind, arg) with
+      | "COUNT", None -> Item_agg Count_star
+      | "COUNT", Some c -> Item_agg (Count c)
+      | "SUM", Some c -> Item_agg (Sum c)
+      | "AVG", Some c -> Item_agg (Avg c)
+      | "MIN", Some c -> Item_agg (Min_agg c)
+      | "MAX", Some c -> Item_agg (Max_agg c)
+      | _, None -> fail "%s requires a column argument" kind
+      | _, Some _ -> fail "unknown aggregate %s" kind)
+  | Some _ | None -> Item_col (parse_column st)
+
+let parse_projection st =
+  match peek st with
+  | Some Sql_lexer.Star ->
+      ignore (next st);
+      []
+  | Some _ | None ->
+      let rec items acc =
+        let item = parse_select_item st in
+        match peek st with
+        | Some Sql_lexer.Comma ->
+            ignore (next st);
+            items (item :: acc)
+        | Some _ | None -> List.rev (item :: acc)
+      in
+      items []
+
+let parse_table st =
+  match next st with
+  | Sql_lexer.Ident s -> s
+  | t -> fail "expected table name, got %s" (token_str t)
+
+let comparison_of_token = function
+  | Sql_lexer.Eq -> Some Ceq
+  | Sql_lexer.Neq -> Some Cneq
+  | Sql_lexer.Lt -> Some Clt
+  | Sql_lexer.Gt -> Some Cgt
+  | Sql_lexer.Le -> Some Cle
+  | Sql_lexer.Ge -> Some Cge
+  | Sql_lexer.Kw "LIKE" -> Some Clike
+  | _ -> None
+
+let parse_operand st =
+  match next st with
+  | Sql_lexer.Ident s -> Col (column_of_ident s)
+  | Sql_lexer.String_lit s -> Lit_string s
+  | Sql_lexer.Number_lit f -> Lit_number f
+  | t -> fail "expected operand, got %s" (token_str t)
+
+let parse_predicate st =
+  let col = parse_column st in
+  match peek st with
+  | Some (Sql_lexer.Kw "IS") ->
+      ignore (next st);
+      if accept_kw st "NOT" then begin
+        expect_kw st "NULL";
+        Is_not_null col
+      end
+      else begin
+        expect_kw st "NULL";
+        Is_null col
+      end
+  | Some (Sql_lexer.Kw "IN") ->
+      ignore (next st);
+      expect st Sql_lexer.Lparen "(";
+      let rec lits acc =
+        let v = parse_operand st in
+        match peek st with
+        | Some Sql_lexer.Comma ->
+            ignore (next st);
+            lits (v :: acc)
+        | Some _ | None -> List.rev (v :: acc)
+      in
+      let vs = lits [] in
+      expect st Sql_lexer.Rparen ")";
+      In_list (col, vs)
+  | Some (Sql_lexer.Kw "NOT") ->
+      ignore (next st);
+      (* col NOT LIKE / NOT IN *)
+      (match peek st with
+      | Some (Sql_lexer.Kw "LIKE") ->
+          ignore (next st);
+          Not (Compare (col, Clike, parse_operand st))
+      | Some (Sql_lexer.Kw "IN") ->
+          ignore (next st);
+          expect st Sql_lexer.Lparen "(";
+          let rec lits acc =
+            let v = parse_operand st in
+            match peek st with
+            | Some Sql_lexer.Comma ->
+                ignore (next st);
+                lits (v :: acc)
+            | Some _ | None -> List.rev (v :: acc)
+          in
+          let vs = lits [] in
+          expect st Sql_lexer.Rparen ")";
+          Not (In_list (col, vs))
+      | Some t -> fail "expected LIKE or IN after NOT, got %s" (token_str t)
+      | None -> fail "unexpected end after NOT")
+  | Some t -> (
+      match comparison_of_token t with
+      | None -> fail "expected comparison after %s" (column_to_string col)
+      | Some cmp ->
+          ignore (next st);
+          Compare (col, cmp, parse_operand st))
+  | None -> fail "unexpected end of predicate"
+
+(* precedence: OR < AND < NOT < atom *)
+let rec parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "AND" then And (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "NOT" then Not (parse_not st)
+  else
+    match peek st with
+    | Some Sql_lexer.Lparen ->
+        ignore (next st);
+        let e = parse_or st in
+        expect st Sql_lexer.Rparen ")";
+        e
+    | Some _ | None -> parse_predicate st
+
+let parse input =
+  let st = { toks = Sql_lexer.tokenize input } in
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let projection = parse_projection st in
+  expect_kw st "FROM";
+  let from_table = parse_table st in
+  let joins = ref [] in
+  while accept_kw st "JOIN" do
+    let table = parse_table st in
+    expect_kw st "ON";
+    let left = parse_column st in
+    expect st Sql_lexer.Eq "= in join condition";
+    let right = parse_column st in
+    joins := (table, left, right) :: !joins
+  done;
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let c = parse_column st in
+        match peek st with
+        | Some Sql_lexer.Comma ->
+            ignore (next st);
+            cols (c :: acc)
+        | Some _ | None -> List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let order_col = parse_column st in
+      let descending =
+        if accept_kw st "DESC" then true
+        else begin
+          ignore (accept_kw st "ASC");
+          false
+        end
+      in
+      Some { order_col; descending }
+    end
+    else None
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match next st with
+      | Sql_lexer.Number_lit f -> Some (int_of_float f)
+      | t -> fail "expected number after LIMIT, got %s" (token_str t)
+    else None
+  in
+  (match st.toks with
+  | [] -> ()
+  | t :: _ -> fail "trailing token %s" (token_str t));
+  {
+    distinct;
+    projection;
+    from_table;
+    joins = List.rev !joins;
+    where;
+    group_by;
+    order_by;
+    limit;
+  }

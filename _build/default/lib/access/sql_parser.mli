@@ -1,0 +1,65 @@
+(** Recursive-descent parser for the SQL subset.
+
+    {v
+    SELECT [DISTINCT] (* | item [, item]*)
+    FROM table
+    [JOIN table ON col = col]*
+    [WHERE expr]
+    [GROUP BY col [, col]*]
+    [ORDER BY col [ASC|DESC]]
+    [LIMIT n]
+
+    item  := col | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+           | MIN(col) | MAX(col)
+    expr  := expr OR expr | expr AND expr | NOT expr | ( expr ) | pred
+    pred  := col op (literal | col) | col LIKE 'pat'
+           | col IS [NOT] NULL | col IN (lit [, lit]*)
+    op    := = | <> | != | < | > | <= | >=
+    v}
+
+    Columns may be qualified ([table.attr], [source.table.attr]). *)
+
+type column = { table : string option; attr : string }
+
+type operand =
+  | Col of column
+  | Lit_string of string
+  | Lit_number of float
+
+type comparison = Ceq | Cneq | Clt | Cgt | Cle | Cge | Clike
+
+type expr =
+  | Compare of column * comparison * operand
+  | Is_null of column
+  | Is_not_null of column
+  | In_list of column * operand list
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type aggregate = Count_star | Count of column | Sum of column | Avg of column | Min_agg of column | Max_agg of column
+
+type select_item = Item_col of column | Item_agg of aggregate
+
+type order = { order_col : column; descending : bool }
+
+type query = {
+  distinct : bool;
+  projection : select_item list;  (** [] = SELECT * *)
+  from_table : string;
+  joins : (string * column * column) list;  (** (table, left col, right col) *)
+  where : expr option;
+  group_by : column list;
+  order_by : order option;
+  limit : int option;
+}
+
+exception Parse_error of string
+
+val parse : string -> query
+(** @raise Parse_error / @raise Sql_lexer.Lex_error *)
+
+val column_to_string : column -> string
+
+val aggregate_name : aggregate -> string
+(** Display name, e.g. ["count(*)"], ["sum(x)"]. *)

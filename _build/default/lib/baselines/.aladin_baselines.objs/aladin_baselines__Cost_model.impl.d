@@ -1,0 +1,1 @@
+lib/baselines/cost_model.ml: Aladin_relational Catalog List Relation Schema Srs

@@ -1,0 +1,1 @@
+lib/baselines/cost_model.mli: Aladin_relational Catalog Srs

@@ -1,0 +1,1 @@
+lib/baselines/name_matcher.ml: Aladin_relational Aladin_text Catalog Float List Relation Schema String

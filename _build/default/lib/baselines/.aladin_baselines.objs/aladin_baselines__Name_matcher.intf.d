@@ -1,0 +1,1 @@
+lib/baselines/name_matcher.mli: Aladin_relational Catalog

@@ -1,0 +1,1 @@
+lib/baselines/srs.ml: Aladin_datagen Aladin_links Aladin_relational Array Catalog Hashtbl Link List Objref Option Relation Schema String Value

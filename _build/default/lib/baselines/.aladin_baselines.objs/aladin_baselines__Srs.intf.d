@@ -1,0 +1,1 @@
+lib/baselines/srs.mli: Aladin_datagen Aladin_links Aladin_relational Catalog Link

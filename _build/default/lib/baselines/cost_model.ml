@@ -1,0 +1,70 @@
+open Aladin_relational
+
+type cost = {
+  approach : string;
+  manual_interventions : int;
+  person_minutes : float;
+  notes : string;
+}
+
+let minutes_per_curated_row = 2.0
+
+let minutes_per_mapping_rule = 10.0
+
+let minutes_per_spec_item = 3.0
+
+let minutes_per_parser = 120.0
+
+let total_rows catalogs =
+  List.fold_left (fun acc c -> acc + Catalog.total_rows c) 0 catalogs
+
+let total_attributes catalogs =
+  List.fold_left
+    (fun acc c ->
+      acc
+      + List.fold_left
+          (fun acc r -> acc + Schema.arity (Relation.schema r))
+          0 (Catalog.relations c))
+    0 catalogs
+
+let data_focused catalogs =
+  let rows = total_rows catalogs in
+  {
+    approach = "data-focused (Swiss-Prot style)";
+    manual_interventions = rows;
+    person_minutes = float_of_int rows *. minutes_per_curated_row;
+    notes = "every row curated by hand";
+  }
+
+let schema_focused catalogs =
+  let attrs = total_attributes catalogs in
+  let n = List.length catalogs in
+  {
+    approach = "schema-focused (TAMBIS/OPM style)";
+    manual_interventions = attrs + n;
+    person_minutes =
+      (float_of_int attrs *. minutes_per_mapping_rule)
+      +. (float_of_int n *. minutes_per_parser);
+    notes = "wrapper per source + mapping per attribute";
+  }
+
+let srs_style specs =
+  let items = List.fold_left (fun acc s -> acc + Srs.manual_items s) 0 specs in
+  let n = List.length specs in
+  {
+    approach = "SRS (explicit specification)";
+    manual_interventions = items + n;
+    person_minutes =
+      (float_of_int items *. minutes_per_spec_item)
+      +. (float_of_int n *. minutes_per_parser);
+    notes = "Icarus-style spec per source";
+  }
+
+let aladin catalogs ~n_parsers_needed =
+  ignore catalogs;
+  {
+    approach = "ALADIN (almost automatic)";
+    manual_interventions = n_parsers_needed;
+    person_minutes = float_of_int n_parsers_needed *. minutes_per_parser;
+    notes = "only missing import parsers are manual";
+  }

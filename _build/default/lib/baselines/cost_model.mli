@@ -1,0 +1,41 @@
+(** Quantified Table 1: the manual cost of integrating a corpus under each
+    of the three approaches.
+
+    Cost is counted in "manual interventions" (a curation decision, a
+    mapping rule, a spec line) plus a rough person-minutes estimate, so the
+    three columns of the paper's Table 1 become one measured row each. *)
+
+open Aladin_relational
+
+type cost = {
+  approach : string;
+  manual_interventions : int;
+  person_minutes : float;
+  notes : string;
+}
+
+val minutes_per_curated_row : float
+(** 2.0 — reading + merging one record by a human curator. *)
+
+val minutes_per_mapping_rule : float
+(** 10.0 — one semantic mapping between schema elements. *)
+
+val minutes_per_spec_item : float
+(** 3.0 — one line of an SRS-style parser spec. *)
+
+val minutes_per_parser : float
+(** 120.0 — the quick-and-dirty import parser ALADIN may still need (§4.1:
+    "writing a parser took only a few hours in both cases"). *)
+
+val data_focused : Catalog.t list -> cost
+(** Manual curation of every row. *)
+
+val schema_focused : Catalog.t list -> cost
+(** Wrapper per source + mapping rule per attribute (mediator style). *)
+
+val srs_style : Srs.spec list -> cost
+(** Spec items from {!Srs.manual_items}, plus a parser per source. *)
+
+val aladin : Catalog.t list -> n_parsers_needed:int -> cost
+(** Only the import parsers that had to be written by hand; the rest is
+    automatic. *)

@@ -1,0 +1,191 @@
+open Aladin_relational
+open Aladin_links
+module Dg = Aladin_datagen
+
+type xref_spec = {
+  relation : string;
+  attribute : string;
+  target_source : string;
+  target_relation : string;
+  target_attribute : string;
+}
+
+type spec = {
+  source : string;
+  primary_relation : string;
+  accession_attribute : string;
+  structure : Dg.Gold.expected_fk list;
+  xrefs : xref_spec list;
+}
+
+let manual_items spec = 2 + List.length spec.structure + List.length spec.xrefs
+
+let decode_tokens v =
+  v
+  :: (String.split_on_char ':' v @ String.split_on_char '/' v
+     |> List.map String.trim
+     |> List.filter (fun s -> s <> "" && s <> v))
+
+let catalog_named catalogs name =
+  List.find_opt (fun c -> Catalog.name c = name) catalogs
+
+let accession_set gold catalogs source =
+  match Dg.Gold.find_source gold source with
+  | None -> None
+  | Some sg ->
+      let set = Hashtbl.create 256 in
+      List.iter (fun (acc, _) -> Hashtbl.replace set acc ()) sg.objects;
+      ignore catalogs;
+      Some (sg, set)
+
+let spec_of_gold gold ~source catalogs =
+  match (Dg.Gold.find_source gold source, catalog_named catalogs source) with
+  | None, _ | _, None -> None
+  | Some sg, Some cat ->
+      let other_sources =
+        List.filter_map
+          (fun c ->
+            let name = Catalog.name c in
+            if name = source then None
+            else
+              Option.map (fun (tsg, set) -> (name, tsg, set))
+                (accession_set gold catalogs name))
+          catalogs
+      in
+      let xrefs = ref [] in
+      List.iter
+        (fun rel ->
+          let rel_name = Relation.name rel in
+          List.iter
+            (fun attr ->
+              let is_own_key =
+                String.lowercase_ascii rel_name
+                = String.lowercase_ascii sg.primary_relation
+                && String.lowercase_ascii attr
+                   = String.lowercase_ascii sg.accession_attribute
+              in
+              if not is_own_key then
+                List.iter
+                  (fun (tname, (tsg : Dg.Gold.source_gold), set) ->
+                    let matches = ref 0 in
+                    Array.iter
+                      (fun v ->
+                        if
+                          (not (Value.is_null v))
+                          && List.exists
+                               (fun tok -> Hashtbl.mem set tok)
+                               (decode_tokens (Value.to_string v))
+                        then incr matches)
+                      (Relation.column rel attr);
+                    if !matches >= 2 then
+                      xrefs :=
+                        { relation = rel_name; attribute = attr;
+                          target_source = tname;
+                          target_relation = tsg.primary_relation;
+                          target_attribute = tsg.accession_attribute }
+                        :: !xrefs)
+                  other_sources)
+            (Schema.names (Relation.schema rel)))
+        (Catalog.relations cat);
+      Some
+        {
+          source;
+          primary_relation = sg.primary_relation;
+          accession_attribute = sg.accession_attribute;
+          structure = sg.fks;
+          xrefs = List.rev !xrefs;
+        }
+
+(* map a row of [relation] to its primary accessions by following one
+   declared join hop (xref tables point directly at the primary relation in
+   the generated schemas; deeper structures fall back to no owner) *)
+let owner_accessions cat spec rel_name row =
+  if String.lowercase_ascii rel_name = String.lowercase_ascii spec.primary_relation
+  then begin
+    let prel = Catalog.find_exn cat spec.primary_relation in
+    let ai = Schema.index_of_exn (Relation.schema prel) spec.accession_attribute in
+    [ Value.to_string row.(ai) ]
+  end
+  else
+    match
+      List.find_opt
+        (fun (fk : Dg.Gold.expected_fk) ->
+          String.lowercase_ascii fk.src_relation = String.lowercase_ascii rel_name
+          && String.lowercase_ascii fk.dst_relation
+             = String.lowercase_ascii spec.primary_relation)
+        spec.structure
+    with
+    | None -> []
+    | Some fk -> (
+        let rel = Catalog.find_exn cat rel_name in
+        let si = Schema.index_of_exn (Relation.schema rel) fk.src_attribute in
+        let prel = Catalog.find_exn cat spec.primary_relation in
+        let join_v = row.(si) in
+        if Value.is_null join_v then []
+        else
+          match Relation.find_row prel fk.dst_attribute join_v with
+          | None -> []
+          | Some prow ->
+              let ai =
+                Schema.index_of_exn (Relation.schema prel) spec.accession_attribute
+              in
+              [ Value.to_string prow.(ai) ])
+
+let integrate catalogs specs =
+  let links = ref [] in
+  List.iter
+    (fun spec ->
+      match catalog_named catalogs spec.source with
+      | None -> ()
+      | Some cat ->
+          List.iter
+            (fun xs ->
+              match
+                ( Catalog.find cat xs.relation,
+                  List.find_opt (fun s -> s.source = xs.target_source) specs )
+              with
+              | Some rel, Some tspec -> (
+                  match catalog_named catalogs xs.target_source with
+                  | None -> ()
+                  | Some tcat ->
+                      let tprel = Catalog.find_exn tcat tspec.primary_relation in
+                      let tset = Hashtbl.create 256 in
+                      Array.iter
+                        (fun v ->
+                          if not (Value.is_null v) then
+                            Hashtbl.replace tset (Value.to_string v) ())
+                        (Relation.column tprel tspec.accession_attribute);
+                      let ai = Schema.index_of_exn (Relation.schema rel) xs.attribute in
+                      Relation.iter_rows
+                        (fun row ->
+                          let v = row.(ai) in
+                          if not (Value.is_null v) then
+                            let tok =
+                              List.find_opt
+                                (fun t -> Hashtbl.mem tset t)
+                                (decode_tokens (Value.to_string v))
+                            in
+                            match tok with
+                            | None -> ()
+                            | Some acc ->
+                                List.iter
+                                  (fun own_acc ->
+                                    links :=
+                                      Link.make
+                                        ~src:
+                                          (Objref.make ~source:spec.source
+                                             ~relation:spec.primary_relation
+                                             ~accession:own_acc)
+                                        ~dst:
+                                          (Objref.make ~source:xs.target_source
+                                             ~relation:tspec.primary_relation
+                                             ~accession:acc)
+                                        ~kind:Link.Xref ~confidence:1.0
+                                        ~evidence:"srs spec"
+                                      :: !links)
+                                  (owner_accessions cat spec xs.relation row))
+                        rel)
+              | (Some _ | None), _ -> ())
+            spec.xrefs)
+    specs;
+  Link.dedup !links

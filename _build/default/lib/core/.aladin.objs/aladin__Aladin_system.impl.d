@@ -1,0 +1,1 @@
+lib/core/aladin_system.ml: Aladin_discovery Aladin_formats Aladin_links Aladin_relational Buffer Catalog Filename Link Linker List Printf Profile Source_profile String Sys Warehouse

@@ -1,0 +1,1 @@
+lib/core/aladin_system.mli: Aladin_relational Catalog Config Warehouse

@@ -1,0 +1,1 @@
+lib/core/config.ml: Accession Aladin_discovery Aladin_dup Aladin_links Dup_detect Inclusion Linker List Printf String

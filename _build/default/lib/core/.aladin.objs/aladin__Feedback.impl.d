@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Aladin_discovery Aladin_links Aladin_metadata Buffer Hashtbl Inclusion Link List Objref Printf String

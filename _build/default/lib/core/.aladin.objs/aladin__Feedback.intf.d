@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Aladin_discovery Aladin_links Inclusion Link

@@ -1,0 +1,1 @@
+lib/core/shell.ml: Aladin_access Aladin_links Aladin_metadata Aladin_system Browser Format Link List Objref Printf Search Sql_eval Sql_lexer Sql_parser String Warehouse

@@ -1,0 +1,54 @@
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+module Fm = Aladin_formats
+
+let import_file path =
+  let base = Filename.basename path in
+  let name =
+    match String.rindex_opt base '.' with
+    | Some i when not (Sys.is_directory path) -> String.sub base 0 i
+    | Some _ | None -> base
+  in
+  Fm.Import.import_path ~name path
+
+let integrate_catalogs ?config catalogs = Warehouse.integrate ?config catalogs
+
+let integrate_paths ?config paths =
+  integrate_catalogs ?config (List.map import_file paths)
+
+let summary w =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "ALADIN warehouse: %d sources\n" (List.length (Warehouse.sources w));
+  List.iter
+    (fun name ->
+      match Warehouse.profile w name with
+      | None -> ()
+      | Some sp ->
+          let n_rels =
+            List.length (Catalog.relations (Profile.catalog sp.profile))
+          in
+          (match Source_profile.primary_accession sp with
+          | Some (rel, attr) ->
+              add "  %-12s %2d relations, primary=%s (key %s), %d FKs\n" name
+                n_rels rel attr (List.length sp.fks)
+          | None ->
+              add "  %-12s %2d relations, primary NOT FOUND, %d FKs\n" name
+                n_rels (List.length sp.fks)))
+    (Warehouse.sources w);
+  let links = Warehouse.links w in
+  add "links: %d total\n" (List.length links);
+  List.iter
+    (fun (kind, n) -> add "  %-12s %d\n" (Link.kind_name kind) n)
+    (Linker.count_by_kind links);
+  (match Warehouse.duplicates w with
+  | Some d -> add "duplicate clusters: %d\n" (List.length d.clusters)
+  | None -> ());
+  Buffer.contents buf
+
+let timings_to_string ts =
+  ts
+  |> List.map (fun (tm : Warehouse.timing) ->
+         Printf.sprintf "%-20s %.4fs" (Warehouse.step_name tm.step) tm.seconds)
+  |> String.concat "\n"

@@ -1,0 +1,20 @@
+(** Convenience facade: import-from-anything + integrate + report.
+
+    [Aladin.Aladin_system] is what the examples and the CLI use; library
+    users wanting control work with {!Warehouse} directly. *)
+
+open Aladin_relational
+
+val import_file : string -> Catalog.t
+(** Sniff the format and import (step 1). The source name is the file
+    basename without extension; a directory is loaded as a CSV dump. *)
+
+val integrate_paths : ?config:Config.t -> string list -> Warehouse.t
+
+val integrate_catalogs : ?config:Config.t -> Catalog.t list -> Warehouse.t
+
+val summary : Warehouse.t -> string
+(** Human-readable integration summary: per source the discovered primary
+    relation and structure, then link and duplicate counts. *)
+
+val timings_to_string : Warehouse.timing list -> string

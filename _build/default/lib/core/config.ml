@@ -1,0 +1,123 @@
+open Aladin_discovery
+open Aladin_links
+open Aladin_dup
+
+type t = {
+  accession : Accession.params;
+  inclusion : Inclusion.params;
+  linker : Linker.params;
+  dup : Dup_detect.params;
+  incremental_seq : bool;
+  max_path_len : int;
+  change_threshold : float;
+}
+
+let default =
+  {
+    accession = Accession.default_params;
+    inclusion = Inclusion.default_params;
+    linker = Linker.default_params;
+    dup = Dup_detect.default_params;
+    incremental_seq = true;
+    max_path_len = 6;
+    change_threshold = 0.1;
+  }
+
+let parse_bool key v =
+  match bool_of_string_opt (String.lowercase_ascii v) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Config: %s expects a bool, got %S" key v)
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Config: %s expects an int, got %S" key v)
+
+let parse_float key v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Config: %s expects a float, got %S" key v)
+
+let apply t key v =
+  match key with
+  | "accession.min_length" ->
+      { t with accession = { t.accession with min_length = parse_int key v } }
+  | "accession.max_length_spread" ->
+      { t with accession = { t.accession with max_length_spread = parse_float key v } }
+  | "inclusion.min_containment" ->
+      { t with inclusion = { t.inclusion with min_containment = parse_float key v } }
+  | "inclusion.require_name_affinity" ->
+      { t with
+        inclusion =
+          { t.inclusion with require_name_affinity_for_pk_pk = parse_bool key v } }
+  | "links.seq.min_normalized" ->
+      { t with
+        linker =
+          { t.linker with seq = { t.linker.seq with min_normalized = parse_float key v } } }
+  | "links.seq.min_seq_len" ->
+      { t with
+        linker =
+          { t.linker with seq = { t.linker.seq with min_seq_len = parse_int key v } } }
+  | "links.text.min_cosine" ->
+      { t with
+        linker =
+          { t.linker with text = { t.linker.text with min_cosine = parse_float key v } } }
+  | "links.xref.min_matches" ->
+      { t with
+        linker =
+          { t.linker with xref = { t.linker.xref with min_matches = parse_int key v } } }
+  | "links.enable_seq" -> { t with linker = { t.linker with enable_seq = parse_bool key v } }
+  | "links.enable_text" -> { t with linker = { t.linker with enable_text = parse_bool key v } }
+  | "links.enable_onto" -> { t with linker = { t.linker with enable_onto = parse_bool key v } }
+  | "dup.min_similarity" ->
+      { t with dup = { t.dup with min_similarity = parse_float key v } }
+  | "dup.all_pairs" -> { t with dup = { t.dup with all_pairs = parse_bool key v } }
+  | "incremental_seq" -> { t with incremental_seq = parse_bool key v }
+  | "max_path_len" -> { t with max_path_len = parse_int key v }
+  | "change_threshold" -> { t with change_threshold = parse_float key v }
+  | _ -> invalid_arg (Printf.sprintf "Config: unknown key %S" key)
+
+let of_string doc =
+  String.split_on_char '\n' doc
+  |> List.fold_left
+       (fun t line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then t
+         else
+           match String.index_opt line '=' with
+           | None -> invalid_arg (Printf.sprintf "Config: expected key = value, got %S" line)
+           | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               apply t key v)
+       default
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  of_string doc
+
+let to_string t =
+  String.concat "\n"
+    [
+      Printf.sprintf "accession.min_length = %d" t.accession.min_length;
+      Printf.sprintf "accession.max_length_spread = %g" t.accession.max_length_spread;
+      Printf.sprintf "inclusion.min_containment = %g" t.inclusion.min_containment;
+      Printf.sprintf "inclusion.require_name_affinity = %b"
+        t.inclusion.require_name_affinity_for_pk_pk;
+      Printf.sprintf "links.seq.min_normalized = %g" t.linker.seq.min_normalized;
+      Printf.sprintf "links.seq.min_seq_len = %d" t.linker.seq.min_seq_len;
+      Printf.sprintf "links.text.min_cosine = %g" t.linker.text.min_cosine;
+      Printf.sprintf "links.xref.min_matches = %d" t.linker.xref.min_matches;
+      Printf.sprintf "links.enable_seq = %b" t.linker.enable_seq;
+      Printf.sprintf "links.enable_text = %b" t.linker.enable_text;
+      Printf.sprintf "links.enable_onto = %b" t.linker.enable_onto;
+      Printf.sprintf "dup.min_similarity = %g" t.dup.min_similarity;
+      Printf.sprintf "dup.all_pairs = %b" t.dup.all_pairs;
+      Printf.sprintf "incremental_seq = %b" t.incremental_seq;
+      Printf.sprintf "max_path_len = %d" t.max_path_len;
+      Printf.sprintf "change_threshold = %g" t.change_threshold;
+    ]
+  ^ "\n"

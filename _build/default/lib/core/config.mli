@@ -1,0 +1,47 @@
+(** All tunables of the ALADIN pipeline in one place. *)
+
+open Aladin_discovery
+open Aladin_links
+open Aladin_dup
+
+type t = {
+  accession : Accession.params;
+  inclusion : Inclusion.params;
+  linker : Linker.params;
+  dup : Dup_detect.params;
+  incremental_seq : bool;
+      (** keep a persistent homology index so adding a source only aligns
+          its new sequences (default true) *)
+  max_path_len : int;  (** secondary-structure path bound *)
+  change_threshold : float;
+      (** §6.2: fraction of a source's rows that must change before links
+          are recomputed (default 0.1) *)
+}
+
+val default : t
+
+val of_string : string -> t
+(** Parse a [key = value] configuration ([#] comments, blank lines ok) over
+    {!default}. Keys:
+    {v
+    accession.min_length            int
+    accession.max_length_spread     float
+    inclusion.min_containment       float
+    inclusion.require_name_affinity bool
+    links.seq.min_normalized        float
+    links.seq.min_seq_len           int
+    links.text.min_cosine           float
+    links.xref.min_matches          int
+    links.enable_seq|text|onto      bool
+    dup.min_similarity              float
+    dup.all_pairs                   bool
+    incremental_seq                 bool
+    max_path_len                    int
+    change_threshold                float
+    v}
+    @raise Invalid_argument on unknown keys or unparsable values. *)
+
+val of_file : string -> t
+
+val to_string : t -> string
+(** Render every supported key with its current value ([of_string]-parsable). *)

@@ -1,0 +1,74 @@
+open Aladin_discovery
+open Aladin_links
+module Serial = Aladin_metadata.Serial
+
+type t = {
+  links : (string, unit) Hashtbl.t;
+  fks : (string, unit) Hashtbl.t;
+}
+
+let create () = { links = Hashtbl.create 32; fks = Hashtbl.create 32 }
+
+let link_key l =
+  let l = Link.normalized l in
+  String.concat "\x00"
+    [ Objref.to_string l.src; Objref.to_string l.dst; Link.kind_name l.kind ]
+
+let fk_key ~source (fk : Inclusion.fk) =
+  String.lowercase_ascii
+    (String.concat "\x00"
+       [ source; fk.src_relation; fk.src_attribute; fk.dst_relation;
+         fk.dst_attribute ])
+
+let reject_link t l = Hashtbl.replace t.links (link_key l) ()
+
+let is_link_rejected t l = Hashtbl.mem t.links (link_key l)
+
+let reject_fk t ~source fk = Hashtbl.replace t.fks (fk_key ~source fk) ()
+
+let is_fk_rejected t ~source fk = Hashtbl.mem t.fks (fk_key ~source fk)
+
+let rejected_link_count t = Hashtbl.length t.links
+
+let rejected_fk_count t = Hashtbl.length t.fks
+
+let filter_links t links =
+  List.filter (fun l -> not (is_link_rejected t l)) links
+
+let filter_fks t ~source fks =
+  List.filter (fun fk -> not (is_fk_rejected t ~source fk)) fks
+
+let save t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "aladin-feedback\t1\n";
+  Hashtbl.iter
+    (fun key () ->
+      Buffer.add_string buf
+        (Serial.record ("link" :: String.split_on_char '\x00' key));
+      Buffer.add_char buf '\n')
+    t.links;
+  Hashtbl.iter
+    (fun key () ->
+      Buffer.add_string buf
+        (Serial.record ("fk" :: String.split_on_char '\x00' key));
+      Buffer.add_char buf '\n')
+    t.fks;
+  Buffer.contents buf
+
+let load doc =
+  let t = create () in
+  let lines = String.split_on_char '\n' doc |> List.filter (( <> ) "") in
+  (match lines with
+  | first :: _ when Serial.fields first = [ "aladin-feedback"; "1" ] -> ()
+  | _ -> invalid_arg "Feedback.load: bad header");
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match Serial.fields line with
+        | "link" :: rest when List.length rest = 3 ->
+            Hashtbl.replace t.links (String.concat "\x00" rest) ()
+        | "fk" :: rest when List.length rest = 5 ->
+            Hashtbl.replace t.fks (String.concat "\x00" rest) ()
+        | _ -> invalid_arg (Printf.sprintf "Feedback.load: bad line %S" line))
+    lines;
+  t

@@ -1,0 +1,41 @@
+(** User feedback on discovered structure (§6.2).
+
+    "Users browsing the data or query results from ALADIN might indicate
+    that a link between two objects or even between two schema elements was
+    inserted incorrectly. Thus, especially false links between relations
+    can be removed quickly."
+
+    Feedback is a persistent set of rejections consulted by the pipeline:
+    rejected object links never reappear from re-discovery, and rejected
+    foreign keys are filtered out of inference when the source is
+    re-analyzed. *)
+
+open Aladin_discovery
+open Aladin_links
+
+type t
+
+val create : unit -> t
+
+val reject_link : t -> Link.t -> unit
+(** Reject by endpoints + kind (symmetric for symmetric kinds). *)
+
+val is_link_rejected : t -> Link.t -> bool
+
+val reject_fk : t -> source:string -> Inclusion.fk -> unit
+(** Reject an inferred relationship between two schema elements. *)
+
+val is_fk_rejected : t -> source:string -> Inclusion.fk -> bool
+
+val rejected_link_count : t -> int
+
+val rejected_fk_count : t -> int
+
+val filter_links : t -> Link.t list -> Link.t list
+
+val filter_fks : t -> source:string -> Inclusion.fk list -> Inclusion.fk list
+
+val save : t -> string
+
+val load : string -> t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,30 @@
+(** The interactive front-end: a small command language over a warehouse
+    (the "generic front-end" of §1 in terminal form). Pure interpreter —
+    the CLI wraps it in a read-eval-print loop.
+
+    Commands:
+    {v
+    help                         this list
+    sources                      integrated sources + discovered primaries
+    view <accession>             an object's page (resolves across sources)
+    view <source> <accession>    disambiguated
+    follow <n>                   follow link n of the last viewed object
+    search <terms...>            ranked full-text search
+    sql <query>                  SQL over the warehouse
+    links <accession>            links of an object
+    dups                         duplicate clusters
+    reject <n>                   reject link n of the last viewed object
+    save <dir>                   persist the warehouse
+    quit                         leave
+    v} *)
+
+type t
+
+val create : Warehouse.t -> t
+
+val execute : t -> string -> [ `Output of string | `Quit ]
+(** Run one command line; never raises (errors become [`Output]). State
+    (the last viewed object) persists across calls. *)
+
+val repl : t -> in_channel -> out_channel -> unit
+(** Prompted loop until [quit] or EOF. *)

@@ -1,0 +1,358 @@
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+open Aladin_metadata
+open Aladin_access
+module Dup = Aladin_dup
+
+type step =
+  | Import_step
+  | Primary_discovery
+  | Secondary_discovery
+  | Link_discovery
+  | Duplicate_detection
+
+let step_name = function
+  | Import_step -> "import"
+  | Primary_discovery -> "primary discovery"
+  | Secondary_discovery -> "secondary discovery"
+  | Link_discovery -> "link discovery"
+  | Duplicate_detection -> "duplicate detection"
+
+type timing = { step : step; seconds : float }
+
+type t = {
+  cfg : Config.t;
+  mutable catalog_list : Catalog.t list;
+  mutable profile_list : Profile_list.t;
+  repo : Repository.t;
+  mutable last_report : Linker.report option;
+  mutable last_dups : Dup.Dup_detect.result option;
+  mutable cached_browser : Browser.t option;
+  mutable cached_search : Search.t option;
+  mutable cached_paths : Path_rank.t option;
+  mutable cached_link_query : Link_query.t option;
+  pending_changes : (string, int) Hashtbl.t;
+  feedback : Feedback.t;
+  mutable seq_state : Seq_links.state option;
+}
+
+let create ?(config = Config.default) () =
+  {
+    cfg = config;
+    catalog_list = [];
+    profile_list = Profile_list.empty;
+    repo = Repository.create ();
+    last_report = None;
+    last_dups = None;
+    cached_browser = None;
+    cached_search = None;
+    cached_paths = None;
+    cached_link_query = None;
+    pending_changes = Hashtbl.create 8;
+    feedback = Feedback.create ();
+    seq_state = None;
+  }
+
+let config t = t.cfg
+
+let invalidate t =
+  t.cached_browser <- None;
+  t.cached_search <- None;
+  t.cached_paths <- None;
+  t.cached_link_query <- None
+
+let timed f =
+  let start = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. start)
+
+(* incremental homology: align only the new source's sequences against the
+   persistent index; a replaced source forces a rebuild *)
+let seq_links_incremental t ~new_source =
+  let ensure_fresh_state () =
+    match t.seq_state with
+    | Some st when not (List.mem new_source (Seq_links.state_sources st)) -> st
+    | Some _ | None ->
+        (* (re)build the index over every source except the new one *)
+        let st = Seq_links.state_create ~params:t.cfg.linker.seq () in
+        List.iter
+          (fun (e : Profile_list.entry) ->
+            let s = Source_profile.source e.sp in
+            if s <> new_source then
+              ignore (Seq_links.state_add_source st t.profile_list ~source:s))
+          (Profile_list.entries t.profile_list);
+        t.seq_state <- Some st;
+        st
+  in
+  let st = ensure_fresh_state () in
+  ignore (Seq_links.state_add_source st t.profile_list ~source:new_source);
+  Seq_links.state_links st
+
+(* steps 4+5 are global: re-run link and duplicate discovery over every
+   analyzed source; statistics inside each Source_profile are reused *)
+let relink ?new_source t =
+  let incremental =
+    t.cfg.incremental_seq && t.cfg.linker.enable_seq && new_source <> None
+  in
+  let report, link_secs =
+    timed (fun () ->
+        if incremental then begin
+          let params = { t.cfg.linker with enable_seq = false } in
+          let report = Linker.discover ~params t.profile_list in
+          let seq_links =
+            match new_source with
+            | Some s -> seq_links_incremental t ~new_source:s
+            | None -> []
+          in
+          { report with
+            links = Link.dedup (seq_links @ report.links);
+            seq_result = None }
+        end
+        else begin
+          t.seq_state <- None;
+          Linker.discover ~params:t.cfg.linker t.profile_list
+        end)
+  in
+  t.last_report <- Some report;
+  (* step 5 knows the step-4 cross-reference attributes and keeps them out
+     of the duplicate evidence *)
+  let exclude_attributes =
+    match report.xref_result with
+    | Some r ->
+        List.map
+          (fun (c : Xref_disc.correspondence) ->
+            (c.src_source, c.src_relation, c.src_attribute))
+          r.correspondences
+    | None -> []
+  in
+  let dups, dup_secs =
+    timed (fun () ->
+        Dup.Dup_detect.detect ~params:t.cfg.dup ~exclude_attributes t.profile_list)
+  in
+  t.last_dups <- Some dups;
+  Repository.set_links t.repo
+    (Feedback.filter_links t.feedback (Link.dedup (report.links @ dups.links)));
+  (match report.xref_result with
+  | Some r -> Repository.set_correspondences t.repo r.correspondences
+  | None -> ());
+  (link_secs, dup_secs)
+
+let add_source t catalog =
+  let name = Catalog.name catalog in
+  t.catalog_list <-
+    List.filter (fun c -> Catalog.name c <> name) t.catalog_list @ [ catalog ];
+  (* step 2: profile + accession + FK inference + primary choice *)
+  let sp2, secs2 =
+    timed (fun () ->
+        let profile = Profile.compute catalog in
+        let cands = Accession.candidates ~params:t.cfg.accession profile in
+        let fks =
+          Feedback.filter_fks t.feedback ~source:name
+            (Inclusion.infer ~params:t.cfg.inclusion profile)
+        in
+        let graph =
+          Fk_graph.build ~relations:(Catalog.relation_names catalog) fks
+        in
+        let primary = Primary.choose graph cands in
+        (profile, cands, fks, graph, primary))
+  in
+  let profile, cands, fks, graph, primary = sp2 in
+  (* step 3: secondary structure *)
+  let secondary, secs3 =
+    timed (fun () ->
+        Option.map
+          (fun (p : Primary.scored) ->
+            Secondary.discover ~max_len:t.cfg.max_path_len graph
+              ~primary:p.relation)
+          primary)
+  in
+  let sp =
+    { Source_profile.profile; accession_candidates = cands; fks; graph;
+      primary; secondary }
+  in
+  t.profile_list <- Profile_list.add t.profile_list sp;
+  Repository.add_source t.repo sp;
+  (* steps 4 + 5 *)
+  let link_secs, dup_secs = relink ~new_source:name t in
+  Hashtbl.remove t.pending_changes name;
+  invalidate t;
+  [
+    { step = Import_step; seconds = 0.0 };
+    { step = Primary_discovery; seconds = secs2 };
+    { step = Secondary_discovery; seconds = secs3 };
+    { step = Link_discovery; seconds = link_secs };
+    { step = Duplicate_detection; seconds = dup_secs };
+  ]
+
+let integrate ?config catalogs =
+  let t = create ?config () in
+  List.iter (fun c -> ignore (add_source t c)) catalogs;
+  t
+
+let sources t = List.map Catalog.name t.catalog_list
+
+let catalogs t = t.catalog_list
+
+let catalog t name = List.find_opt (fun c -> Catalog.name c = name) t.catalog_list
+
+let profiles t = t.profile_list
+
+let profile t name =
+  Option.map
+    (fun (e : Profile_list.entry) -> e.sp)
+    (Profile_list.find t.profile_list name)
+
+let links t = Repository.links t.repo
+
+let link_report t = t.last_report
+
+let duplicates t = t.last_dups
+
+let repository t = t.repo
+
+let browser t =
+  match t.cached_browser with
+  | Some b -> b
+  | None ->
+      let b = Browser.create t.profile_list t.repo in
+      t.cached_browser <- Some b;
+      b
+
+let search t =
+  match t.cached_search with
+  | Some s -> s
+  | None ->
+      let s = Search.build t.profile_list in
+      t.cached_search <- Some s;
+      s
+
+let path_index t =
+  match t.cached_paths with
+  | Some p -> p
+  | None ->
+      let p = Path_rank.build (links t) in
+      t.cached_paths <- Some p;
+      p
+
+let resolve_table t name =
+  match String.index_opt name '.' with
+  | Some i ->
+      let source = String.sub name 0 i in
+      let rel = String.sub name (i + 1) (String.length name - i - 1) in
+      Option.bind (catalog t source) (fun c -> Catalog.find c rel)
+  | None -> (
+      let hits =
+        List.filter_map (fun c -> Catalog.find c name) t.catalog_list
+      in
+      match hits with [ r ] -> Some r | [] | _ :: _ :: _ -> None)
+
+let sql t query = Sql_eval.run ~resolve:(resolve_table t) query
+
+let notify_change t ~source ~changed_rows =
+  let prior = try Hashtbl.find t.pending_changes source with Not_found -> 0 in
+  let total = prior + changed_rows in
+  Hashtbl.replace t.pending_changes source total;
+  let rows =
+    match catalog t source with Some c -> Catalog.total_rows c | None -> 0
+  in
+  if rows = 0 then `Reanalyze
+  else if float_of_int total /. float_of_int rows >= t.cfg.change_threshold then
+    `Reanalyze
+  else `Defer
+
+let update_source t new_catalog ~changed_rows =
+  let source = Catalog.name new_catalog in
+  match notify_change t ~source ~changed_rows with
+  | `Defer -> `Deferred
+  | `Reanalyze ->
+      Hashtbl.remove t.pending_changes source;
+      `Reanalyzed (add_source t new_catalog)
+
+let link_query t =
+  match t.cached_link_query with
+  | Some q -> q
+  | None ->
+      let q = Link_query.create (links t) in
+      t.cached_link_query <- Some q;
+      q
+
+let feedback t = t.feedback
+
+let reject_link t l =
+  Feedback.reject_link t.feedback l;
+  Repository.set_links t.repo (Feedback.filter_links t.feedback (links t));
+  invalidate t
+
+let reject_fk t ~source fk =
+  Feedback.reject_fk t.feedback ~source fk;
+  match catalog t source with
+  | Some cat -> ignore (add_source t cat)
+  | None -> ()
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  doc
+
+let save_dir t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun cat ->
+      Aladin_formats.Dump.save_dir cat (Filename.concat dir (Catalog.name cat)))
+    t.catalog_list;
+  write_file (Filename.concat dir "sources.txt")
+    (String.concat "\n" (sources t) ^ "\n");
+  write_file (Filename.concat dir "metadata.txt") (Repository.save t.repo);
+  write_file (Filename.concat dir "feedback.txt") (Feedback.save t.feedback)
+
+let load_dir ?config ?(reanalyze = false) dir =
+  let source_names =
+    read_file (Filename.concat dir "sources.txt")
+    |> String.split_on_char '\n'
+    |> List.filter (( <> ) "")
+  in
+  let catalogs =
+    List.map
+      (fun name -> Aladin_formats.Dump.load_dir ~name (Filename.concat dir name))
+      source_names
+  in
+  if reanalyze then begin
+    let t = integrate ?config catalogs in
+    let fb_path = Filename.concat dir "feedback.txt" in
+    if Sys.file_exists fb_path then begin
+      let saved = Feedback.load (read_file fb_path) in
+      (* replay persisted rejections into the fresh warehouse *)
+      Repository.set_links t.repo (Feedback.filter_links saved (links t));
+      ignore saved
+    end;
+    t
+  end
+  else begin
+    let t = create ?config () in
+    t.catalog_list <- catalogs;
+    (* profiles are needed for browsing/search; links come from the saved
+       repository, so steps 4-5 are skipped *)
+    List.iter
+      (fun catalog ->
+        let sp = Source_profile.analyze ~inclusion_params:t.cfg.inclusion catalog in
+        t.profile_list <- Profile_list.add t.profile_list sp)
+      catalogs;
+    let meta = Repository.load (read_file (Filename.concat dir "metadata.txt")) in
+    Repository.set_links t.repo (Repository.links meta);
+    Repository.set_correspondences t.repo (Repository.correspondences meta);
+    List.iter
+      (fun catalog ->
+        match Profile_list.find t.profile_list (Catalog.name catalog) with
+        | Some e -> Repository.add_source t.repo e.sp
+        | None -> ())
+      catalogs;
+    t
+  end

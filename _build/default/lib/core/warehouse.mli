@@ -1,0 +1,106 @@
+(** The ALADIN warehouse: the paper's five-step integration pipeline
+    (Figure 2) plus the access engine on top (Figure 1).
+
+    Sources are added incrementally; per-source statistics are computed
+    once and reused, links and duplicates are recomputed against the
+    existing warehouse on every addition. *)
+
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+open Aladin_metadata
+open Aladin_access
+
+type step =
+  | Import_step
+  | Primary_discovery
+  | Secondary_discovery
+  | Link_discovery
+  | Duplicate_detection
+
+val step_name : step -> string
+
+type timing = { step : step; seconds : float }
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
+
+val add_source : t -> Catalog.t -> timing list
+(** Steps 2-5 for the new source (step 1, import, happened when the caller
+    produced the catalog — its timing is reported as 0 here). Replaces any
+    source with the same name. *)
+
+val integrate : ?config:Config.t -> Catalog.t list -> t
+(** Fresh warehouse with all sources added. *)
+
+val sources : t -> string list
+
+val catalogs : t -> Catalog.t list
+
+val catalog : t -> string -> Catalog.t option
+
+val profiles : t -> Profile_list.t
+
+val profile : t -> string -> Source_profile.t option
+
+val links : t -> Link.t list
+
+val link_report : t -> Linker.report option
+(** The latest link-discovery report ([None] before any source). *)
+
+val duplicates : t -> Aladin_dup.Dup_detect.result option
+
+val repository : t -> Repository.t
+
+val browser : t -> Browser.t
+(** Cached; rebuilt after warehouse changes. *)
+
+val search : t -> Search.t
+
+val path_index : t -> Path_rank.t
+
+val resolve_table : t -> string -> Relation.t option
+(** ["source.relation"], or a bare relation name when unique warehouse-wide. *)
+
+val sql : t -> string -> Relation.t
+(** Parse + evaluate against {!resolve_table}.
+    @raise Aladin_access.Sql_parser.Parse_error
+    @raise Aladin_access.Sql_eval.Eval_error *)
+
+val notify_change : t -> source:string -> changed_rows:int -> [ `Reanalyze | `Defer ]
+(** §6.2 change policy: compare the (accumulated) changed-row fraction with
+    [config.change_threshold]. Deferred changes accumulate until the
+    threshold trips. *)
+
+val update_source : t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of timing list | `Deferred ]
+(** Apply {!notify_change}; on [`Reanalyze] the source is replaced and
+    re-integrated and the pending counter resets. *)
+
+val link_query : t -> Link_query.t
+(** Cross-database path queries over the link graph (cached). *)
+
+val feedback : t -> Feedback.t
+
+val reject_link : t -> Link.t -> unit
+(** §6.2 user feedback: the link disappears immediately and stays gone
+    through future re-discovery. *)
+
+val reject_fk : t -> source:string -> Aladin_discovery.Inclusion.fk -> unit
+(** Reject a guessed schema-level relationship; the source is re-analyzed
+    without it ("especially false links between relations can be removed
+    quickly"). *)
+
+val save_dir : t -> string -> unit
+(** Materialize the warehouse: each source as a CSV dump directory (with
+    its declared constraints), plus [metadata.txt] (the repository) and
+    [feedback.txt]. Creates the directory. *)
+
+val load_dir : ?config:Config.t -> ?reanalyze:bool -> string -> t
+(** Restore a saved warehouse. With [reanalyze] (default false) the five
+    steps re-run from the raw data; otherwise profiles are recomputed (they
+    are needed for browsing) but the saved links, correspondences and
+    feedback are trusted, so no link/duplicate discovery happens.
+    @raise Invalid_argument / @raise Sys_error on malformed input. *)

@@ -1,0 +1,1 @@
+lib/datagen/biosql_gen.ml: Buffer Gold Int List Names Printf Rng String Universe

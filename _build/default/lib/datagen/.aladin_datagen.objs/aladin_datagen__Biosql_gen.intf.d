@@ -1,0 +1,1 @@
+lib/datagen/biosql_gen.mli: Gold Source_gen Universe

@@ -1,0 +1,1 @@
+lib/datagen/corpus.ml: Aladin_formats Aladin_relational Array Biosql_gen Catalog Float Gold List Printf Source_gen Universe Xml_gen

@@ -1,0 +1,1 @@
+lib/datagen/corrupt.ml: Bytes Char Rng String

@@ -1,0 +1,1 @@
+lib/datagen/corrupt.mli: Rng

@@ -1,0 +1,1 @@
+lib/datagen/gold.ml: Hashtbl List String Universe

@@ -1,0 +1,1 @@
+lib/datagen/names.ml: List Printf Rng String

@@ -1,0 +1,1 @@
+lib/datagen/seq_gen.ml: Aladin_seq Buffer List Rng String

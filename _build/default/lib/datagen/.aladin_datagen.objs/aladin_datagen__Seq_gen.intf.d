@@ -1,0 +1,1 @@
+lib/datagen/seq_gen.mli: Aladin_seq Rng

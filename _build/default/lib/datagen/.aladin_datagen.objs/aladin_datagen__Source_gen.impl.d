@@ -1,0 +1,1 @@
+lib/datagen/source_gen.ml: Aladin_relational Array Catalog Constraint_def Corrupt Gold Hashtbl Int List Names Printf Relation Rng Schema Seq_gen String Universe Value

@@ -1,0 +1,1 @@
+lib/datagen/source_gen.mli: Aladin_relational Catalog Gold Universe

@@ -1,0 +1,1 @@
+lib/datagen/universe.ml: Aladin_seq Array Fun Hashtbl List Names Printf Rng Seq_gen String

@@ -1,0 +1,1 @@
+lib/datagen/xml_gen.ml: Aladin_formats Buffer Gold List Names Option Printf Rng Universe

@@ -1,0 +1,1 @@
+lib/datagen/xml_gen.mli: Gold Source_gen Universe

@@ -1,0 +1,105 @@
+let expected_fks =
+  [
+    { Gold.src_relation = "bioentry"; src_attribute = "taxon_id";
+      dst_relation = "taxon"; dst_attribute = "taxon_id" };
+    { Gold.src_relation = "biosequence"; src_attribute = "bioentry_id";
+      dst_relation = "bioentry"; dst_attribute = "bioentry_id" };
+    { Gold.src_relation = "dbxref"; src_attribute = "bioentry_id";
+      dst_relation = "bioentry"; dst_attribute = "bioentry_id" };
+    { Gold.src_relation = "bioentry_term"; src_attribute = "bioentry_id";
+      dst_relation = "bioentry"; dst_attribute = "bioentry_id" };
+    { Gold.src_relation = "bioentry_term"; src_attribute = "term_id";
+      dst_relation = "term"; dst_attribute = "term_id" };
+    { Gold.src_relation = "reference"; src_attribute = "bioentry_id";
+      dst_relation = "bioentry"; dst_attribute = "bioentry_id" };
+  ]
+
+let entry_name (e : Universe.entity) =
+  let org =
+    match String.split_on_char ' ' e.organism with
+    | genus :: rest ->
+        let species = match rest with s :: _ -> s | [] -> "sp" in
+        String.uppercase_ascii
+          (String.sub genus 0 (min 3 (String.length genus))
+          ^ String.sub species 0 (min 2 (String.length species)))
+    | [] -> "UNKSP"
+  in
+  String.uppercase_ascii e.name ^ "_" ^ org
+
+let wrap_seq s =
+  let rec chunks i acc =
+    if i >= String.length s then List.rev acc
+    else begin
+      let len = min 60 (String.length s - i) in
+      chunks (i + len) (String.sub s i len :: acc)
+    end
+  in
+  chunks 0 []
+
+let flat_file ?(seed = 99) universe ~assignment ~gold ~name ~xref_to =
+  let rng = Rng.create seed in
+  let own =
+    match List.assoc_opt name assignment with
+    | Some l -> l
+    | None -> invalid_arg (Printf.sprintf "Biosql_gen.flat_file: %s not assigned" name)
+  in
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (uid, acc) ->
+      let e = Universe.entity universe uid in
+      add "ID   %s\n" (entry_name e);
+      add "AC   %s;\n" acc;
+      add "DE   %s.\n" e.Universe.long_name;
+      add "OS   %s.\n" e.Universe.organism;
+      if e.Universe.keywords <> [] then
+        add "KW   %s.\n" (String.concat "; " e.Universe.keywords);
+      (* cross-references *)
+      List.iter
+        (fun target ->
+          match List.assoc_opt target assignment with
+          | None -> ()
+          | Some target_accs ->
+              let cands =
+                uid :: e.Universe.related
+                @ List.filter_map
+                    (fun (tuid, _) ->
+                      match Universe.entity universe tuid with
+                      | te when te.Universe.kind = Universe.Term
+                                && List.mem te.Universe.name e.Universe.keywords ->
+                          Some tuid
+                      | _ -> None
+                      | exception Not_found -> None)
+                    target_accs
+                |> List.sort_uniq Int.compare
+              in
+              List.iter
+                (fun cand ->
+                  match List.assoc_opt cand target_accs with
+                  | Some tacc when Rng.chance rng 0.85 ->
+                      add "DR   %s; %s.\n" (String.uppercase_ascii target) tacc;
+                      Gold.add_xref gold
+                        ~src:(Gold.obj_key ~source:name ~accession:acc)
+                        ~dst:(Gold.obj_key ~source:target ~accession:tacc)
+                  | Some _ | None -> ())
+                cands)
+        xref_to;
+      add "RX   MEDLINE; %s; %s.\n" (Rng.digits rng 8)
+        (Names.description rng e.Universe.name
+        |> String.split_on_char '.' |> List.hd);
+      (match e.Universe.sequence with
+      | Some s ->
+          add "SQ   SEQUENCE %d AA\n" (String.length s);
+          List.iter (fun chunk -> add "..   %s\n" chunk) (wrap_seq s)
+      | None -> ());
+      add "//\n")
+    own;
+  Gold.add_source gold
+    {
+      Gold.source = name;
+      primary_relation = "bioentry";
+      accession_attribute = "accession";
+      fks = expected_fks;
+      objects = List.map (fun (uid, acc) -> (acc, uid)) own;
+    };
+  Buffer.contents buf

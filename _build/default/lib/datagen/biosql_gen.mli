@@ -1,0 +1,20 @@
+(** Generate a Swiss-Prot-style flat file whose parse (via
+    {!Aladin_formats.Swissprot}) yields exactly the BioSQL shape of the
+    paper's Figure 3 — bioentry, taxon, biosequence, dbxref, term,
+    bioentry_term, reference. Used by the E3 case-study experiment and as
+    the flat-file member of generated corpora. *)
+
+val expected_fks : Gold.expected_fk list
+(** The true FK structure of the parsed BioSQL schema. *)
+
+val flat_file :
+  ?seed:int ->
+  Universe.t ->
+  assignment:Source_gen.assignment ->
+  gold:Gold.t ->
+  name:string ->
+  xref_to:string list ->
+  string
+(** Render the flat file for the source [name] (whose accessions must be in
+    the assignment); records this source's gold (primary = bioentry) and
+    the xrefs written as DR lines. *)

@@ -1,0 +1,17 @@
+(** Controlled value corruption — duplicate-detection stress (E8) and the
+    "differences due to different cleansing procedures" of §5. *)
+
+val typo : Rng.t -> string -> string
+(** One random edit: swap, replace, delete or insert a character.
+    Strings shorter than 2 are returned unchanged. *)
+
+val value : Rng.t -> rate:float -> string -> string
+(** Apply {!typo} repeatedly: each pass happens with probability [rate]
+    (max 3 passes). *)
+
+val maybe_drop : Rng.t -> rate:float -> string -> string
+(** Return "" (a null) with probability [rate]. *)
+
+val recase : Rng.t -> string -> string
+(** Random case change (whole-string upper/lower), a common inter-source
+    difference. *)

@@ -1,0 +1,87 @@
+let species =
+  [|
+    "Homo sapiens"; "Mus musculus"; "Rattus norvegicus"; "Danio rerio";
+    "Drosophila melanogaster"; "Caenorhabditis elegans"; "Saccharomyces cerevisiae";
+    "Escherichia coli"; "Arabidopsis thaliana"; "Gallus gallus";
+    "Xenopus laevis"; "Bos taurus"; "Sus scrofa"; "Canis familiaris";
+    "Schizosaccharomyces pombe"; "Plasmodium falciparum";
+  |]
+
+let protein_stems =
+  [|
+    "kinase"; "phosphatase"; "dehydrogenase"; "reductase"; "transferase";
+    "hydrolase"; "isomerase"; "ligase"; "synthase"; "polymerase";
+    "helicase"; "protease"; "oxidase"; "carboxylase"; "transporter";
+    "receptor"; "channel"; "chaperone"; "ribonuclease"; "topoisomerase";
+  |]
+
+let adjectives =
+  [|
+    "serine"; "threonine"; "tyrosine"; "mitochondrial"; "cytoplasmic";
+    "nuclear"; "membrane"; "ribosomal"; "zinc"; "calcium"; "heat-shock";
+    "ATP-dependent"; "NADH"; "glutamate"; "histone"; "ubiquitin";
+    "vacuolar"; "lysosomal"; "peroxisomal"; "secreted";
+  |]
+
+let keywords =
+  [|
+    "ATP binding"; "DNA repair"; "signal transduction"; "apoptosis";
+    "cell cycle"; "transcription regulation"; "protein folding";
+    "ion transport"; "metabolic process"; "immune response";
+    "oxidative stress"; "lipid metabolism"; "RNA splicing"; "translation";
+    "proteolysis"; "glycolysis"; "phosphorylation"; "methylation";
+    "ubiquitination"; "chromatin remodeling"; "membrane fusion";
+    "vesicle transport"; "cell adhesion"; "angiogenesis";
+  |]
+
+let diseases =
+  [|
+    "cystic fibrosis"; "muscular dystrophy"; "retinitis pigmentosa";
+    "hereditary anemia"; "familial hypercholesterolemia"; "phenylketonuria";
+    "polycystic kidney disease"; "amyotrophic lateral sclerosis";
+    "spinal muscular atrophy"; "hemophilia"; "thalassemia"; "galactosemia";
+  |]
+
+let filler =
+  [|
+    "involved in"; "required for"; "essential component of"; "catalyzes";
+    "mediates"; "regulates"; "interacts with"; "localizes to";
+    "participates in"; "implicated in";
+  |]
+
+let gene_symbol rng =
+  let len = Rng.range rng 3 5 in
+  Rng.letters rng len ^ string_of_int (Rng.range rng 1 19)
+
+let protein_name rng =
+  let adj = Rng.choice_arr rng adjectives in
+  let stem = Rng.choice_arr rng protein_stems in
+  let num = Rng.range rng 1 12 in
+  Printf.sprintf "%s%s %s %d"
+    (if Rng.chance rng 0.2 then "Putative " else "")
+    (String.capitalize_ascii adj) stem num
+
+let sentence rng subject =
+  Printf.sprintf "%s %s %s in %s." subject
+    (Rng.choice_arr rng filler)
+    (String.lowercase_ascii (Rng.choice_arr rng keywords))
+    (Rng.choice_arr rng species)
+
+let description rng ?mention subject =
+  let n = Rng.range rng 1 3 in
+  let sentences = List.init n (fun _ -> sentence rng subject) in
+  let sentences =
+    match mention with
+    | Some name ->
+        sentences
+        @ [ Printf.sprintf "This protein %s %s."
+              (Rng.choice_arr rng filler) name ]
+    | None -> sentences
+  in
+  String.concat " " sentences
+
+let go_definition rng kw =
+  Printf.sprintf "Any process by which %s is achieved, %s %s."
+    (String.lowercase_ascii kw)
+    (Rng.choice_arr rng filler)
+    (String.lowercase_ascii (Rng.choice_arr rng keywords))

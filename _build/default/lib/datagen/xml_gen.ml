@@ -1,0 +1,66 @@
+let expected_fks =
+  [
+    { Gold.src_relation = "interaction"; src_attribute = "parent_id";
+      dst_relation = "interactions"; dst_attribute = "interactions_id" };
+    { Gold.src_relation = "partner"; src_attribute = "parent_id";
+      dst_relation = "interaction"; dst_attribute = "interaction_id" };
+    { Gold.src_relation = "note"; src_attribute = "parent_id";
+      dst_relation = "interaction"; dst_attribute = "interaction_id" };
+  ]
+
+let escape = Aladin_formats.Xml.escape
+
+let document ?(seed = 311) universe ~assignment ~gold ~name ~partner_sources =
+  let rng = Rng.create seed in
+  let own =
+    match List.assoc_opt name assignment with
+    | Some l -> l
+    | None -> invalid_arg (Printf.sprintf "Xml_gen.document: %s not assigned" name)
+  in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<?xml version=\"1.0\"?>\n<interactions>\n";
+  List.iter
+    (fun (uid, acc) ->
+      let e = Universe.entity universe uid in
+      let detection_method = Rng.choice rng [ "y2h"; "coip"; "tap"; "xlink" ] in
+      add "  <interaction acc=\"%s\" itype=\"%s\" desc=\"%s\">\n" (escape acc)
+        detection_method
+        (escape e.Universe.description);
+      List.iteri
+        (fun i partner_uid ->
+          (* reference the partner in the first source that stores it *)
+          let resolved =
+            List.find_map
+              (fun src ->
+                match List.assoc_opt src assignment with
+                | None -> None
+                | Some accs ->
+                    Option.map (fun pacc -> (src, pacc))
+                      (List.assoc_opt partner_uid accs))
+              partner_sources
+          in
+          match resolved with
+          | Some (src, pacc) ->
+              add "    <partner ref=\"%s\" role=\"%s\"/>\n" (escape pacc)
+                (if i = 0 then "bait" else "prey");
+              Gold.add_xref gold
+                ~src:(Gold.obj_key ~source:name ~accession:acc)
+                ~dst:(Gold.obj_key ~source:src ~accession:pacc)
+          | None -> ())
+        e.Universe.related;
+      if Rng.chance rng 0.7 then
+        add "    <note>%s</note>\n"
+          (escape (Names.description rng e.Universe.name));
+      add "  </interaction>\n")
+    own;
+  add "</interactions>\n";
+  Gold.add_source gold
+    {
+      Gold.source = name;
+      primary_relation = "interaction";
+      accession_attribute = "acc";
+      fks = expected_fks;
+      objects = List.map (fun (uid, acc) -> (acc, uid)) own;
+    };
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/discovery/accession.ml: Aladin_relational Col_stats Hashtbl List Profile

@@ -1,0 +1,1 @@
+lib/discovery/accession.mli: Aladin_relational Profile

@@ -1,0 +1,1 @@
+lib/discovery/fk_graph.ml: Hashtbl Inclusion Int List String

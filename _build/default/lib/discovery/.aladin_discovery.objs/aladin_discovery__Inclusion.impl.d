@@ -1,0 +1,1 @@
+lib/discovery/inclusion.ml: Aladin_relational Aladin_text Catalog Col_stats Constraint_def Float Format List Profile String Vset

@@ -1,0 +1,1 @@
+lib/discovery/inclusion.mli: Format Profile

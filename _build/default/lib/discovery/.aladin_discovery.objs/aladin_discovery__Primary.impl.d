@@ -1,0 +1,1 @@
+lib/discovery/primary.ml: Accession Fk_graph Float List String

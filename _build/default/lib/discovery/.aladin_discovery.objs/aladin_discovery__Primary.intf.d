@@ -1,0 +1,1 @@
+lib/discovery/primary.mli: Accession Fk_graph

@@ -1,0 +1,1 @@
+lib/discovery/profile.ml: Aladin_relational Catalog Col_stats Hashtbl List Relation String Vset

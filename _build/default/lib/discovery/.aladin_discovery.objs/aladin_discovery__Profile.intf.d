@@ -1,0 +1,1 @@
+lib/discovery/profile.mli: Aladin_relational Catalog Col_stats Vset

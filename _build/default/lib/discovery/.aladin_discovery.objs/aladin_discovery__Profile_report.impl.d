@@ -1,0 +1,1 @@
+lib/discovery/profile_report.ml: Accession Aladin_relational Aladin_seq Array Buffer Catalog Inclusion List Printf Profile Relation Schema Secondary Source_profile String Value

@@ -1,0 +1,1 @@
+lib/discovery/profile_report.mli: Source_profile

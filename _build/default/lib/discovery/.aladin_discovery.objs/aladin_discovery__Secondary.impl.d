@@ -1,0 +1,1 @@
+lib/discovery/secondary.ml: Fk_graph Format Inclusion Int List String

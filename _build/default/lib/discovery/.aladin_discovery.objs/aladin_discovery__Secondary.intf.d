@@ -1,0 +1,1 @@
+lib/discovery/secondary.mli: Fk_graph Format

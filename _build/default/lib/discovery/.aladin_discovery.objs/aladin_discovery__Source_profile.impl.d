@@ -1,0 +1,1 @@
+lib/discovery/source_profile.ml: Accession Aladin_relational Catalog Fk_graph Format Inclusion List Option Primary Printf Profile Relation Schema Secondary String

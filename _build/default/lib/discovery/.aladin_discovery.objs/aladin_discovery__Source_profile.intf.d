@@ -1,0 +1,1 @@
+lib/discovery/source_profile.mli: Accession Aladin_relational Catalog Fk_graph Format Inclusion Primary Profile Secondary

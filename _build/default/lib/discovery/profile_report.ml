@@ -1,0 +1,109 @@
+open Aladin_relational
+
+type content_class =
+  | Surrogate_key
+  | Accession_like
+  | Foreign_key_like
+  | Sequence
+  | Long_text
+  | Categorical
+  | Other
+
+let class_name = function
+  | Surrogate_key -> "surrogate-key"
+  | Accession_like -> "accession"
+  | Foreign_key_like -> "foreign-key"
+  | Sequence -> "sequence"
+  | Long_text -> "text"
+  | Categorical -> "categorical"
+  | Other -> "other"
+
+let norm = String.lowercase_ascii
+
+let column_sample profile ~relation ~attribute n =
+  let catalog = Profile.catalog profile in
+  let rel = Catalog.find_exn catalog relation in
+  let ai = Schema.index_of_exn (Relation.schema rel) attribute in
+  let out = ref [] and count = ref 0 in
+  (try
+     Relation.iter_rows
+       (fun row ->
+         if !count >= n then raise Exit;
+         let v = row.(ai) in
+         if not (Value.is_null v) then begin
+           out := Value.to_string v :: !out;
+           incr count
+         end)
+       rel
+   with Exit -> ());
+  !out
+
+let classify (sp : Source_profile.t) ~relation ~attribute =
+  let cs = Profile.stats sp.profile ~relation ~attribute in
+  let is_fk_source =
+    List.exists
+      (fun (fk : Inclusion.fk) ->
+        norm fk.src_relation = norm relation && norm fk.src_attribute = norm attribute)
+      sp.fks
+  in
+  let is_accession =
+    List.exists
+      (fun (c : Accession.candidate) ->
+        norm c.relation = norm relation && norm c.attribute = norm attribute)
+      sp.accession_candidates
+  in
+  (* sequence outranks accession candidacy: a long fixed-alphabet column
+     can pass the per-relation accession rules yet clearly hold sequences *)
+  if is_fk_source then Foreign_key_like
+  else if
+    cs.avg_len >= 20.0
+    && Aladin_seq.Alphabet.classify_column
+         (column_sample sp.profile ~relation ~attribute 50)
+       <> None
+  then Sequence
+  else if is_accession then Accession_like
+  else if cs.numeric_frac >= 0.99 && cs.all_unique then Surrogate_key
+  else if cs.avg_len >= 30.0 && cs.alpha_frac >= 0.9 then Long_text
+  else if cs.distinct > 0 && cs.distinct <= max 2 (cs.rows / 8) then Categorical
+  else Other
+
+let render (sp : Source_profile.t) =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let catalog = Profile.catalog sp.profile in
+  add "data profile of source %s\n" (Catalog.name catalog);
+  List.iter
+    (fun rel ->
+      let relation = Relation.name rel in
+      add "\n%s (%d rows)\n" relation (Relation.cardinality rel);
+      add "  %-22s %7s %8s %6s %11s  %s\n" "attribute" "rows" "distinct"
+        "null%" "len" "class";
+      List.iter
+        (fun attribute ->
+          let cs = Profile.stats sp.profile ~relation ~attribute in
+          let null_pct =
+            if cs.rows = 0 then 0.0
+            else 100.0 *. float_of_int cs.nulls /. float_of_int cs.rows
+          in
+          add "  %-22s %7d %8d %5.1f%% %4d..%-4d  %s\n" attribute cs.rows
+            cs.distinct null_pct cs.min_len cs.max_len
+            (class_name (classify sp ~relation ~attribute)))
+        (Schema.names (Relation.schema rel)))
+    (Catalog.relations catalog);
+  (match Source_profile.primary_accession sp with
+  | Some (rel, attr) -> add "\nprimary relation: %s (accession %s)\n" rel attr
+  | None -> add "\nprimary relation: NOT FOUND\n");
+  (match sp.secondary with
+  | Some sec ->
+      List.iter
+        (fun (e : Secondary.entry) ->
+          add "  %-22s depth %d, %d path(s), %s\n" e.relation e.depth
+            (List.length e.paths)
+            (match e.kind with
+            | `Annotation -> "annotation"
+            | `Bridge -> "bridge"
+            | `Dictionary -> "dictionary"))
+        sec.entries;
+      List.iter (fun o -> add "  %-22s UNREACHABLE\n" o) sec.orphans
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/dupdetect/conflict.ml: Aladin_links Field_sim Format Hashtbl Link List Object_sim Objref

@@ -1,0 +1,1 @@
+lib/dupdetect/conflict.mli: Aladin_links Format Link Object_sim Objref

@@ -1,0 +1,1 @@
+lib/dupdetect/dup_detect.ml: Aladin_links Aladin_text Hashtbl Link List Object_sim Objref Printf String Union_find

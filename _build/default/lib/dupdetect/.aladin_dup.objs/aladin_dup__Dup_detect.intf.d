@@ -1,0 +1,1 @@
+lib/dupdetect/dup_detect.mli: Aladin_links Link Object_sim Profile_list

@@ -1,0 +1,1 @@
+lib/dupdetect/field_sim.ml: Aladin_text Char Hashtbl List String

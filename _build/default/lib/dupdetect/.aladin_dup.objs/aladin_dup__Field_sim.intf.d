@@ -1,0 +1,1 @@
+lib/dupdetect/field_sim.mli:

@@ -1,0 +1,1 @@
+lib/dupdetect/object_sim.mli: Aladin_links Objref Profile_list

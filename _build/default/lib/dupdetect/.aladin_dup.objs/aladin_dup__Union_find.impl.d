@@ -1,0 +1,1 @@
+lib/dupdetect/union_find.ml: Hashtbl List String

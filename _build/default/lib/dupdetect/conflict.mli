@@ -1,0 +1,36 @@
+(** Data conflicts between flagged duplicates (§4.5).
+
+    "Different sources might contradict each other in the data they store
+    about an object. [...] Exploring such contradictions is of great
+    interest to biologists." A conflict is a matched field pair whose
+    values disagree beyond noise. *)
+
+open Aladin_links
+
+type t = {
+  obj_a : Objref.t;
+  obj_b : Objref.t;
+  attr_a : string;
+  attr_b : string;
+  value_a : string;
+  value_b : string;
+  similarity : float;  (** field-value similarity — low but fields matched *)
+}
+
+type params = {
+  min_name_affinity : float;
+      (** fields only conflict when the attribute names correspond
+          (default 0.3) *)
+  max_value_similarity : float;  (** values more similar than this agree
+                                     (default 0.8) *)
+}
+
+val default_params : params
+
+val between : ?params:params -> Object_sim.repr -> Object_sim.repr -> t list
+
+val in_duplicates :
+  ?params:params -> Object_sim.repr list -> Link.t list -> t list
+(** Conflicts inside every [Duplicate] link's pair. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+open Aladin_links
+module Tx = Aladin_text
+
+type params = {
+  min_similarity : float;
+  all_pairs : bool;
+  max_block_size : int;
+}
+
+let default_params = { min_similarity = 0.78; all_pairs = false; max_block_size = 50 }
+
+type result = {
+  links : Link.t list;
+  clusters : string list list;
+  candidates_checked : int;
+  reprs : Object_sim.repr list;
+}
+
+let looks_like_accession s =
+  let n = String.length s in
+  n >= 4 && n <= 15
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_' || c = ':')
+       s
+  && String.exists (fun c -> c >= '0' && c <= '9') s
+
+(* symbol-shaped token: mixed letters+digits, the shape of gene names and
+   accessions — rare enough to block on even inside long text *)
+let symbolish tok =
+  let n = String.length tok in
+  n >= 4 && n <= 12
+  && String.exists (fun c -> c >= '0' && c <= '9') tok
+  && String.exists (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) tok
+
+let blocking_keys (r : Object_sim.repr) =
+  let keys = ref [ "acc:" ^ String.lowercase_ascii r.obj.Objref.accession ] in
+  List.iter
+    (fun (_, v) ->
+      if looks_like_accession v then
+        keys := ("acc:" ^ String.lowercase_ascii v) :: !keys
+      else if String.length v < 25 then
+        List.iter
+          (fun tok ->
+            if String.length tok >= 4 && not (Tx.Tokenize.stopword tok) then
+              keys := ("tok:" ^ tok) :: !keys)
+          (Tx.Tokenize.words v)
+      else
+        (* long text: only symbol-shaped tokens (embedded entity names) *)
+        List.iter
+          (fun tok -> if symbolish tok then keys := ("tok:" ^ tok) :: !keys)
+          (Tx.Tokenize.words v))
+    r.fields;
+  List.sort_uniq String.compare !keys
+
+let candidate_pairs params reprs =
+  if params.all_pairs then begin
+    let rec pairs acc = function
+      | [] -> acc
+      | (a : Object_sim.repr) :: rest ->
+          let acc =
+            List.fold_left
+              (fun acc (b : Object_sim.repr) ->
+                if a.obj.Objref.source <> b.obj.Objref.source then (a, b) :: acc
+                else acc)
+              acc rest
+          in
+          pairs acc rest
+    in
+    List.rev (pairs [] reprs)
+  end
+  else begin
+    let blocks : (string, Object_sim.repr list ref) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt blocks key with
+            | Some l -> l := r :: !l
+            | None -> Hashtbl.add blocks key (ref [ r ]))
+          (blocking_keys r))
+      reprs;
+    let seen = Hashtbl.create 256 in
+    let out = ref [] in
+    Hashtbl.iter
+      (fun _ members ->
+        let ms = !members in
+        if List.length ms <= params.max_block_size then begin
+          let rec pairs = function
+            | [] -> ()
+            | (a : Object_sim.repr) :: rest ->
+                List.iter
+                  (fun (b : Object_sim.repr) ->
+                    if a.obj.Objref.source <> b.obj.Objref.source then begin
+                      let ka = Objref.to_string a.obj
+                      and kb = Objref.to_string b.obj in
+                      let key = if ka < kb then ka ^ "\x00" ^ kb else kb ^ "\x00" ^ ka in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.add seen key ();
+                        out := (a, b) :: !out
+                      end
+                    end)
+                  rest;
+                pairs rest
+          in
+          pairs ms
+        end)
+      blocks;
+    List.sort
+      (fun ((a1 : Object_sim.repr), (b1 : Object_sim.repr)) (a2, b2) ->
+        match Objref.compare a1.obj a2.Object_sim.obj with
+        | 0 -> Objref.compare b1.obj b2.Object_sim.obj
+        | c -> c)
+      !out
+  end
+
+let detect_on ?(params = default_params) reprs =
+  let pairs = candidate_pairs params reprs in
+  let context = Object_sim.context_of reprs in
+  let uf = Union_find.create () in
+  let links =
+    List.filter_map
+      (fun ((a : Object_sim.repr), (b : Object_sim.repr)) ->
+        let sim = Object_sim.similarity ~context a b in
+        if sim >= params.min_similarity then begin
+          Union_find.union uf (Objref.to_string a.obj) (Objref.to_string b.obj);
+          Some
+            (Link.make ~src:a.obj ~dst:b.obj ~kind:Link.Duplicate ~confidence:sim
+               ~evidence:(Printf.sprintf "object similarity %.2f" sim))
+        end
+        else None)
+      pairs
+  in
+  {
+    links = Link.dedup links;
+    clusters = Union_find.clusters uf;
+    candidates_checked = List.length pairs;
+    reprs;
+  }
+
+let detect ?params ?exclude_attributes profiles =
+  detect_on ?params (Object_sim.build_reprs ?exclude_attributes profiles)

@@ -1,0 +1,40 @@
+(** Duplicate detection across sources (§4.5, step 5 of Figure 2).
+
+    Duplicates are flagged, never merged: the output is a set of
+    [Duplicate] links plus clusters. Candidate pairs come from cheap
+    blocking (shared accession string, shared rare name token); candidates
+    are verified with {!Object_sim.similarity}. *)
+
+open Aladin_links
+
+type params = {
+  min_similarity : float;  (** verification threshold (default 0.78) *)
+  all_pairs : bool;
+      (** compare every cross-source pair instead of blocking — exact but
+          quadratic (default false) *)
+  max_block_size : int;  (** ignore blocks larger than this (default 50) *)
+}
+
+val default_params : params
+
+type result = {
+  links : Link.t list;  (** kind = [Duplicate] *)
+  clusters : string list list;  (** of {!Objref.to_string} keys *)
+  candidates_checked : int;
+  reprs : Object_sim.repr list;
+}
+
+val candidate_pairs :
+  params -> Object_sim.repr list -> (Object_sim.repr * Object_sim.repr) list
+(** Blocking output: unordered cross-source pairs, deduplicated. *)
+
+val detect :
+  ?params:params ->
+  ?exclude_attributes:(string * string * string) list ->
+  Profile_list.t ->
+  result
+(** [exclude_attributes] (see {!Object_sim.build_reprs}) should name the
+    cross-reference attributes discovered in step 4. *)
+
+val detect_on : ?params:params -> Object_sim.repr list -> result
+(** Same, over prebuilt representations (lets experiments reuse them). *)

@@ -1,0 +1,55 @@
+module Tx = Aladin_text
+
+type metric = Exact | Edit | Token | Sequence_metric
+
+let is_sequence s =
+  String.length s >= 30
+  && String.for_all
+       (fun c ->
+         let c = Char.uppercase_ascii c in
+         (c >= 'A' && c <= 'Z') || c = ' ' || c = '\n')
+       s
+  &&
+  (* low character diversity is the cheap tell of a sequence *)
+  let seen = Hashtbl.create 8 in
+  String.iter
+    (fun c ->
+      let c = Char.uppercase_ascii c in
+      if c <> ' ' && c <> '\n' then Hashtbl.replace seen c ())
+    s;
+  Hashtbl.length seen <= 21
+
+let is_sequence_value = is_sequence
+
+let choose_metric a b =
+  if a = b then Exact
+  else if is_sequence a && is_sequence b then Sequence_metric
+  else if String.length a >= 25 || String.length b >= 25 then Token
+  else Edit
+
+let similarity a b =
+  let a = String.trim a and b = String.trim b in
+  if a = "" && b = "" then 1.0
+  else if a = "" || b = "" then 0.0
+  else
+    let la = String.lowercase_ascii a and lb = String.lowercase_ascii b in
+    match choose_metric la lb with
+    | Exact -> 1.0
+    | Edit -> Tx.Strdist.jaro_winkler la lb
+    | Token -> Tx.Tokenize.jaccard la lb
+    | Sequence_metric -> Tx.Strdist.dice_bigrams la lb
+
+let name_affinity a b =
+  let tokens s =
+    String.split_on_char '_' (String.lowercase_ascii s)
+    |> List.concat_map (String.split_on_char '.')
+    |> List.filter (fun t -> t <> "" && t <> "id")
+  in
+  let ta = tokens a and tb = tokens b in
+  if ta = [] || tb = [] then 0.0
+  else begin
+    let inter = List.filter (fun t -> List.mem t tb) ta in
+    let union = List.length ta + List.length tb - List.length inter in
+    if union = 0 then 0.0
+    else float_of_int (List.length inter) /. float_of_int union
+  end

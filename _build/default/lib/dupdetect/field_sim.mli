@@ -1,0 +1,24 @@
+(** Field-level similarity for duplicate detection (§4.5).
+
+    "Literature defines several domain-independent similarity measures
+    usually based on edit distance" — the metric is picked by the shape of
+    the values: identifiers use edit-based similarity, long text uses token
+    overlap, sequences use a cheap identity proxy. *)
+
+type metric = Exact | Edit | Token | Sequence_metric
+
+val choose_metric : string -> string -> metric
+(** From the values' shape (length, alphabet). *)
+
+val similarity : string -> string -> float
+(** In [0,1], by the chosen metric. Case-insensitive. Empty vs non-empty
+    is 0; empty vs empty is 1. *)
+
+val is_sequence_value : string -> bool
+(** The cheap sequence tell used by {!choose_metric}: long, letters-only,
+    low character diversity. *)
+
+val name_affinity : string -> string -> float
+(** Attribute-name compatibility used to decide which fields of two
+    heterogeneously-modeled objects to compare (cf. [WN04]): token overlap
+    of the names, in [0,1]. *)

@@ -1,0 +1,198 @@
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+
+type repr = {
+  obj : Objref.t;
+  fields : (string * string) list;
+}
+
+(* an attribute is bag-worthy when it carries content rather than keys:
+   not an FK endpoint shape (pure integers), not null-only *)
+let content_attribute (cs : Col_stats.t) = cs.distinct > 0 && cs.numeric_frac < 0.99
+
+let build_reprs ?(max_fields_per_object = 40) ?(exclude_attributes = []) profiles =
+  let norm = String.lowercase_ascii in
+  let excluded =
+    List.map (fun (s, r, a) -> (norm s, norm r, norm a)) exclude_attributes
+  in
+  let bags : (string, (string * string) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let refs : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Profile_list.entry) ->
+      let catalog = Profile.catalog e.sp.profile in
+      let source = norm (Source_profile.source e.sp) in
+      Profile.all_stats e.sp.profile
+      |> List.iter (fun (cs : Col_stats.t) ->
+             let keep =
+               content_attribute cs
+               && not
+                    (List.mem (source, norm cs.relation, norm cs.attribute)
+                       excluded)
+             in
+             if keep then begin
+               let rel = Catalog.find_exn catalog cs.relation in
+               let ai = Schema.index_of_exn (Relation.schema rel) cs.attribute in
+               let qualified = cs.relation ^ "." ^ cs.attribute in
+               Relation.iteri_rows
+                 (fun row_i row ->
+                   let v = row.(ai) in
+                   if not (Value.is_null v) then
+                     List.iter
+                       (fun obj ->
+                         let key = Objref.to_string obj in
+                         let bag =
+                           match Hashtbl.find_opt bags key with
+                           | Some b -> b
+                           | None ->
+                               let b = ref [] in
+                               Hashtbl.add bags key b;
+                               Hashtbl.replace refs key obj;
+                               b
+                         in
+                         if List.length !bag < max_fields_per_object then
+                           bag := (qualified, Value.to_string v) :: !bag)
+                       (Owner_map.object_of_row e.owner ~relation:cs.relation
+                          ~row:row_i))
+                 rel
+             end))
+    (Profile_list.entries profiles);
+  Hashtbl.fold
+    (fun key bag acc -> { obj = Hashtbl.find refs key; fields = List.rev !bag } :: acc)
+    bags []
+  |> List.sort (fun a b -> Objref.compare a.obj b.obj)
+
+type weights = { w_value : float; w_name : float }
+
+let default_weights = { w_value = 0.8; w_name = 0.2 }
+
+type context = { df : (string, int) Hashtbl.t; n_objects : int }
+
+let context_of reprs =
+  let df = Hashtbl.create 1024 in
+  List.iter
+    (fun r ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (_, v) ->
+          let v = String.lowercase_ascii v in
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            Hashtbl.replace df v (1 + try Hashtbl.find df v with Not_found -> 0)
+          end)
+        r.fields)
+    reprs;
+  { df; n_objects = List.length reprs }
+
+let df_of ctx v =
+  try Hashtbl.find ctx.df (String.lowercase_ascii v) with Not_found -> 1
+
+(* IDF of the rarer of the two matched values *)
+let idf_weight context va vb =
+  match context with
+  | None -> 1.0
+  | Some ctx ->
+      let d = min (df_of ctx va) (df_of ctx vb) in
+      log (1.0 +. (float_of_int (max 1 ctx.n_objects) /. float_of_int d))
+
+(* a value is "identifying" when only a handful of objects carry it *)
+let identity_df_cap ctx = max 8 (ctx.n_objects / 50)
+
+(* anchors must be rare AND distinctive: identifier-shaped (contains a
+   digit, like accessions and gene symbols) or substantial text — never a
+   short categorical token that happens to have low frequency, never a
+   sequence *)
+let anchor_match ctx ~name_sim ~vs va vb =
+  vs >= 0.85 && name_sim > 0.0
+  && min (df_of ctx va) (df_of ctx vb) <= identity_df_cap ctx
+  && String.length va >= 4
+  && (String.exists (fun c -> c >= '0' && c <= '9') va || String.length va >= 25)
+  && (not (Field_sim.is_sequence_value va))
+  && not (Field_sim.is_sequence_value vb)
+
+let field_matches a b =
+  let smaller, larger =
+    if List.length a.fields <= List.length b.fields then (a, b) else (b, a)
+  in
+  let swapped = smaller != a in
+  List.filter_map
+    (fun (attr_s, val_s) ->
+      let best =
+        List.fold_left
+          (fun acc (attr_l, val_l) ->
+            let vs = Field_sim.similarity val_s val_l in
+            match acc with
+            | Some (_, _, best_vs) when best_vs >= vs -> acc
+            | Some _ | None -> Some (attr_l, val_l, vs))
+          None larger.fields
+      in
+      Option.map
+        (fun (attr_l, val_l, vs) ->
+          if swapped then (attr_l, val_l, attr_s, val_s, vs)
+          else (attr_s, val_s, attr_l, val_l, vs))
+        best)
+    smaller.fields
+
+let similarity ?(weights = default_weights) ?context a b =
+  if a.fields = [] || b.fields = [] then 0.0
+  else begin
+    let matches = field_matches a b in
+    (* Fellegi-Sunter flavour: agreement on a rare value is strong evidence,
+       disagreement is weak evidence either way; and a true duplicate must
+       agree on at least one identifying (near-unique) value *)
+    let identity_agreement = ref false in
+    let total, wsum =
+      List.fold_left
+        (fun (total, wsum) (attr_a, va, attr_b, vb, vs) ->
+          let name_sim = Field_sim.name_affinity attr_a attr_b in
+          let s = (weights.w_value *. vs) +. (weights.w_name *. name_sim) in
+          (* a greedy value match between unrelated attributes (an accession
+             landing on "bait") must not be amplified as evidence *)
+          let w =
+            if vs >= 0.6 && name_sim > 0.0 then idf_weight context va vb
+            else 1.0
+          in
+          (match context with
+          | Some ctx when anchor_match ctx ~name_sim ~vs va vb ->
+              identity_agreement := true
+          | Some _ | None -> ());
+          (total +. (w *. s), wsum +. w))
+        (0.0, 0.0) matches
+    in
+    if wsum = 0.0 then 0.0
+    else begin
+      let base = total /. wsum /. (weights.w_value +. weights.w_name) in
+      match context with
+      | Some _ when not !identity_agreement -> base *. 0.5
+      | Some _ | None -> base
+    end
+  end
+
+let explain ?(weights = default_weights) ?context a b =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s vs %s\n" (Objref.to_string a.obj) (Objref.to_string b.obj);
+  List.iter
+    (fun (attr_a, va, attr_b, vb, vs) ->
+      let name_sim = Field_sim.name_affinity attr_a attr_b in
+      let w =
+        if vs >= 0.6 && name_sim > 0.0 then idf_weight context va vb else 1.0
+      in
+      let anchor =
+        match context with
+        | Some ctx -> anchor_match ctx ~name_sim ~vs va vb
+        | None -> false
+      in
+      let df_str =
+        match context with
+        | Some ctx -> string_of_int (min (df_of ctx va) (df_of ctx vb))
+        | None -> "-"
+      in
+      let clip s = if String.length s > 30 then String.sub s 0 27 ^ "..." else s in
+      add "  vs=%.2f name=%.2f w=%.2f df=%s%s  %s=%S ~ %s=%S\n" vs name_sim w
+        df_str
+        (if anchor then " ANCHOR" else "")
+        attr_a (clip va) attr_b (clip vb))
+    (field_matches a b);
+  add "similarity = %.3f\n" (similarity ~weights ?context a b);
+  Buffer.contents buf

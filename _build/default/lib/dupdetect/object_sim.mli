@@ -1,0 +1,59 @@
+(** Object-level similarity over heterogeneously modeled objects (§4.5).
+
+    "It is not a priori clear which attribute values of one object to
+    compare with which attribute value of the other object." Each primary
+    object is flattened into a bag of (qualified attribute, value) fields
+    from the rows it owns; similarity greedily matches each field of the
+    smaller object to its best counterpart (value similarity, weighted by
+    attribute-name affinity) and averages — the nested-object measure of
+    [WN04] adapted to the relational shredding. *)
+
+open Aladin_links
+
+type repr = {
+  obj : Objref.t;
+  fields : (string * string) list;  (** (relation.attribute, value) *)
+}
+
+val build_reprs :
+  ?max_fields_per_object:int ->
+  ?exclude_attributes:(string * string * string) list ->
+  Profile_list.t ->
+  repr list
+(** One representation per primary object. Surrogate-key attributes
+    (numeric, FK-ish) are excluded; [max_fields_per_object] defaults
+    to 40. Sorted by object.
+
+    [exclude_attributes] lists (source, relation, attribute) triples to
+    leave out of the bags — step 5 runs after link discovery, so the
+    attributes already identified as cross-references (which hold OTHER
+    objects' accessions) must not count as similarity evidence between an
+    object and its link target. *)
+
+type weights = {
+  w_value : float;  (** default 0.8 *)
+  w_name : float;  (** default 0.2 *)
+}
+
+val default_weights : weights
+
+type context
+(** Corpus-level value statistics: how many objects carry each value.
+    Matching a value shared by half the corpus ("Homo sapiens") is weak
+    evidence; matching a rare one (a gene symbol) is strong. *)
+
+val context_of : repr list -> context
+
+val similarity : ?weights:weights -> ?context:context -> repr -> repr -> float
+(** In [0,1]; 0 when either object has no fields. With a [context], each
+    matched field pair is weighted by the IDF of the matched value. *)
+
+val explain : ?weights:weights -> ?context:context -> repr -> repr -> string
+(** Human-readable derivation of {!similarity}: one line per matched field
+    pair with value similarity, name affinity, weight and anchor status —
+    the "why were these flagged as duplicates" provenance. *)
+
+val field_matches : repr -> repr -> (string * string * string * string * float) list
+(** The greedy field matching behind {!similarity}:
+    (attr_a, value_a, attr_b, value_b, value_similarity) — also used by
+    conflict detection. *)

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for experiment output (bench/main.exe). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on column-count mismatch. *)
+
+val add_float_row : t -> string -> float list -> t
+(** First cell verbatim, rest formatted %.3f; returns [t] for chaining. *)
+
+val render : t -> string
+(** Title, header, separator, aligned rows. *)
+
+val print : t -> unit
+
+val cell_f : float -> string
+(** "%.3f" *)
+
+val cell_pct : float -> string
+(** "12.3%" *)

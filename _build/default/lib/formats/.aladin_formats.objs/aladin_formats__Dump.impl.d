@@ -1,0 +1,1 @@
+lib/formats/dump.ml: Aladin_relational Array Catalog Constraint_def Csv Filename List Printf Relation String Sys

@@ -1,0 +1,1 @@
+lib/formats/dump.mli: Aladin_relational Catalog Constraint_def

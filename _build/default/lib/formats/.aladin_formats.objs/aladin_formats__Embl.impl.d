@@ -1,0 +1,1 @@
+lib/formats/embl.ml: Aladin_relational Buffer Catalog Genbank Line_format List Option Printf Relation Schema Seq String Value

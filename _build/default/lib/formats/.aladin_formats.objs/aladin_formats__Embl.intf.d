@@ -1,0 +1,1 @@
+lib/formats/embl.mli: Aladin_relational Catalog Genbank

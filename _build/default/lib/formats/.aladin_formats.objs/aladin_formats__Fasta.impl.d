@@ -1,0 +1,1 @@
+lib/formats/fasta.ml: Aladin_relational Buffer Catalog List Relation Schema String Value

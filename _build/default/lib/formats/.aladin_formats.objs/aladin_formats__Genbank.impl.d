@@ -1,0 +1,1 @@
+lib/formats/genbank.ml: Aladin_relational Buffer Catalog List Printf Relation Schema Seq String Value

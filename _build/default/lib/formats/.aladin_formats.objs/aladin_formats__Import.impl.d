@@ -1,0 +1,1 @@
+lib/formats/import.ml: Aladin_relational Catalog Csv Dump Embl Fasta Genbank List Obo Pdb_flat Printf String Swissprot Sys Xml_shred

@@ -1,0 +1,1 @@
+lib/formats/import.mli: Aladin_relational Catalog

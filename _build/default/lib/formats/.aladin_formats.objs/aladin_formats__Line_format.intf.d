@@ -1,0 +1,1 @@
+lib/formats/line_format.mli:

@@ -1,0 +1,1 @@
+lib/formats/obo.ml: Aladin_relational Buffer Catalog Hashtbl List Printf Relation Schema String Value

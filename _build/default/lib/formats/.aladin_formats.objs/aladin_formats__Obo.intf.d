@@ -1,0 +1,1 @@
+lib/formats/obo.mli: Aladin_relational Catalog

@@ -1,0 +1,1 @@
+lib/formats/pdb_flat.ml: Aladin_relational Buffer Catalog Hashtbl List Relation Schema String Value

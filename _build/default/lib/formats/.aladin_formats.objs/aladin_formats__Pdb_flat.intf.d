@@ -1,0 +1,1 @@
+lib/formats/pdb_flat.mli: Aladin_relational Catalog

@@ -1,0 +1,1 @@
+lib/formats/swissprot.ml: Aladin_relational Catalog Constraint_def Hashtbl Line_format List Option Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/formats/swissprot.mli: Aladin_relational Catalog

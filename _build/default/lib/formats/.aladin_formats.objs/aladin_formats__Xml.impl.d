@@ -1,0 +1,1 @@
+lib/formats/xml.ml: Buffer List Printf String

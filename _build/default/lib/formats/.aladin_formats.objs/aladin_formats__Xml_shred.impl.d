@@ -1,0 +1,1 @@
+lib/formats/xml_shred.ml: Aladin_relational Array Catalog Hashtbl List Relation Schema String Value Xml

@@ -1,0 +1,1 @@
+lib/formats/xml_shred.mli: Aladin_relational Catalog Xml

@@ -1,0 +1,83 @@
+open Aladin_relational
+
+let load ~name pairs =
+  let cat = Catalog.create ~name in
+  List.iter
+    (fun (rel_name, doc) ->
+      let records = Csv.read_string doc in
+      let rel = Csv.relation_of_records ~name:rel_name ~header:true records in
+      Catalog.add cat rel)
+    pairs;
+  cat
+
+let parse_constraints doc =
+  String.split_on_char '\n' doc
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ "unique"; relation; attribute ] ->
+               Some (Constraint_def.Unique { relation; attribute })
+           | [ "pkey"; relation; attribute ] ->
+               Some (Constraint_def.Primary_key { relation; attribute })
+           | [ "fkey"; src_relation; src_attribute; dst_relation; dst_attribute ] ->
+               Some
+                 (Constraint_def.Foreign_key
+                    { src_relation; src_attribute; dst_relation; dst_attribute })
+           | _ ->
+               invalid_arg
+                 (Printf.sprintf "Dump.parse_constraints: bad line %S" line))
+
+let render_constraints cs =
+  cs
+  |> List.map (function
+       | Constraint_def.Unique { relation; attribute } ->
+           Printf.sprintf "unique %s %s" relation attribute
+       | Constraint_def.Primary_key { relation; attribute } ->
+           Printf.sprintf "pkey %s %s" relation attribute
+       | Constraint_def.Foreign_key
+           { src_relation; src_attribute; dst_relation; dst_attribute } ->
+           Printf.sprintf "fkey %s %s %s %s" src_relation src_attribute
+             dst_relation dst_attribute)
+  |> String.concat "\n"
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  doc
+
+let load_dir ~name dir =
+  let entries = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  let csvs =
+    List.filter (fun f -> Filename.check_suffix f ".csv") entries
+  in
+  let cat =
+    load ~name
+      (List.map
+         (fun f -> (Filename.chop_suffix f ".csv", read_file (Filename.concat dir f)))
+         csvs)
+  in
+  let manifest = Filename.concat dir "constraints.txt" in
+  if Sys.file_exists manifest then
+    List.iter (Catalog.declare cat) (parse_constraints (read_file manifest));
+  cat
+
+let save_dir cat dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun rel ->
+      let path = Filename.concat dir (Relation.name rel ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Csv.write_relation rel);
+      close_out oc)
+    (Catalog.relations cat);
+  match Catalog.constraints cat with
+  | [] -> ()
+  | cs ->
+      let oc = open_out (Filename.concat dir "constraints.txt") in
+      output_string oc (render_constraints cs);
+      output_string oc "\n";
+      close_out oc

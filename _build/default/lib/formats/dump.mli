@@ -1,0 +1,28 @@
+(** Relational dump loader: a set of named CSV documents (one per relation)
+    plus an optional constraints manifest — the "direct relational dump
+    files" import path of §4.1 (Swiss-Prot, GeneOntology, EnsEmbl). *)
+
+open Aladin_relational
+
+val load : name:string -> (string * string) list -> Catalog.t
+(** [(relation_name, csv_with_header)] pairs. *)
+
+val load_dir : name:string -> string -> Catalog.t
+(** Every [*.csv] in the directory becomes a relation (file basename);
+    [constraints.txt], when present, is parsed with {!parse_constraints}. *)
+
+val parse_constraints : string -> Constraint_def.t list
+(** One constraint per line:
+    {v
+    unique <relation> <attribute>
+    pkey <relation> <attribute>
+    fkey <src_rel> <src_attr> <dst_rel> <dst_attr>
+    v}
+    Blank lines and [#] comments are skipped.
+    @raise Invalid_argument on malformed lines. *)
+
+val render_constraints : Constraint_def.t list -> string
+
+val save_dir : Catalog.t -> string -> unit
+(** Write each relation as [<dir>/<relation>.csv] and the declared
+    constraints as [constraints.txt]. Creates the directory. *)

@@ -1,0 +1,187 @@
+open Aladin_relational
+
+let first_semi_token s =
+  match String.split_on_char ';' s with
+  | t :: _ -> String.trim t
+  | [] -> String.trim s
+
+let parse_qualifier line =
+  let t = String.trim line in
+  if String.length t < 2 || t.[0] <> '/' then None
+  else
+    let body = String.sub t 1 (String.length t - 1) in
+    match String.index_opt body '=' with
+    | None -> Some (body, "")
+    | Some i ->
+        let key = String.sub body 0 i in
+        let v = String.sub body (i + 1) (String.length body - i - 1) in
+        let v =
+          let n = String.length v in
+          if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+          else v
+        in
+        Some (key, v)
+
+let clean_seq line =
+  String.to_seq line
+  |> Seq.filter (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+  |> String.of_seq
+
+let records doc =
+  Line_format.records doc
+  |> List.map (fun lines ->
+         let locus =
+           match Line_format.joined ~code:"ID" lines with
+           | Some p -> first_semi_token p
+           | None -> ""
+         in
+         let accession =
+           match Line_format.joined ~code:"AC" lines with
+           | Some p -> (
+               match Line_format.split_list p with a :: _ -> a | [] -> "")
+           | None -> ""
+         in
+         let definition =
+           Option.value (Line_format.joined ~code:"DE" lines) ~default:""
+         in
+         let organism =
+           match Line_format.joined ~code:"OS" lines with
+           | Some p ->
+               let n = String.length p in
+               if n > 0 && p.[n - 1] = '.' then String.sub p 0 (n - 1) else p
+           | None -> ""
+         in
+         (* the FT feature table: a new feature starts with a key token; a
+            qualifier line starts with '/' *)
+         let features = ref [] in
+         let current : Genbank.feature option ref = ref None in
+         let flush () =
+           match !current with
+           | Some f ->
+               features := f :: !features;
+               current := None
+           | None -> ()
+         in
+         List.iter
+           (fun (l : Line_format.line) ->
+             if l.code = "FT" then begin
+               match parse_qualifier l.payload with
+               | Some (k, v) -> (
+                   match !current with
+                   | Some f ->
+                       current :=
+                         Some { f with Genbank.qualifiers = f.Genbank.qualifiers @ [ (k, v) ] }
+                   | None -> ())
+               | None -> (
+                   match
+                     String.split_on_char ' ' l.payload |> List.filter (( <> ) "")
+                   with
+                   | key :: loc :: _ ->
+                       flush ();
+                       current := Some { Genbank.key; location = loc; qualifiers = [] }
+                   | [ key ] ->
+                       flush ();
+                       current := Some { Genbank.key; location = ""; qualifiers = [] }
+                   | [] -> ())
+             end)
+           lines;
+         flush ();
+         (* sequence: lines after SQ; generators and real EMBL indent them,
+            so their "codes" are sequence chunks *)
+         let after_sq = ref false in
+         let seq = Buffer.create 128 in
+         List.iter
+           (fun (l : Line_format.line) ->
+             if l.code = "SQ" then after_sq := true
+             else if !after_sq && l.code <> "FT" then begin
+               Buffer.add_string seq (clean_seq l.code);
+               Buffer.add_string seq (clean_seq l.payload)
+             end)
+           lines;
+         {
+           Genbank.locus;
+           definition;
+           accession;
+           organism;
+           features = List.rev !features;
+           origin = Buffer.contents seq;
+         })
+
+let parse ?(name = "embl") doc =
+  let cat = Catalog.create ~name in
+  let entry =
+    Catalog.create_relation cat ~name:"entry"
+      (Schema.of_names [ "entry_id"; "accession"; "locus_name"; "definition"; "organism" ])
+  in
+  let feature_rel =
+    Catalog.create_relation cat ~name:"feature"
+      (Schema.of_names [ "feature_id"; "entry_id"; "feature_key"; "location" ])
+  in
+  let qualifier =
+    Catalog.create_relation cat ~name:"qualifier"
+      (Schema.of_names [ "qualifier_id"; "feature_id"; "qual_key"; "qual_value" ])
+  in
+  let seqrel =
+    Catalog.create_relation cat ~name:"embl_seq"
+      (Schema.of_names [ "entry_id"; "sequence" ])
+  in
+  let next_feature = ref 1 and next_qual = ref 1 in
+  List.iteri
+    (fun i (r : Genbank.record) ->
+      let eid = i + 1 in
+      Relation.insert entry
+        [| Value.Int eid; Value.text r.accession; Value.text r.locus;
+           Value.text r.definition; Value.text r.organism |];
+      List.iter
+        (fun (ft : Genbank.feature) ->
+          let fid = !next_feature in
+          incr next_feature;
+          Relation.insert feature_rel
+            [| Value.Int fid; Value.Int eid; Value.text ft.key; Value.text ft.location |];
+          List.iter
+            (fun (k, v) ->
+              Relation.insert qualifier
+                [| Value.Int !next_qual; Value.Int fid; Value.text k; Value.text v |];
+              incr next_qual)
+            ft.qualifiers)
+        r.features;
+      if r.origin <> "" then
+        Relation.insert seqrel
+          [| Value.Int eid; Value.text (String.uppercase_ascii r.origin) |])
+    (records doc);
+  cat
+
+let render rs =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (r : Genbank.record) ->
+      add "ID   %s; SV 1; linear; STD; %d BP.\n" r.locus (String.length r.origin);
+      add "AC   %s;\n" r.accession;
+      add "DE   %s\n" r.definition;
+      add "OS   %s.\n" r.organism;
+      List.iter
+        (fun (ft : Genbank.feature) ->
+          add "FT   %-15s %s\n" ft.key
+            (if ft.location = "" then "1" else ft.location);
+          List.iter
+            (fun (k, v) ->
+              if v = "" then add "FT                   /%s\n" k
+              else add "FT                   /%s=\"%s\"\n" k v)
+            ft.qualifiers)
+        r.features;
+      if r.origin <> "" then begin
+        add "SQ   Sequence %d BP;\n" (String.length r.origin);
+        let s = String.lowercase_ascii r.origin in
+        let n = String.length s in
+        let rec line i =
+          if i < n then begin
+            add "     %s\n" (String.sub s i (min 60 (n - i)));
+            line (i + 60)
+          end
+        in
+        line 0
+      end;
+      add "//\n")
+    rs;
+  Buffer.contents buf

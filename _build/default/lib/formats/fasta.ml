@@ -1,0 +1,78 @@
+open Aladin_relational
+
+type record = { accession : string; description : string; sequence : string }
+
+let records doc =
+  let lines = String.split_on_char '\n' doc in
+  let out = ref [] in
+  let acc = ref "" and desc = ref "" and seq = Buffer.create 256 in
+  let in_record = ref false in
+  let flush () =
+    if !in_record then begin
+      out := { accession = !acc; description = !desc; sequence = Buffer.contents seq } :: !out;
+      Buffer.clear seq
+    end
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = '>' then begin
+        flush ();
+        in_record := true;
+        let header = String.sub line 1 (String.length line - 1) in
+        match String.index_opt header ' ' with
+        | Some i ->
+            acc := String.sub header 0 i;
+            desc := String.trim (String.sub header i (String.length header - i))
+        | None ->
+            acc := header;
+            desc := ""
+      end
+      else if !in_record then Buffer.add_string seq line)
+    lines;
+  flush ();
+  List.rev !out
+
+let parse ?(name = "fasta") doc =
+  let cat = Catalog.create ~name in
+  let rel =
+    Catalog.create_relation cat ~name:"entry"
+      (Schema.of_names [ "entry_id"; "accession"; "description"; "sequence" ])
+  in
+  List.iteri
+    (fun i r ->
+      Relation.insert rel
+        [| Value.Int (i + 1); Value.text r.accession; Value.text r.description;
+           Value.text r.sequence |])
+    (records doc);
+  cat
+
+let wrap width s =
+  let n = String.length s in
+  let rec chunks i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min width (n - i) in
+      chunks (i + len) (String.sub s i len :: acc)
+  in
+  chunks 0 []
+
+let render rs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf r.accession;
+      if r.description <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf r.description
+      end;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun chunk ->
+          Buffer.add_string buf chunk;
+          Buffer.add_char buf '\n')
+        (wrap 60 r.sequence))
+    rs;
+  Buffer.contents buf

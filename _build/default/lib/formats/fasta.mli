@@ -1,0 +1,16 @@
+(** FASTA parser.
+
+    [>ACCESSION description] header lines followed by wrapped sequence
+    lines. Produces a single-relation catalog
+    [entry(entry_id, accession, description, sequence)]. *)
+
+open Aladin_relational
+
+type record = { accession : string; description : string; sequence : string }
+
+val records : string -> record list
+
+val parse : ?name:string -> string -> Catalog.t
+
+val render : record list -> string
+(** Inverse of {!records}: sequences wrapped at 60 columns. *)

@@ -1,0 +1,72 @@
+open Aladin_relational
+
+type format = Swissprot_flat | Embl_flat | Genbank_flat | Fasta_format | Obo_format | Pdb_format | Xml_format | Csv_dump
+
+let format_name = function
+  | Swissprot_flat -> "swissprot"
+  | Embl_flat -> "embl"
+  | Genbank_flat -> "genbank"
+  | Fasta_format -> "fasta"
+  | Obo_format -> "obo"
+  | Pdb_format -> "pdb"
+  | Xml_format -> "xml"
+  | Csv_dump -> "csv"
+
+let first_meaningful_lines doc n =
+  String.split_on_char '\n' doc
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" then None else Some l)
+  |> List.filteri (fun i _ -> i < n)
+
+let sniff doc =
+  match first_meaningful_lines doc 5 with
+  | [] -> None
+  | first :: _ as lines ->
+      let starts prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      if starts ">" first then Some Fasta_format
+      else if starts "<" first then Some Xml_format
+      else if starts "format-version:" first || List.exists (( = ) "[Term]") lines
+      then Some Obo_format
+      else if starts "HEADER" first then Some Pdb_format
+      else if starts "LOCUS" first then Some Genbank_flat
+      else if starts "ID " first || starts "ID\t" first then
+        (* both Swiss-Prot and EMBL start with ID; EMBL's ID line is
+           ';'-separated and records carry an FT feature table *)
+        if String.contains first ';'
+           || List.exists (fun l -> starts "FT " l) (first_meaningful_lines doc 40)
+        then Some Embl_flat
+        else Some Swissprot_flat
+      else if String.contains first ',' then Some Csv_dump
+      else None
+
+let import_string ~name doc =
+  match sniff doc with
+  | None -> invalid_arg (Printf.sprintf "Import.import_string: cannot sniff %s" name)
+  | Some Swissprot_flat -> Swissprot.parse ~name doc
+  | Some Embl_flat -> Embl.parse ~name doc
+  | Some Genbank_flat -> Genbank.parse ~name doc
+  | Some Fasta_format -> Fasta.parse ~name doc
+  | Some Obo_format -> Obo.parse ~name doc
+  | Some Pdb_format -> Pdb_flat.parse ~name doc
+  | Some Xml_format -> Xml_shred.shred_string ~name doc
+  | Some Csv_dump ->
+      (* a single CSV becomes a one-relation source named like the source *)
+      let records = Csv.read_string doc in
+      let cat = Catalog.create ~name in
+      Catalog.add cat (Csv.relation_of_records ~name ~header:true records);
+      cat
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  doc
+
+let import_path ~name path =
+  if Sys.is_directory path then Dump.load_dir ~name path
+  else import_string ~name (read_file path)

@@ -1,0 +1,21 @@
+(** The data-import component (§4.1): format sniffing + dispatch.
+
+    "A variety of known import procedures can be used" — this module picks
+    the right parser from content, so a source directory can be ingested
+    without telling ALADIN what is inside. *)
+
+open Aladin_relational
+
+type format = Swissprot_flat | Embl_flat | Genbank_flat | Fasta_format | Obo_format | Pdb_format | Xml_format | Csv_dump
+
+val format_name : format -> string
+
+val sniff : string -> format option
+(** Guess the format of a document from its first lines. *)
+
+val import_string : name:string -> string -> Catalog.t
+(** Import a document of any recognizable format.
+    @raise Invalid_argument when the format cannot be sniffed. *)
+
+val import_path : name:string -> string -> Catalog.t
+(** A directory is loaded as a CSV dump; a file is sniffed and parsed. *)

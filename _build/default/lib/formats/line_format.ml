@@ -1,0 +1,52 @@
+type line = { code : string; payload : string }
+
+let parse_line s =
+  let s = if String.length s > 0 && s.[String.length s - 1] = '\r' then String.sub s 0 (String.length s - 1) else s in
+  if String.trim s = "" then None
+  else
+    match String.index_opt s ' ' with
+    | None -> Some { code = s; payload = "" }
+    | Some i ->
+        let code = String.sub s 0 i in
+        let payload = String.trim (String.sub s i (String.length s - i)) in
+        Some { code; payload }
+
+let records doc =
+  let lines = String.split_on_char '\n' doc in
+  let finished = ref [] in
+  let current = ref [] in
+  let flush () =
+    if !current <> [] then begin
+      finished := List.rev !current :: !finished;
+      current := []
+    end
+  in
+  List.iter
+    (fun raw ->
+      match parse_line raw with
+      | None -> ()
+      | Some { code = "//"; _ } -> flush ()
+      | Some line -> current := line :: !current)
+    lines;
+  flush ();
+  List.rev !finished
+
+let all ~code lines =
+  List.filter_map
+    (fun l -> if l.code = code then Some l.payload else None)
+    lines
+
+let joined ~code lines =
+  match all ~code lines with
+  | [] -> None
+  | payloads -> Some (String.concat " " payloads)
+
+let split_list payload =
+  let payload =
+    let n = String.length payload in
+    if n > 0 && payload.[n - 1] = '.' then String.sub payload 0 (n - 1)
+    else payload
+  in
+  String.split_on_char ';' payload
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")

@@ -1,0 +1,114 @@
+open Aladin_relational
+
+type term = {
+  id : string;
+  name : string;
+  definition : string;
+  namespace : string;
+  is_a : string list;
+}
+
+let empty_term = { id = ""; name = ""; definition = ""; namespace = ""; is_a = [] }
+
+let tag_value line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+      let tag = String.sub line 0 i in
+      let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      Some (tag, v)
+
+let strip_quotes s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' then
+    match String.index_from_opt s 1 '"' with
+    | Some j -> String.sub s 1 (j - 1)
+    | None -> s
+  else s
+
+let terms doc =
+  let lines = String.split_on_char '\n' doc in
+  let out = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some t when t.id <> "" -> out := t :: !out
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "[Term]" then begin
+        flush ();
+        current := Some empty_term
+      end
+      else if String.length line > 0 && line.[0] = '[' then begin
+        (* a non-Term stanza ends any open term *)
+        flush ();
+        current := None
+      end
+      else
+        match (!current, tag_value line) with
+        | Some t, Some ("id", v) -> current := Some { t with id = v }
+        | Some t, Some ("name", v) -> current := Some { t with name = v }
+        | Some t, Some ("def", v) ->
+            current := Some { t with definition = strip_quotes v }
+        | Some t, Some ("namespace", v) -> current := Some { t with namespace = v }
+        | Some t, Some ("is_a", v) ->
+            (* drop trailing "! comment" *)
+            let v =
+              match String.index_opt v '!' with
+              | Some i -> String.trim (String.sub v 0 i)
+              | None -> v
+            in
+            current := Some { t with is_a = t.is_a @ [ v ] }
+        | (Some _ | None), _ -> ())
+    lines;
+  flush ();
+  List.rev !out
+
+let parse ?(name = "ontology") doc =
+  let cat = Catalog.create ~name in
+  let term_rel =
+    Catalog.create_relation cat ~name:"term"
+      (Schema.of_names [ "term_id"; "acc"; "term_name"; "term_definition"; "namespace" ])
+  in
+  let isa_rel =
+    Catalog.create_relation cat ~name:"term_isa"
+      (Schema.of_names [ "term_id"; "parent_id" ])
+  in
+  let ids = Hashtbl.create 64 in
+  let ts = terms doc in
+  List.iteri (fun i t -> Hashtbl.replace ids t.id (i + 1)) ts;
+  List.iteri
+    (fun i t ->
+      Relation.insert term_rel
+        [| Value.Int (i + 1); Value.text t.id; Value.text t.name;
+           Value.text t.definition; Value.text t.namespace |];
+      List.iter
+        (fun parent ->
+          match Hashtbl.find_opt ids parent with
+          | Some pid -> Relation.insert isa_rel [| Value.Int (i + 1); Value.Int pid |]
+          | None -> ())
+        t.is_a)
+    ts;
+  cat
+
+let render ts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "format-version: 1.2\n\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string buf "[Term]\n";
+      Buffer.add_string buf (Printf.sprintf "id: %s\n" t.id);
+      Buffer.add_string buf (Printf.sprintf "name: %s\n" t.name);
+      if t.namespace <> "" then
+        Buffer.add_string buf (Printf.sprintf "namespace: %s\n" t.namespace);
+      if t.definition <> "" then
+        Buffer.add_string buf (Printf.sprintf "def: \"%s\"\n" t.definition);
+      List.iter
+        (fun p -> Buffer.add_string buf (Printf.sprintf "is_a: %s\n" p))
+        t.is_a;
+      Buffer.add_char buf '\n')
+    ts;
+  Buffer.contents buf

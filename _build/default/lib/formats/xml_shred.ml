@@ -1,0 +1,72 @@
+open Aladin_relational
+
+(* First pass: the set of attribute names per tag (document order of first
+   sighting), so every relation gets a stable schema. *)
+let collect_attrs root =
+  let attrs_of_tag : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  let rec walk = function
+    | Xml.Text _ -> ()
+    | Xml.Element { tag; attrs; children } ->
+        let known =
+          match Hashtbl.find_opt attrs_of_tag tag with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add attrs_of_tag tag l;
+              order := tag :: !order;
+              l
+        in
+        List.iter
+          (fun (k, _) -> if not (List.mem k !known) then known := !known @ [ k ])
+          attrs;
+        List.iter walk children
+  in
+  walk root;
+  (List.rev !order, attrs_of_tag)
+
+let own_text children =
+  children
+  |> List.filter_map (function Xml.Text s -> Some s | Xml.Element _ -> None)
+  |> String.concat " "
+  |> String.trim
+
+let shred ?(name = "xml") root =
+  let cat = Catalog.create ~name in
+  let tags, attrs_of_tag = collect_attrs root in
+  let rel_of_tag = Hashtbl.create 16 in
+  List.iter
+    (fun tag ->
+      let attr_cols = !(Hashtbl.find attrs_of_tag tag) in
+      let cols = (tag ^ "_id") :: "parent_id" :: (attr_cols @ [ "content" ]) in
+      let rel = Catalog.create_relation cat ~name:tag (Schema.of_names cols) in
+      Hashtbl.add rel_of_tag tag (rel, attr_cols))
+    tags;
+  let next_id = ref 0 in
+  let rec walk parent = function
+    | Xml.Text _ -> ()
+    | Xml.Element { tag; attrs; children } ->
+        incr next_id;
+        let id = !next_id in
+        let rel, attr_cols = Hashtbl.find rel_of_tag tag in
+        let attr_vals =
+          List.map
+            (fun col ->
+              match List.assoc_opt col attrs with
+              | Some v -> Value.of_string v
+              | None -> Value.Null)
+            attr_cols
+        in
+        let parent_v =
+          match parent with Some p -> Value.Int p | None -> Value.Null
+        in
+        let content = own_text children in
+        let content_v = if content = "" then Value.Null else Value.text content in
+        Relation.insert rel
+          (Array.of_list ((Value.Int id :: parent_v :: attr_vals) @ [ content_v ]));
+        List.iter (walk (Some id)) children
+  in
+  walk None root;
+  cat
+
+let shred_string ?name doc = shred ?name (Xml.parse doc)

@@ -1,0 +1,1 @@
+lib/linkdisc/link.ml: Format Hashtbl Int List Objref

@@ -1,0 +1,1 @@
+lib/linkdisc/link.mli: Format Objref

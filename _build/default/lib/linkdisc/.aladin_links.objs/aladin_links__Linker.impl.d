@@ -1,0 +1,1 @@
+lib/linkdisc/linker.ml: Link List Onto_links Seq_links Text_links Xref_disc

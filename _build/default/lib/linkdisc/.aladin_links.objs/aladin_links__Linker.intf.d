@@ -1,0 +1,1 @@
+lib/linkdisc/linker.mli: Link Onto_links Profile_list Seq_links Text_links Xref_disc

@@ -1,0 +1,1 @@
+lib/linkdisc/objref.ml: Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/linkdisc/objref.mli: Format

@@ -1,0 +1,1 @@
+lib/linkdisc/onto_links.mli: Link Objref Profile_list

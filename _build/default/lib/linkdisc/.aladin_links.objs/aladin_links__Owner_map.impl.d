@@ -1,0 +1,1 @@
+lib/linkdisc/owner_map.ml: Aladin_discovery Aladin_relational Array Catalog Fk_graph Hashtbl List Objref Profile Relation Schema Secondary Source_profile String Value

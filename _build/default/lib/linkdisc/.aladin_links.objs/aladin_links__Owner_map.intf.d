@@ -1,0 +1,1 @@
+lib/linkdisc/owner_map.mli: Aladin_discovery Objref Source_profile

@@ -1,0 +1,1 @@
+lib/linkdisc/profile_list.ml: Aladin_discovery List Option Owner_map Source_profile

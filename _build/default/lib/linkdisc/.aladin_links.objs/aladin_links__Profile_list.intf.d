@@ -1,0 +1,1 @@
+lib/linkdisc/profile_list.mli: Aladin_discovery Owner_map Source_profile

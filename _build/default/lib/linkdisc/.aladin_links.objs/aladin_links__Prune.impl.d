@@ -1,0 +1,1 @@
+lib/linkdisc/prune.ml: Aladin_discovery Aladin_relational Col_stats List Profile Profile_list Source_profile

@@ -1,0 +1,1 @@
+lib/linkdisc/prune.mli: Aladin_relational Col_stats Profile_list

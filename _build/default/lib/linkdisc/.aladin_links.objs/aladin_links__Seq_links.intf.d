@@ -1,0 +1,1 @@
+lib/linkdisc/seq_links.mli: Aladin_seq Link Profile_list

@@ -1,0 +1,1 @@
+lib/linkdisc/text_links.mli: Link Objref Profile_list

@@ -1,0 +1,1 @@
+lib/linkdisc/xref_disc.ml: Aladin_discovery Aladin_relational Array Catalog Col_stats Hashtbl Link List Objref Owner_map Printf Profile Profile_list Prune Relation Schema Source_profile String Value

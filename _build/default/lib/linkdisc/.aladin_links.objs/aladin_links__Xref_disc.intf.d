@@ -1,0 +1,1 @@
+lib/linkdisc/xref_disc.mli: Link Profile_list Prune

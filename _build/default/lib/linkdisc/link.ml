@@ -1,0 +1,72 @@
+type kind =
+  | Xref
+  | Seq_similarity
+  | Text_similarity
+  | Shared_term
+  | Entity_mention
+  | Duplicate
+
+let kind_name = function
+  | Xref -> "xref"
+  | Seq_similarity -> "seq"
+  | Text_similarity -> "text"
+  | Shared_term -> "shared-term"
+  | Entity_mention -> "mention"
+  | Duplicate -> "duplicate"
+
+let kind_rank = function
+  | Xref -> 0
+  | Seq_similarity -> 1
+  | Text_similarity -> 2
+  | Shared_term -> 3
+  | Entity_mention -> 4
+  | Duplicate -> 5
+
+type t = {
+  src : Objref.t;
+  dst : Objref.t;
+  kind : kind;
+  confidence : float;
+  evidence : string;
+}
+
+let make ~src ~dst ~kind ~confidence ~evidence =
+  { src; dst; kind; confidence; evidence }
+
+let normalized t =
+  match t.kind with
+  | Xref -> t
+  | Seq_similarity | Text_similarity | Shared_term | Entity_mention | Duplicate ->
+      if Objref.compare t.src t.dst <= 0 then t
+      else { t with src = t.dst; dst = t.src }
+
+let compare_links a b =
+  match Objref.compare a.src b.src with
+  | 0 -> (
+      match Objref.compare a.dst b.dst with
+      | 0 -> Int.compare (kind_rank a.kind) (kind_rank b.kind)
+      | c -> c)
+  | c -> c
+
+let same_endpoints a b =
+  let a = normalized a and b = normalized b in
+  a.kind = b.kind && Objref.equal a.src b.src && Objref.equal a.dst b.dst
+
+let dedup links =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      let l = normalized l in
+      let key =
+        (Objref.to_string l.src, Objref.to_string l.dst, kind_rank l.kind)
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some existing when existing.confidence >= l.confidence -> ()
+      | Some _ | None -> Hashtbl.replace tbl key l)
+    links;
+  Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
+  |> List.sort compare_links
+
+let pp ppf t =
+  Format.fprintf ppf "%a --%s(%.2f)--> %a [%s]" Objref.pp t.src
+    (kind_name t.kind) t.confidence Objref.pp t.dst t.evidence

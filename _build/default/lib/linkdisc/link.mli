@@ -1,0 +1,38 @@
+(** Object-level links between primary objects (§4.4, §4.5).
+
+    Links are stored on the object level in the metadata repository "to
+    avoid repeated discovery and computation at query time". *)
+
+type kind =
+  | Xref  (** explicit cross-reference found in the data *)
+  | Seq_similarity  (** sequence homology *)
+  | Text_similarity  (** similar description text *)
+  | Shared_term  (** both objects reference the same third object *)
+  | Entity_mention  (** one object's text mentions the other's name *)
+  | Duplicate  (** same real-world object (step 5) *)
+
+val kind_name : kind -> string
+
+type t = {
+  src : Objref.t;
+  dst : Objref.t;
+  kind : kind;
+  confidence : float;  (** in (0, 1] *)
+  evidence : string;  (** human-readable provenance of the guess *)
+}
+
+val make :
+  src:Objref.t -> dst:Objref.t -> kind:kind -> confidence:float -> evidence:string -> t
+
+val normalized : t -> t
+(** Symmetric kinds (everything but [Xref]) are canonicalized so that
+    [src <= dst]; dedup relies on this. *)
+
+val same_endpoints : t -> t -> bool
+(** Equal endpoints and kind, after normalization. *)
+
+val dedup : t list -> t list
+(** Remove endpoint+kind duplicates, keeping the highest confidence.
+    Deterministic order (by src, dst, kind). *)
+
+val pp : Format.formatter -> t -> unit

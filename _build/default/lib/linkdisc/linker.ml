@@ -1,0 +1,77 @@
+type params = {
+  xref : Xref_disc.params;
+  seq : Seq_links.params;
+  text : Text_links.params;
+  onto : Onto_links.params;
+  enable_xref : bool;
+  enable_seq : bool;
+  enable_text : bool;
+  enable_onto : bool;
+}
+
+let default_params =
+  {
+    xref = Xref_disc.default_params;
+    seq = Seq_links.default_params;
+    text = Text_links.default_params;
+    onto = Onto_links.default_params;
+    enable_xref = true;
+    enable_seq = true;
+    enable_text = true;
+    enable_onto = true;
+  }
+
+type report = {
+  links : Link.t list;
+  xref_result : Xref_disc.result option;
+  seq_result : Seq_links.result option;
+  text_result : Text_links.result option;
+  onto_result : Onto_links.result option;
+}
+
+let discover ?(params = default_params) profiles =
+  let xref_result =
+    if params.enable_xref then Some (Xref_disc.discover ~params:params.xref profiles)
+    else None
+  in
+  let seq_result =
+    if params.enable_seq then Some (Seq_links.discover ~params:params.seq profiles)
+    else None
+  in
+  let text_result =
+    if params.enable_text then Some (Text_links.discover ~params:params.text profiles)
+    else None
+  in
+  let xref_links =
+    match xref_result with Some r -> r.links | None -> []
+  in
+  let onto_result =
+    if params.enable_onto then begin
+      let parents = Onto_links.parents_from_profiles profiles in
+      Some (Onto_links.discover ~params:params.onto ~parents ~xrefs:xref_links ())
+    end
+    else None
+  in
+  let links =
+    Link.dedup
+      (List.concat
+         [
+           xref_links;
+           (match seq_result with Some r -> r.links | None -> []);
+           (match text_result with Some r -> r.links | None -> []);
+           (match onto_result with Some r -> r.links | None -> []);
+         ])
+  in
+  { links; xref_result; seq_result; text_result; onto_result }
+
+let count_by_kind links =
+  let kinds =
+    [ Link.Xref; Link.Seq_similarity; Link.Text_similarity; Link.Shared_term;
+      Link.Entity_mention; Link.Duplicate ]
+  in
+  List.filter_map
+    (fun k ->
+      match List.length (List.filter (fun (l : Link.t) -> l.kind = k) links) with
+      | 0 -> None
+      | n -> Some (k, n))
+    kinds

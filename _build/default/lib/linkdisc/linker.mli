@@ -1,0 +1,27 @@
+(** Step-4 orchestration: run every link-discovery technique over the
+    analyzed sources and merge the results. *)
+
+type params = {
+  xref : Xref_disc.params;
+  seq : Seq_links.params;
+  text : Text_links.params;
+  onto : Onto_links.params;
+  enable_xref : bool;
+  enable_seq : bool;
+  enable_text : bool;
+  enable_onto : bool;
+}
+
+val default_params : params
+
+type report = {
+  links : Link.t list;  (** deduplicated, all kinds *)
+  xref_result : Xref_disc.result option;
+  seq_result : Seq_links.result option;
+  text_result : Text_links.result option;
+  onto_result : Onto_links.result option;
+}
+
+val discover : ?params:params -> Profile_list.t -> report
+
+val count_by_kind : Link.t list -> (Link.kind * int) list

@@ -1,0 +1,19 @@
+(** Global references to primary objects: (source, relation, accession).
+
+    Accession numbers are "public, globally unique, and stable identifiers"
+    (§4.4), so a primary object is addressed by its source plus accession. *)
+
+type t = { source : string; relation : string; accession : string }
+
+val make : source:string -> relation:string -> accession:string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+(** ["source:accession"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Shared-term links (§4.4, third kind): "the resulting values make
+    excellent links, connecting proteins with similar function [...],
+    provided that the ontologies are themselves integrated as data
+    sources."
+
+    When two objects from different sources both cross-reference the same
+    third object (typically an ontology term), they get a [Shared_term]
+    link carrying the term as evidence. *)
+
+type params = {
+  max_fanout : int;
+      (** skip hub targets referenced by more objects than this — linking
+          all pairs under a giant term is noise (default 25) *)
+  min_shared : int;  (** shared targets required per pair (default 1) *)
+  parent_depth : int;
+      (** how many is_a levels to climb when a term hierarchy is available:
+          objects annotated with two siblings of one parent term still share
+          that parent (default 2) *)
+}
+
+val default_params : params
+
+type result = {
+  links : Link.t list;
+  hub_targets_skipped : int;
+}
+
+val discover :
+  ?params:params ->
+  ?parents:(Objref.t -> Objref.t list) ->
+  xrefs:Link.t list ->
+  unit ->
+  result
+(** Derives shared-term links from already-discovered [Xref] links.
+    [parents] gives a term's direct is_a parents; when present, an xref to
+    a term also counts (with decayed confidence) as a reference to its
+    ancestors up to [parent_depth]. *)
+
+val parents_from_profiles : Profile_list.t -> Objref.t -> Objref.t list
+(** Build a parents function from discovered structure: any relation with
+    two foreign keys into the same source's primary relation and a
+    parent-ish second attribute name ("parent", "isa", "super", "broader")
+    is treated as a hierarchy table (the OBO [term_isa] shape). *)

@@ -1,0 +1,32 @@
+(** Mapping rows of any relation to the primary objects that own them.
+
+    Link and duplicate discovery operate on primary objects, but the
+    evidence (a cross-reference value, a sequence, a description) often
+    lives in a secondary relation. The owner map follows the discovered
+    secondary paths (§4.3) back to the primary relation, so every row can
+    be attributed to its accession-numbered object. *)
+
+open Aladin_discovery
+
+type t
+
+val build : Source_profile.t -> t
+(** Requires a discovered primary relation; otherwise the map is empty. *)
+
+val source : t -> string
+
+val primary_relation : t -> string option
+
+val owners : t -> relation:string -> row:int -> string list
+(** Accessions of the primary objects owning this row. The primary
+    relation's own rows map to their own accession. Unreachable rows (or an
+    unknown relation) yield []. *)
+
+val objref : t -> accession:string -> Objref.t option
+(** The {!Objref.t} for a primary accession of this source. *)
+
+val primary_accessions : t -> string list
+(** All accessions of the primary relation, in row order. *)
+
+val object_of_row : t -> relation:string -> row:int -> Objref.t list
+(** [owners] composed with [objref]. *)

@@ -1,0 +1,32 @@
+(** The set of analyzed sources link discovery works over: each source's
+    {!Aladin_discovery.Source_profile.t} paired with its {!Owner_map.t}. *)
+
+open Aladin_discovery
+
+type entry = { sp : Source_profile.t; owner : Owner_map.t }
+
+type t
+
+val of_profiles : Source_profile.t list -> t
+
+val empty : t
+
+val add : t -> Source_profile.t -> t
+(** Append one analyzed source (owner map built once here); an existing
+    entry with the same source name is replaced. *)
+
+val remove : t -> string -> t
+
+val entries : t -> entry list
+
+val sources : t -> string list
+
+val find : t -> string -> entry option
+(** By source name. *)
+
+val size : t -> int
+
+val targets : t -> (string * string * string) list
+(** Possible link targets: "cross-references always point to primary
+    objects in other databases" (§3) — (source, relation, accession
+    attribute) of every discovered primary relation. *)

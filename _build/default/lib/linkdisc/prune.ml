@@ -1,0 +1,43 @@
+open Aladin_relational
+open Aladin_discovery
+
+type params = {
+  min_distinct : int;
+  exclude_numeric : bool;
+  min_avg_len : float;
+  enabled : bool;
+}
+
+let default_params =
+  { min_distinct = 3; exclude_numeric = true; min_avg_len = 3.0; enabled = true }
+
+let no_pruning =
+  { min_distinct = 0; exclude_numeric = false; min_avg_len = 0.0; enabled = false }
+
+let is_link_source params (cs : Col_stats.t) =
+  if not params.enabled then cs.distinct > 0
+  else
+    cs.distinct >= params.min_distinct
+    && cs.avg_len >= params.min_avg_len
+    && ((not params.exclude_numeric) || cs.numeric_frac < 0.99)
+
+let is_text_field (cs : Col_stats.t) =
+  cs.avg_len >= 30.0 && cs.alpha_frac >= 0.9 && cs.distinct > 0
+
+let link_source_attributes params profiles =
+  Profile_list.entries profiles
+  |> List.concat_map (fun (e : Profile_list.entry) ->
+         let source = Source_profile.source e.sp in
+         Profile.all_stats e.sp.profile
+         |> List.filter (is_link_source params)
+         |> List.map (fun cs -> (source, cs)))
+
+let pairs_to_compare params profiles =
+  let targets = Profile_list.targets profiles in
+  link_source_attributes params profiles
+  |> List.fold_left
+       (fun acc (source, _) ->
+         (* every candidate attribute is compared against the accession
+            attribute of every OTHER source's primary relation *)
+         acc + List.length (List.filter (fun (s, _, _) -> s <> source) targets))
+       0

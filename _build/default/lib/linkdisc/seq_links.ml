@@ -1,0 +1,223 @@
+open Aladin_relational
+open Aladin_discovery
+module Sq = Aladin_seq
+
+type params = {
+  min_normalized : float;
+  min_seq_len : int;
+  cross_source_only : bool;
+  sample_for_detection : int;
+}
+
+let default_params =
+  { min_normalized = 0.5; min_seq_len = 20; cross_source_only = true;
+    sample_for_detection = 50 }
+
+type seq_field = {
+  source : string;
+  relation : string;
+  attribute : string;
+  kind : Sq.Alphabet.kind;
+}
+
+let column_sample catalog relation attribute n =
+  let rel = Catalog.find_exn catalog relation in
+  let ai = Schema.index_of_exn (Relation.schema rel) attribute in
+  let out = ref [] and count = ref 0 in
+  (try
+     Relation.iter_rows
+       (fun row ->
+         if !count >= n then raise Exit;
+         let v = row.(ai) in
+         if not (Value.is_null v) then begin
+           out := Value.to_string v :: !out;
+           incr count
+         end)
+       rel
+   with Exit -> ());
+  !out
+
+let sequence_fields params profiles =
+  Profile_list.entries profiles
+  |> List.concat_map (fun (e : Profile_list.entry) ->
+         let source = Source_profile.source e.sp in
+         let catalog = Profile.catalog e.sp.profile in
+         Profile.all_stats e.sp.profile
+         |> List.filter_map (fun (cs : Col_stats.t) ->
+                if cs.avg_len < float_of_int params.min_seq_len then None
+                else
+                  let sample =
+                    column_sample catalog cs.relation cs.attribute
+                      params.sample_for_detection
+                  in
+                  Sq.Alphabet.classify_column ~min_len:params.min_seq_len sample
+                  |> Option.map (fun kind ->
+                         { source; relation = cs.relation;
+                           attribute = cs.attribute; kind })))
+
+type result = {
+  links : Link.t list;
+  fields : seq_field list;
+  sequences_indexed : int;
+  pairs_verified : int;
+}
+
+(* id encoding for the homology index: source / relation / row *)
+let encode source relation row = Printf.sprintf "%s\x00%s\x00%d" source relation row
+
+let decode id =
+  match String.split_on_char '\x00' id with
+  | [ source; relation; row ] -> (source, relation, int_of_string row)
+  | _ -> invalid_arg "Seq_links.decode"
+
+type state = {
+  sparams : params;
+  engines : (Sq.Alphabet.kind, Sq.Homology.t) Hashtbl.t;
+  mutable seen : string list;
+  mutable acc : Link.t list;
+}
+
+let state_create ?(params = default_params) () =
+  { sparams = params; engines = Hashtbl.create 3; seen = []; acc = [] }
+
+let state_sources st = List.rev st.seen
+
+let engine_for st kind =
+  match Hashtbl.find_opt st.engines kind with
+  | Some e -> e
+  | None ->
+      let e = Sq.Homology.create kind in
+      Hashtbl.add st.engines kind e;
+      e
+
+let state_add_source st profiles ~source =
+  if List.mem source st.seen then
+    invalid_arg
+      (Printf.sprintf "Seq_links.state_add_source: %s already indexed" source);
+  st.seen <- source :: st.seen;
+  let params = st.sparams in
+  let fields =
+    sequence_fields params profiles |> List.filter (fun f -> f.source = source)
+  in
+  let objs_of src relation row =
+    match Profile_list.find profiles src with
+    | None -> []
+    | Some e -> Owner_map.object_of_row e.owner ~relation ~row
+  in
+  let links = ref [] in
+  List.iter
+    (fun f ->
+      match Profile_list.find profiles f.source with
+      | None -> ()
+      | Some e ->
+          let engine = engine_for st f.kind in
+          let catalog = Profile.catalog e.sp.profile in
+          let rel = Catalog.find_exn catalog f.relation in
+          let ai = Schema.index_of_exn (Relation.schema rel) f.attribute in
+          Relation.iteri_rows
+            (fun row_i row ->
+              let v = row.(ai) in
+              if not (Value.is_null v) then begin
+                let s = Sq.Alphabet.normalize (Value.to_string v) in
+                if String.length s >= params.min_seq_len then begin
+                  let query_id = encode f.source f.relation row_i in
+                  (* search-then-add yields each unordered pair once *)
+                  let hits =
+                    Sq.Homology.search engine ~query_id s
+                      ~min_normalized:params.min_normalized
+                  in
+                  List.iter
+                    (fun (h : Sq.Homology.hit) ->
+                      let ss, sr, srow = decode h.subject_id in
+                      if (not params.cross_source_only) || ss <> f.source then
+                        List.iter
+                          (fun src_obj ->
+                            List.iter
+                              (fun dst_obj ->
+                                if not (Objref.equal src_obj dst_obj) then
+                                  links :=
+                                    Link.make ~src:src_obj ~dst:dst_obj
+                                      ~kind:Link.Seq_similarity
+                                      ~confidence:(Float.min 1.0 h.normalized)
+                                      ~evidence:
+                                        (Printf.sprintf
+                                           "homology score=%d norm=%.2f"
+                                           h.raw_score h.normalized)
+                                    :: !links)
+                              (objs_of ss sr srow))
+                          (objs_of f.source f.relation row_i))
+                    hits;
+                  Sq.Homology.add engine ~id:query_id s
+                end
+              end)
+            rel)
+    fields;
+  let fresh = Link.dedup !links in
+  st.acc <- Link.dedup (fresh @ st.acc);
+  fresh
+
+let state_links st = st.acc
+
+let discover ?(params = default_params) profiles =
+  let fields = sequence_fields params profiles in
+  let kinds =
+    List.sort_uniq compare (List.map (fun f -> f.kind) fields)
+  in
+  let indexed = ref 0 in
+  let links = ref [] in
+  let pairs_verified = ref 0 in
+  List.iter
+    (fun kind ->
+      let engine = Sq.Homology.create kind in
+      let kind_fields = List.filter (fun f -> f.kind = kind) fields in
+      List.iter
+        (fun f ->
+          match Profile_list.find profiles f.source with
+          | None -> ()
+          | Some e ->
+              let catalog = Profile.catalog e.sp.profile in
+              let rel = Catalog.find_exn catalog f.relation in
+              let ai = Schema.index_of_exn (Relation.schema rel) f.attribute in
+              Relation.iteri_rows
+                (fun row_i row ->
+                  let v = row.(ai) in
+                  if not (Value.is_null v) then begin
+                    let s = Sq.Alphabet.normalize (Value.to_string v) in
+                    if String.length s >= params.min_seq_len then begin
+                      Sq.Homology.add engine ~id:(encode f.source f.relation row_i) s;
+                      incr indexed
+                    end
+                  end)
+                rel)
+        kind_fields;
+      let hits = Sq.Homology.all_pairs engine ~min_normalized:params.min_normalized in
+      pairs_verified := !pairs_verified + List.length hits;
+      List.iter
+        (fun (h : Sq.Homology.hit) ->
+          let qs, qr, qrow = decode h.query_id in
+          let ss, sr, srow = decode h.subject_id in
+          if (not params.cross_source_only) || qs <> ss then begin
+            let objs_of source relation row =
+              match Profile_list.find profiles source with
+              | None -> []
+              | Some e -> Owner_map.object_of_row e.owner ~relation ~row
+            in
+            List.iter
+              (fun src ->
+                List.iter
+                  (fun dst ->
+                    if not (Objref.equal src dst) then
+                      links :=
+                        Link.make ~src ~dst ~kind:Link.Seq_similarity
+                          ~confidence:(Float.min 1.0 h.normalized)
+                          ~evidence:
+                            (Printf.sprintf "homology score=%d norm=%.2f"
+                               h.raw_score h.normalized)
+                        :: !links)
+                  (objs_of ss sr srow))
+              (objs_of qs qr qrow)
+          end)
+        hits)
+    kinds;
+  { links = Link.dedup !links; fields; sequences_indexed = !indexed;
+    pairs_verified = !pairs_verified }

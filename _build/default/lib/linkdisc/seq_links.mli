@@ -1,0 +1,56 @@
+(** Implicit links from sequence homology (§4.4, second kind of link).
+
+    Sequence fields are detected by their fixed alphabet; values are
+    indexed per alphabet and similar pairs become [Seq_similarity] links
+    between the owning primary objects. *)
+
+type params = {
+  min_normalized : float;  (** alignment score threshold (default 0.5) *)
+  min_seq_len : int;  (** ignore shorter values (default 20) *)
+  cross_source_only : bool;  (** default true *)
+  sample_for_detection : int;  (** values sampled to classify a column (default 50) *)
+}
+
+val default_params : params
+
+type seq_field = {
+  source : string;
+  relation : string;
+  attribute : string;
+  kind : Aladin_seq.Alphabet.kind;
+}
+
+val sequence_fields : params -> Profile_list.t -> seq_field list
+(** All attributes detected as sequence fields. *)
+
+type result = {
+  links : Link.t list;
+  fields : seq_field list;
+  sequences_indexed : int;
+  pairs_verified : int;
+}
+
+val discover : ?params:params -> Profile_list.t -> result
+
+(** {2 Incremental discovery}
+
+    Sequence comparison dominates integration cost, so the warehouse keeps a
+    persistent homology index: adding a source only aligns the NEW
+    sequences against everything indexed so far (§6.2: statistics and
+    indexes are "computed only once for each data source and can then be
+    reused for subsequently added data sources"). *)
+
+type state
+
+val state_create : ?params:params -> unit -> state
+
+val state_sources : state -> string list
+
+val state_add_source : state -> Profile_list.t -> source:string -> Link.t list
+(** Index the named source's sequence fields; returns the NEW links (new
+    vs. indexed, and new vs. new). The profile list must contain every
+    source indexed so far plus the new one.
+    @raise Invalid_argument when the source is already indexed. *)
+
+val state_links : state -> Link.t list
+(** All links accumulated so far (deduplicated). *)

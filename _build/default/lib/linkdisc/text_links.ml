@@ -1,0 +1,162 @@
+open Aladin_relational
+open Aladin_discovery
+module Tx = Aladin_text
+module Sq = Aladin_seq
+
+type params = {
+  min_cosine : float;
+  cross_source_only : bool;
+  mention_min_score : float;
+}
+
+let default_params =
+  { min_cosine = 0.5; cross_source_only = true; mention_min_score = 1.0 }
+
+type result = {
+  links : Link.t list;
+  documents : int;
+  mention_links : int;
+}
+
+let is_sequence_value s =
+  Sq.Alphabet.classify ~min_len:20 s <> None
+
+(* concatenated text fields per owning primary object *)
+let object_documents profiles =
+  let docs : (string, Buffer.t) Hashtbl.t = Hashtbl.create 256 in
+  let refs : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Profile_list.entry) ->
+      let catalog = Profile.catalog e.sp.profile in
+      Profile.all_stats e.sp.profile
+      |> List.iter (fun (cs : Col_stats.t) ->
+             if Prune.is_text_field cs then begin
+               let rel = Catalog.find_exn catalog cs.relation in
+               let ai = Schema.index_of_exn (Relation.schema rel) cs.attribute in
+               Relation.iteri_rows
+                 (fun row_i row ->
+                   let v = row.(ai) in
+                   if not (Value.is_null v) then begin
+                     let s = Value.to_string v in
+                     if not (is_sequence_value s) then
+                       List.iter
+                         (fun obj ->
+                           let key = Objref.to_string obj in
+                           let buf =
+                             match Hashtbl.find_opt docs key with
+                             | Some b -> b
+                             | None ->
+                                 let b = Buffer.create 128 in
+                                 Hashtbl.add docs key b;
+                                 Hashtbl.replace refs key obj;
+                                 b
+                           in
+                           Buffer.add_string buf s;
+                           Buffer.add_char buf ' ')
+                         (Owner_map.object_of_row e.owner ~relation:cs.relation
+                            ~row:row_i)
+                   end)
+                 rel
+             end))
+    (Profile_list.entries profiles);
+  Hashtbl.fold
+    (fun key buf acc -> (Hashtbl.find refs key, Buffer.contents buf) :: acc)
+    docs []
+  |> List.sort (fun (a, _) (b, _) -> Objref.compare a b)
+
+(* name-like attribute: short unique text on the primary relation *)
+let name_dictionary profiles =
+  let dict : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Profile_list.entry) ->
+      match Source_profile.primary_accession e.sp with
+      | None -> ()
+      | Some (prel, pattr) ->
+          let catalog = Profile.catalog e.sp.profile in
+          let source = Source_profile.source e.sp in
+          let rel = Catalog.find_exn catalog prel in
+          let schema = Relation.schema rel in
+          Schema.names schema
+          |> List.iter (fun attr ->
+                 if String.lowercase_ascii attr <> String.lowercase_ascii pattr
+                 then begin
+                   let cs = Profile.stats e.sp.profile ~relation:prel ~attribute:attr in
+                   let name_like =
+                     cs.all_unique && cs.avg_len >= 3.0 && cs.avg_len <= 25.0
+                     && cs.alpha_frac >= 0.9 && cs.numeric_frac < 0.5
+                   in
+                   if name_like then begin
+                     let ai = Schema.index_of_exn schema attr in
+                     let acc_i = Schema.index_of_exn schema pattr in
+                     Relation.iter_rows
+                       (fun row ->
+                         let v = row.(ai) in
+                         if (not (Value.is_null v)) && Value.length v >= 3 then
+                           Hashtbl.replace dict
+                             (String.lowercase_ascii (Value.to_string v))
+                             (Objref.make ~source ~relation:prel
+                                ~accession:(Value.to_string row.(acc_i))))
+                       rel
+                   end
+                 end))
+    (Profile_list.entries profiles);
+  dict
+
+let discover ?(params = default_params) profiles =
+  let documents = object_documents profiles in
+  let corpus = Tx.Tfidf.corpus_create () in
+  let by_id : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (obj, doc) ->
+      let id = Objref.to_string obj in
+      Hashtbl.replace by_id id obj;
+      Tx.Tfidf.corpus_add corpus ~doc_id:id doc)
+    documents;
+  let links = ref [] in
+  (* cosine-similarity links *)
+  List.iter
+    (fun (obj, _) ->
+      let id = Objref.to_string obj in
+      Tx.Tfidf.similar_docs corpus ~doc_id:id ~min_sim:params.min_cosine
+      |> List.iter (fun (other_id, sim) ->
+             match Hashtbl.find_opt by_id other_id with
+             | None -> ()
+             | Some other ->
+                 if
+                   (not params.cross_source_only)
+                   || obj.Objref.source <> other.Objref.source
+                 then
+                   links :=
+                     Link.make ~src:obj ~dst:other ~kind:Link.Text_similarity
+                       ~confidence:sim
+                       ~evidence:(Printf.sprintf "tfidf cosine=%.2f" sim)
+                     :: !links))
+    documents;
+  (* entity-mention links *)
+  let dict = name_dictionary profiles in
+  let recognizer = Tx.Entity_recog.create () in
+  Tx.Entity_recog.add_dictionary recognizer
+    (Hashtbl.fold (fun name _ acc -> name :: acc) dict []);
+  let mention_links = ref 0 in
+  List.iter
+    (fun (obj, doc) ->
+      Tx.Entity_recog.recognize recognizer ~min_score:params.mention_min_score doc
+      |> List.iter (fun (m : Tx.Entity_recog.mention) ->
+             match Hashtbl.find_opt dict (String.lowercase_ascii m.surface) with
+             | None -> ()
+             | Some target ->
+                 let cross =
+                   (not params.cross_source_only)
+                   || obj.Objref.source <> target.Objref.source
+                 in
+                 if cross && not (Objref.equal obj target) then begin
+                   incr mention_links;
+                   links :=
+                     Link.make ~src:obj ~dst:target ~kind:Link.Entity_mention
+                       ~confidence:(0.6 *. m.score)
+                       ~evidence:(Printf.sprintf "mention %S" m.surface)
+                     :: !links
+                 end))
+    documents;
+  { links = Link.dedup !links; documents = List.length documents;
+    mention_links = !mention_links }

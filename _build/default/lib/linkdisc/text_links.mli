@@ -1,0 +1,28 @@
+(** Implicit links from text similarity and from entity mentions (§4.4).
+
+    Every primary object gets a document assembled from the text fields of
+    the rows it owns; TF-IDF cosine above a threshold links two objects.
+    Additionally, gene/protein-style names recognized inside text fields
+    are matched against the name-like unique attributes of other sources'
+    primary relations ([Entity_mention] links). *)
+
+type params = {
+  min_cosine : float;  (** default 0.5 *)
+  cross_source_only : bool;  (** default true *)
+  mention_min_score : float;  (** entity-recognition threshold (default 1.0
+                                  = dictionary matches only) *)
+}
+
+val default_params : params
+
+type result = {
+  links : Link.t list;
+  documents : int;
+  mention_links : int;
+}
+
+val object_documents : Profile_list.t -> (Objref.t * string) list
+(** The assembled per-object documents (exposed for search indexing and
+    tests). Sequence-shaped fields are excluded. *)
+
+val discover : ?params:params -> Profile_list.t -> result

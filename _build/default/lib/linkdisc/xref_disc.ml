@@ -1,0 +1,172 @@
+open Aladin_relational
+open Aladin_discovery
+
+type params = {
+  prune : Prune.params;
+  min_matches : int;
+  min_match_frac : float;
+}
+
+let default_params =
+  { prune = Prune.default_params; min_matches = 2; min_match_frac = 0.02 }
+
+type correspondence = {
+  src_source : string;
+  src_relation : string;
+  src_attribute : string;
+  dst_source : string;
+  dst_relation : string;
+  dst_attribute : string;
+  matches : int;
+  match_frac : float;
+  encoded : bool;
+}
+
+type result = {
+  links : Link.t list;
+  correspondences : correspondence list;
+  attributes_scanned : int;
+  pairs_compared : int;
+}
+
+let decode_candidates v =
+  let split_on seps s =
+    let parts = ref [ s ] in
+    String.iter
+      (fun sep ->
+        parts := List.concat_map (String.split_on_char sep) !parts)
+      seps;
+    !parts
+  in
+  let tails =
+    split_on ":/|=" v |> List.map String.trim |> List.filter (fun s -> s <> "")
+  in
+  v :: List.filter (fun t -> t <> v) tails
+
+(* one scan of attribute column (src_source, rel, attr) against one target *)
+let scan_attribute entry ~src_source ~relation ~attribute
+    ~(target : string * string * string) ~target_set params =
+  let dst_source, dst_relation, dst_attribute = target in
+  let catalog = Profile.catalog (entry : Profile_list.entry).sp.profile in
+  let rel = Catalog.find_exn catalog relation in
+  let ai = Schema.index_of_exn (Relation.schema rel) attribute in
+  let matches = ref 0 in
+  let encoded_matches = ref 0 in
+  let nonnull = ref 0 in
+  let links = ref [] in
+  Relation.iteri_rows
+    (fun row_i row ->
+      let v = row.(ai) in
+      if not (Value.is_null v) then begin
+        incr nonnull;
+        let s = Value.to_string v in
+        let hit =
+          let rec try_tokens first = function
+            | [] -> None
+            | tok :: rest ->
+                if Hashtbl.mem target_set tok then Some (tok, not first)
+                else try_tokens false rest
+          in
+          try_tokens true (decode_candidates s)
+        in
+        match hit with
+        | None -> ()
+        | Some (acc, was_encoded) ->
+            incr matches;
+            if was_encoded then incr encoded_matches;
+            let dst =
+              Objref.make ~source:dst_source ~relation:dst_relation ~accession:acc
+            in
+            let srcs =
+              Owner_map.object_of_row entry.owner ~relation ~row:row_i
+            in
+            List.iter
+              (fun src ->
+                if not (Objref.equal src dst) then
+                  links :=
+                    Link.make ~src ~dst ~kind:Link.Xref
+                      ~confidence:(if was_encoded then 0.85 else 0.9)
+                      ~evidence:
+                        (Printf.sprintf "%s.%s.%s=%s" src_source relation
+                           attribute s)
+                    :: !links)
+              srcs
+      end)
+    rel;
+  let match_frac =
+    if !nonnull = 0 then 0.0 else float_of_int !matches /. float_of_int !nonnull
+  in
+  if !matches >= params.min_matches && match_frac >= params.min_match_frac then
+    Some
+      ( !links,
+        {
+          src_source;
+          src_relation = relation;
+          src_attribute = attribute;
+          dst_source;
+          dst_relation;
+          dst_attribute;
+          matches = !matches;
+          match_frac;
+          encoded = !encoded_matches > 0;
+        } )
+  else None
+
+let discover ?(params = default_params) profiles =
+  let targets = Profile_list.targets profiles in
+  (* accession string set per target *)
+  let target_sets =
+    List.map
+      (fun ((source, _, _) as tgt) ->
+        let set = Hashtbl.create 256 in
+        (match Profile_list.find profiles source with
+        | Some e ->
+            List.iter
+              (fun acc -> Hashtbl.replace set acc ())
+              (Owner_map.primary_accessions e.owner)
+        | None -> ());
+        (tgt, set))
+      targets
+  in
+  let links = ref [] in
+  let correspondences = ref [] in
+  let attributes_scanned = ref 0 in
+  let pairs_compared = ref 0 in
+  List.iter
+    (fun (e : Profile_list.entry) ->
+      let src_source = Source_profile.source e.sp in
+      let own_primary = Source_profile.primary_accession e.sp in
+      Profile.all_stats e.sp.profile
+      |> List.iter (fun (cs : Col_stats.t) ->
+             let is_own_accession =
+               match own_primary with
+               | Some (r, a) ->
+                   String.lowercase_ascii r = String.lowercase_ascii cs.relation
+                   && String.lowercase_ascii a = String.lowercase_ascii cs.attribute
+               | None -> false
+             in
+             if Prune.is_link_source params.prune cs && not is_own_accession
+             then begin
+               incr attributes_scanned;
+               List.iter
+                 (fun (((tgt_source, _, _) as tgt), target_set) ->
+                   if tgt_source <> src_source then begin
+                     incr pairs_compared;
+                     match
+                       scan_attribute e ~src_source ~relation:cs.relation
+                         ~attribute:cs.attribute ~target:tgt ~target_set params
+                     with
+                     | Some (ls, corr) ->
+                         links := ls @ !links;
+                         correspondences := corr :: !correspondences
+                     | None -> ()
+                   end)
+                 target_sets
+             end))
+    (Profile_list.entries profiles);
+  {
+    links = Link.dedup !links;
+    correspondences = List.rev !correspondences;
+    attributes_scanned = !attributes_scanned;
+    pairs_compared = !pairs_compared;
+  }

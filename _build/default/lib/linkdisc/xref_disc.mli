@@ -1,0 +1,42 @@
+(** Explicit cross-reference discovery (§4.4, first kind of link).
+
+    Cross-reference values are matched against the accession value set of
+    every other source's primary relation. Both bare accessions
+    ("P11140") and encoded forms ("Uniprot:P11140") are found — "matching
+    the values of DBRef.accession against all unique fields of primary
+    relations automatically finds the correct target database" (§5). *)
+
+
+type params = {
+  prune : Prune.params;
+  min_matches : int;  (** rows that must match before an attribute counts
+                          as a cross-reference attribute (default 2) *)
+  min_match_frac : float;  (** of the attribute's non-null rows (default 0.02) *)
+}
+
+val default_params : params
+
+type correspondence = {
+  src_source : string;
+  src_relation : string;
+  src_attribute : string;
+  dst_source : string;
+  dst_relation : string;
+  dst_attribute : string;
+  matches : int;
+  match_frac : float;
+  encoded : bool;  (** true when matches came from DB:ACC-style encodings *)
+}
+
+type result = {
+  links : Link.t list;
+  correspondences : correspondence list;
+  attributes_scanned : int;
+  pairs_compared : int;
+}
+
+val decode_candidates : string -> string list
+(** Tokens of an encoded cross-reference value worth matching: the value
+    itself plus alphanumeric segments after ':' '/' '|' and '=' splits. *)
+
+val discover : ?params:params -> Profile_list.t -> result

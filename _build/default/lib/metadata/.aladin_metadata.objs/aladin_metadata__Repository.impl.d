@@ -1,0 +1,1 @@
+lib/metadata/repository.ml: Aladin_discovery Aladin_links Aladin_relational Buffer Catalog Col_stats Inclusion Link List Objref Printf Profile Relation Serial Source_profile String Value Xref_disc

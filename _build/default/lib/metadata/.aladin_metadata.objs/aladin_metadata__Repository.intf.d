@@ -1,0 +1,1 @@
+lib/metadata/repository.mli: Aladin_discovery Aladin_links Aladin_relational Col_stats Inclusion Link Objref Source_profile Xref_disc

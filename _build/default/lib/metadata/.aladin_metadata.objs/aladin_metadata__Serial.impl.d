@@ -1,0 +1,1 @@
+lib/metadata/serial.ml: Buffer List Printf String

@@ -1,0 +1,271 @@
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+
+type source_record = {
+  source : string;
+  relations : (string * int) list;
+  primary : (string * string) option;
+  fks : Inclusion.fk list;
+  stats : Col_stats.t list;
+  sample : (string * string * string list) list;
+}
+
+type t = {
+  mutable source_records : source_record list;
+  mutable link_store : Link.t list;
+  mutable corr_store : Xref_disc.correspondence list;
+}
+
+let create () = { source_records = []; link_store = []; corr_store = [] }
+
+let record_of_profile (sp : Source_profile.t) =
+  let catalog = Profile.catalog sp.profile in
+  let stats = Profile.all_stats sp.profile in
+  {
+    source = Catalog.name catalog;
+    relations =
+      List.map (fun r -> (Relation.name r, Relation.cardinality r)) (Catalog.relations catalog);
+    primary = Source_profile.primary_accession sp;
+    fks = sp.fks;
+    stats;
+    sample =
+      List.map
+        (fun (cs : Col_stats.t) ->
+          ( cs.relation, cs.attribute,
+            List.map Value.to_string cs.sample
+            |> List.filteri (fun i _ -> i < 5) ))
+        stats;
+  }
+
+let add_source t sp =
+  let r = record_of_profile sp in
+  t.source_records <-
+    r :: List.filter (fun s -> s.source <> r.source) t.source_records
+
+let remove_source t name =
+  t.source_records <- List.filter (fun s -> s.source <> name) t.source_records;
+  t.link_store <-
+    List.filter
+      (fun (l : Link.t) ->
+        l.src.Objref.source <> name && l.dst.Objref.source <> name)
+      t.link_store
+
+let sources t = List.rev t.source_records
+
+let find_source t name = List.find_opt (fun s -> s.source = name) t.source_records
+
+let set_links t links = t.link_store <- Link.dedup links
+
+let add_links t links = t.link_store <- Link.dedup (links @ t.link_store)
+
+let links t = t.link_store
+
+let links_of t obj =
+  List.filter
+    (fun (l : Link.t) -> Objref.equal l.src obj || Objref.equal l.dst obj)
+    t.link_store
+
+let set_correspondences t cs = t.corr_store <- cs
+
+let correspondences t = t.corr_store
+
+(* --- serialization --- *)
+
+let card_to_string = function
+  | Inclusion.One_to_one -> "1:1"
+  | Inclusion.One_to_many -> "1:N"
+
+let card_of_string = function
+  | "1:1" -> Inclusion.One_to_one
+  | "1:N" -> Inclusion.One_to_many
+  | s -> invalid_arg (Printf.sprintf "Repository: bad cardinality %S" s)
+
+let origin_to_string = function `Declared -> "declared" | `Inferred -> "inferred"
+
+let origin_of_string = function
+  | "declared" -> `Declared
+  | "inferred" -> `Inferred
+  | s -> invalid_arg (Printf.sprintf "Repository: bad origin %S" s)
+
+let kind_to_string = Link.kind_name
+
+let kind_of_string = function
+  | "xref" -> Link.Xref
+  | "seq" -> Link.Seq_similarity
+  | "text" -> Link.Text_similarity
+  | "shared-term" -> Link.Shared_term
+  | "mention" -> Link.Entity_mention
+  | "duplicate" -> Link.Duplicate
+  | s -> invalid_arg (Printf.sprintf "Repository: bad link kind %S" s)
+
+let save t =
+  let buf = Buffer.create 4096 in
+  let line fs =
+    Buffer.add_string buf (Serial.record fs);
+    Buffer.add_char buf '\n'
+  in
+  line [ "aladin-metadata"; "1" ];
+  List.iter
+    (fun r ->
+      line [ "source"; r.source ];
+      List.iter (fun (rel, n) -> line [ "relation"; rel; string_of_int n ]) r.relations;
+      (match r.primary with
+      | Some (rel, attr) -> line [ "primary"; rel; attr ]
+      | None -> ());
+      List.iter
+        (fun (fk : Inclusion.fk) ->
+          line
+            [ "fk"; fk.src_relation; fk.src_attribute; fk.dst_relation;
+              fk.dst_attribute; card_to_string fk.cardinality;
+              origin_to_string fk.origin ])
+        r.fks;
+      List.iter
+        (fun (cs : Col_stats.t) ->
+          line
+            [ "stats"; cs.relation; cs.attribute; string_of_int cs.rows;
+              string_of_int cs.nulls; string_of_int cs.distinct;
+              string_of_int cs.min_len; string_of_int cs.max_len;
+              Serial.float_to_string cs.avg_len;
+              Serial.float_to_string cs.numeric_frac;
+              Serial.float_to_string cs.alpha_frac;
+              string_of_bool cs.all_unique ])
+        r.stats;
+      List.iter
+        (fun (rel, attr, vals) -> line ("sample" :: rel :: attr :: vals))
+        r.sample)
+    (sources t);
+  List.iter
+    (fun (l : Link.t) ->
+      line
+        [ "link"; l.src.Objref.source; l.src.Objref.relation; l.src.Objref.accession;
+          l.dst.Objref.source; l.dst.Objref.relation; l.dst.Objref.accession;
+          kind_to_string l.kind; Serial.float_to_string l.confidence; l.evidence ])
+    t.link_store;
+  List.iter
+    (fun (c : Xref_disc.correspondence) ->
+      line
+        [ "corr"; c.src_source; c.src_relation; c.src_attribute; c.dst_source;
+          c.dst_relation; c.dst_attribute; string_of_int c.matches;
+          Serial.float_to_string c.match_frac; string_of_bool c.encoded ])
+    t.corr_store;
+  Buffer.contents buf
+
+type loading = {
+  mutable cur : source_record option;
+  mutable done_sources : source_record list;
+  mutable loaded_links : Link.t list;
+  mutable loaded_corrs : Xref_disc.correspondence list;
+}
+
+let load doc =
+  let st = { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [] } in
+  let flush () =
+    match st.cur with
+    | Some r ->
+        st.done_sources <-
+          { r with
+            relations = List.rev r.relations;
+            fks = List.rev r.fks;
+            stats = List.rev r.stats;
+            sample = List.rev r.sample }
+          :: st.done_sources;
+        st.cur <- None
+    | None -> ()
+  in
+  let with_cur f =
+    match st.cur with
+    | Some r -> st.cur <- Some (f r)
+    | None -> invalid_arg "Repository.load: record outside source block"
+  in
+  let lines = String.split_on_char '\n' doc |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | first :: _ when Serial.fields first = [ "aladin-metadata"; "1" ] -> ()
+  | _ -> invalid_arg "Repository.load: bad header");
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match Serial.fields line with
+        | [ "source"; name ] ->
+            flush ();
+            st.cur <-
+              Some
+                { source = name; relations = []; primary = None; fks = [];
+                  stats = []; sample = [] }
+        | [ "relation"; rel; n ] ->
+            with_cur (fun r ->
+                { r with relations = (rel, Serial.int_of_string_exn n) :: r.relations })
+        | [ "primary"; rel; attr ] ->
+            with_cur (fun r -> { r with primary = Some (rel, attr) })
+        | [ "fk"; sr; sa; dr; da; card; origin ] ->
+            with_cur (fun r ->
+                { r with
+                  fks =
+                    { Inclusion.src_relation = sr; src_attribute = sa;
+                      dst_relation = dr; dst_attribute = da;
+                      cardinality = card_of_string card;
+                      origin = origin_of_string origin }
+                    :: r.fks })
+        | [ "stats"; rel; attr; rows; nulls; distinct; min_len; max_len;
+            avg_len; numeric_frac; alpha_frac; all_unique ] ->
+            with_cur (fun r ->
+                { r with
+                  stats =
+                    { Col_stats.relation = rel; attribute = attr;
+                      rows = Serial.int_of_string_exn rows;
+                      nulls = Serial.int_of_string_exn nulls;
+                      distinct = Serial.int_of_string_exn distinct;
+                      min_len = Serial.int_of_string_exn min_len;
+                      max_len = Serial.int_of_string_exn max_len;
+                      avg_len = Serial.float_of_string_exn avg_len;
+                      numeric_frac = Serial.float_of_string_exn numeric_frac;
+                      alpha_frac = Serial.float_of_string_exn alpha_frac;
+                      all_unique = bool_of_string all_unique;
+                      sample = [] }
+                    :: r.stats })
+        | "sample" :: rel :: attr :: vals ->
+            with_cur (fun r -> { r with sample = (rel, attr, vals) :: r.sample })
+        | [ "link"; ss; sr; sa; ds; dr; da; kind; conf; evidence ] ->
+            flush ();
+            st.loaded_links <-
+              Link.make
+                ~src:(Objref.make ~source:ss ~relation:sr ~accession:sa)
+                ~dst:(Objref.make ~source:ds ~relation:dr ~accession:da)
+                ~kind:(kind_of_string kind)
+                ~confidence:(Serial.float_of_string_exn conf)
+                ~evidence
+              :: st.loaded_links
+        | [ "corr"; ss; sr; sa; ds; dr; da; matches; frac; encoded ] ->
+            flush ();
+            st.loaded_corrs <-
+              { Xref_disc.src_source = ss; src_relation = sr; src_attribute = sa;
+                dst_source = ds; dst_relation = dr; dst_attribute = da;
+                matches = Serial.int_of_string_exn matches;
+                match_frac = Serial.float_of_string_exn frac;
+                encoded = bool_of_string encoded }
+              :: st.loaded_corrs
+        | fs ->
+            invalid_arg
+              (Printf.sprintf "Repository.load: bad line %S"
+                 (String.concat "|" fs)))
+    lines;
+  flush ();
+  {
+    source_records = st.done_sources;
+    link_store = List.rev st.loaded_links;
+    corr_store = List.rev st.loaded_corrs;
+  }
+
+let stats_summary t =
+  List.map
+    (fun r ->
+      let rows = List.fold_left (fun acc (_, n) -> acc + n) 0 r.relations in
+      let nlinks =
+        List.length
+          (List.filter
+             (fun (l : Link.t) ->
+               l.src.Objref.source = r.source || l.dst.Objref.source = r.source)
+             t.link_store)
+      in
+      (r.source, List.length r.relations, rows, nlinks))
+    (sources t)

@@ -1,0 +1,63 @@
+(** The central metadata repository (§3, "Metadata repository").
+
+    "In the spirit of the Corpus in the Revere project, it contains not
+    only known and discovered schemata, but also information about primary
+    and secondary relations, statistical metadata, and sample data [...] a
+    large part of storage space will be consumed by the discovered links on
+    the object level."
+
+    The repository is the durable output of integration: what was
+    discovered per source, the object-level links, and the schema-level
+    correspondences, with save/load to a text format. *)
+
+open Aladin_relational
+open Aladin_discovery
+open Aladin_links
+
+type source_record = {
+  source : string;
+  relations : (string * int) list;  (** (relation, row count) *)
+  primary : (string * string) option;  (** (relation, accession attribute) *)
+  fks : Inclusion.fk list;
+  stats : Col_stats.t list;  (** statistical metadata, reused on later adds *)
+  sample : (string * string * string list) list;
+      (** (relation, attribute, sample values) *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_of_profile : Source_profile.t -> source_record
+
+val add_source : t -> Source_profile.t -> unit
+(** Replaces any record with the same source name. *)
+
+val remove_source : t -> string -> unit
+(** Also drops links touching that source. *)
+
+val sources : t -> source_record list
+
+val find_source : t -> string -> source_record option
+
+val set_links : t -> Link.t list -> unit
+
+val add_links : t -> Link.t list -> unit
+(** Merge (deduplicated). *)
+
+val links : t -> Link.t list
+
+val links_of : t -> Objref.t -> Link.t list
+(** Links with the object on either end (symmetric kinds) or as source. *)
+
+val set_correspondences : t -> Xref_disc.correspondence list -> unit
+
+val correspondences : t -> Xref_disc.correspondence list
+
+val save : t -> string
+
+val load : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val stats_summary : t -> (string * int * int * int) list
+(** Per source: (name, #relations, #rows, #links touching it). *)

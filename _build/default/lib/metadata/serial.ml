@@ -1,0 +1,52 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '\\' && i + 1 < n then begin
+      (match s.[i + 1] with
+      | '\\' -> Buffer.add_char buf '\\'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | c ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c);
+      loop (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let record fs = String.concat "\t" (List.map escape fs)
+
+let fields line = List.map unescape (String.split_on_char '\t' line)
+
+let float_to_string f = Printf.sprintf "%h" f
+
+let float_of_string_exn s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Serial.float_of_string_exn: %S" s)
+
+let int_of_string_exn s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Serial.int_of_string_exn: %S" s)

@@ -1,0 +1,23 @@
+(** Line-oriented serialization for the metadata repository.
+
+    Records are tab-separated fields, one per line, with backslash escaping
+    for tab/newline/backslash. *)
+
+val escape : string -> string
+
+val unescape : string -> string
+
+val record : string list -> string
+(** Fields -> one line (no trailing newline). *)
+
+val fields : string -> string list
+(** Inverse of {!record}. *)
+
+val float_to_string : float -> string
+(** Round-trippable float rendering. *)
+
+val float_of_string_exn : string -> float
+(** @raise Invalid_argument *)
+
+val int_of_string_exn : string -> int
+(** @raise Invalid_argument *)

@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Constraint_def Format Hashtbl List Printf Relation Schema String Vec

@@ -1,0 +1,1 @@
+lib/relational/col_stats.ml: Array Format Hashtbl List Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relational/col_stats.mli: Format Relation Value

@@ -1,0 +1,1 @@
+lib/relational/constraint_def.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/table_ops.ml: Array Hashtbl Int List Relation Schema String Value Vset

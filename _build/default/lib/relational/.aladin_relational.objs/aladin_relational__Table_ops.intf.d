@@ -1,0 +1,1 @@
+lib/relational/table_ops.mli: Relation Value Vset

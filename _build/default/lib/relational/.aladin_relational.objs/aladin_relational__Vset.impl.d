@@ -1,0 +1,1 @@
+lib/relational/vset.ml: Array Hashtbl List Value

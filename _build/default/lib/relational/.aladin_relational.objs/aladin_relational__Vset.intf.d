@@ -1,0 +1,1 @@
+lib/relational/vset.mli: Value

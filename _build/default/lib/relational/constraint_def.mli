@@ -1,0 +1,25 @@
+(** Declared integrity constraints.
+
+    ALADIN exploits constraints when the import parser provides them and
+    infers the rest from data (§4.1–4.2). This module is the declared part:
+    the data dictionary. *)
+
+type t =
+  | Unique of { relation : string; attribute : string }
+  | Primary_key of { relation : string; attribute : string }
+  | Foreign_key of {
+      src_relation : string;
+      src_attribute : string;
+      dst_relation : string;
+      dst_attribute : string;
+    }
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val relation_of : t -> string
+(** The relation the constraint is attached to (source side for FKs). *)
+
+val is_unique_like : t -> bool
+(** [Unique] and [Primary_key] both imply uniqueness. *)

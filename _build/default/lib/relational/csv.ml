@@ -1,0 +1,105 @@
+let parse_line line =
+  let buf = Buffer.create 32 in
+  let fields = ref [] in
+  let n = String.length line in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* states: 0 = unquoted, 1 = inside quotes *)
+  let rec loop i state =
+    if i >= n then flush ()
+    else
+      let c = line.[i] in
+      match state with
+      | 0 ->
+          if c = ',' then begin
+            flush ();
+            loop (i + 1) 0
+          end
+          else if c = '"' && Buffer.length buf = 0 then loop (i + 1) 1
+          else begin
+            Buffer.add_char buf c;
+            loop (i + 1) 0
+          end
+      | _ ->
+          if c = '"' then
+            if i + 1 < n && line.[i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              loop (i + 2) 1
+            end
+            else loop (i + 1) 0
+          else begin
+            Buffer.add_char buf c;
+            loop (i + 1) 1
+          end
+  in
+  loop 0 0;
+  List.rev !fields
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render_line fields = String.concat "," (List.map escape_field fields)
+
+let read_string doc =
+  String.split_on_char '\n' doc
+  |> List.filter_map (fun line ->
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = '\r' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         if String.trim line = "" then None else Some (parse_line line))
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  read_string doc
+
+let relation_of_records ~name ~header records =
+  match (records, header) with
+  | [], true -> invalid_arg "Csv.relation_of_records: empty input with header"
+  | [], false -> Relation.create ~name (Schema.of_names [])
+  | first :: rest, _ ->
+      let attrs, rows =
+        if header then (first, rest)
+        else (List.mapi (fun i _ -> Printf.sprintf "c%d" i) first, records)
+      in
+      let rel = Relation.create ~name (Schema.of_names attrs) in
+      let arity = List.length attrs in
+      List.iter
+        (fun fields ->
+          if List.length fields <> arity then
+            invalid_arg
+              (Printf.sprintf "Csv.relation_of_records: ragged row in %s" name);
+          Relation.insert_strings rel fields)
+        rows;
+      rel
+
+let write_relation rel =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render_line (Schema.names (Relation.schema rel)));
+  Buffer.add_char buf '\n';
+  Relation.iter_rows
+    (fun r ->
+      Buffer.add_string buf
+        (render_line (Array.to_list (Array.map Value.to_string r)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf

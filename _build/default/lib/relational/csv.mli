@@ -1,0 +1,24 @@
+(** Minimal RFC-4180-ish CSV reader/writer (relational dump files). *)
+
+val parse_line : string -> string list
+(** Split one record. Handles double-quoted fields with embedded commas and
+    escaped quotes (""). Does not handle embedded newlines (dump files from
+    the generators never produce them). *)
+
+val escape_field : string -> string
+
+val render_line : string list -> string
+
+val read_string : string -> string list list
+(** Whole document -> records. Blank lines are skipped. *)
+
+val read_file : string -> string list list
+
+val relation_of_records :
+  name:string -> header:bool -> string list list -> Relation.t
+(** First record is the header when [header]; otherwise attributes are named
+    [c0..cn]. Values are type-inferred via {!Value.of_string}.
+    @raise Invalid_argument on empty input with [header] or ragged rows. *)
+
+val write_relation : Relation.t -> string
+(** Header + rows as a CSV document. *)

@@ -1,0 +1,98 @@
+type t = { name : string; schema : Schema.t; rows : Value.t array Vec.t }
+
+let create ~name schema = { name; schema; rows = Vec.create () }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let arity t = Schema.arity t.schema
+
+let cardinality t = Vec.length t.rows
+
+let insert t row =
+  if Array.length row <> arity t then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: row arity %d <> schema arity %d in %s"
+         (Array.length row) (arity t) t.name);
+  Vec.push t.rows row
+
+let insert_strings t fields =
+  insert t (Array.of_list (List.map Value.of_string fields))
+
+let row t i = Vec.get t.rows i
+
+let iter_rows f t = Vec.iter f t.rows
+
+let iteri_rows f t = Vec.iteri f t.rows
+
+let fold_rows f acc t = Vec.fold_left f acc t.rows
+
+let rows t = Vec.to_list t.rows
+
+let col_index t attr =
+  match Schema.index_of t.schema attr with
+  | Some i -> i
+  | None -> raise Not_found
+
+let column t attr =
+  let i = col_index t attr in
+  Array.init (cardinality t) (fun r -> (Vec.get t.rows r).(i))
+
+let value t i attr = (row t i).(col_index t attr)
+
+let find_row t attr v =
+  let i = col_index t attr in
+  Vec.find_opt (fun r -> Value.equal r.(i) v) t.rows
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let distinct t attr =
+  let i = col_index t attr in
+  let seen = Vtbl.create 64 in
+  let out = ref [] in
+  Vec.iter
+    (fun r ->
+      let v = r.(i) in
+      if (not (Value.is_null v)) && not (Vtbl.mem seen v) then begin
+        Vtbl.add seen v ();
+        out := v :: !out
+      end)
+    t.rows;
+  !out
+
+let distinct_count t attr = List.length (distinct t attr)
+
+let is_unique t attr =
+  let i = col_index t attr in
+  let seen = Vtbl.create 64 in
+  let dup = ref false in
+  let nonnull = ref 0 in
+  Vec.iter
+    (fun r ->
+      let v = r.(i) in
+      if not (Value.is_null v) then begin
+        incr nonnull;
+        if Vtbl.mem seen v then dup := true else Vtbl.add seen v ()
+      end)
+    t.rows;
+  !nonnull > 0 && not !dup
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s %a [%d rows]" t.name Schema.pp t.schema (cardinality t);
+  let limit = min 10 (cardinality t) in
+  for i = 0 to limit - 1 do
+    let cells = Array.to_list (row t i) in
+    Format.fprintf ppf "@,  %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         Value.pp)
+      cells
+  done;
+  if cardinality t > limit then Format.fprintf ppf "@,  ...";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+type attribute = { name : string; ty : Value.ty }
+
+type t = { attrs : attribute array; index : (string, int) Hashtbl.t }
+
+let norm = String.lowercase_ascii
+
+let make attrs =
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      let key = norm a.name in
+      if Hashtbl.mem index key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" a.name);
+      Hashtbl.add index key i)
+    attrs;
+  { attrs = Array.of_list attrs; index }
+
+let of_names names = make (List.map (fun name -> { name; ty = Value.Ttext }) names)
+
+let arity t = Array.length t.attrs
+
+let attributes t = Array.to_list t.attrs
+
+let names t = List.map (fun a -> a.name) (attributes t)
+
+let attribute t i = t.attrs.(i)
+
+let index_of t name = Hashtbl.find_opt t.index (norm name)
+
+let index_of_exn t name =
+  match index_of t name with Some i -> i | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.index (norm name)
+
+let ty_of t name =
+  match index_of t name with Some i -> Some t.attrs.(i).ty | None -> None
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> norm x.name = norm y.name && x.ty = y.ty)
+       a.attrs b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%s" a.name (Value.ty_name a.ty)))
+    (attributes t)
+
+let rename t ~prefix =
+  make (List.map (fun a -> { a with name = prefix ^ a.name }) (attributes t))
+
+let concat a b = make (attributes a @ attributes b)

@@ -1,0 +1,144 @@
+let select rel pred =
+  let out =
+    Relation.create ~name:(Relation.name rel ^ "_sel") (Relation.schema rel)
+  in
+  Relation.iter_rows (fun r -> if pred r then Relation.insert out r) rel;
+  out
+
+let project rel attrs =
+  let schema = Relation.schema rel in
+  let idxs =
+    List.map
+      (fun a ->
+        match Schema.index_of schema a with
+        | Some i -> i
+        | None -> raise Not_found)
+      attrs
+  in
+  let out_schema =
+    Schema.make
+      (List.map (fun i -> Schema.attribute schema i) idxs)
+  in
+  let out = Relation.create ~name:(Relation.name rel ^ "_proj") out_schema in
+  Relation.iter_rows
+    (fun r -> Relation.insert out (Array.of_list (List.map (fun i -> r.(i)) idxs)))
+    rel;
+  out
+
+let distinct_rows rel =
+  let seen = Hashtbl.create 64 in
+  let out =
+    Relation.create ~name:(Relation.name rel ^ "_dist") (Relation.schema rel)
+  in
+  Relation.iter_rows
+    (fun r ->
+      let key = String.concat "\x00" (Array.to_list (Array.map Value.to_string r)) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Relation.insert out r
+      end)
+    rel;
+  out
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let qualified rel =
+  Schema.rename (Relation.schema rel) ~prefix:(Relation.name rel ^ ".")
+
+let hash_join ~left ~right ~on:(lattr, rattr) =
+  let li = Schema.index_of_exn (Relation.schema left) lattr in
+  let ri = Schema.index_of_exn (Relation.schema right) rattr in
+  let index : Value.t array list Vtbl.t = Vtbl.create 256 in
+  Relation.iter_rows
+    (fun r ->
+      let k = r.(ri) in
+      if not (Value.is_null k) then
+        Vtbl.replace index k (r :: (try Vtbl.find index k with Not_found -> [])))
+    right;
+  let out_schema = Schema.concat (qualified left) (qualified right) in
+  let out =
+    Relation.create
+      ~name:(Relation.name left ^ "_join_" ^ Relation.name right)
+      out_schema
+  in
+  Relation.iter_rows
+    (fun lrow ->
+      let k = lrow.(li) in
+      if not (Value.is_null k) then
+        match Vtbl.find_opt index k with
+        | None -> ()
+        | Some partners ->
+            List.iter
+              (fun rrow -> Relation.insert out (Array.append lrow rrow))
+              partners)
+    left;
+  out
+
+let semi_join ~left ~right ~on:(lattr, rattr) =
+  let li = Schema.index_of_exn (Relation.schema left) lattr in
+  let keys = Vset.of_column (Relation.column right rattr) in
+  let out =
+    Relation.create ~name:(Relation.name left ^ "_semi") (Relation.schema left)
+  in
+  Relation.iter_rows
+    (fun r ->
+      let k = r.(li) in
+      if (not (Value.is_null k)) && Vset.mem keys k then Relation.insert out r)
+    left;
+  out
+
+let union_compatible a b = Schema.equal (Relation.schema a) (Relation.schema b)
+
+let union a b =
+  if not (union_compatible a b) then
+    invalid_arg "Table_ops.union: schemas are not union-compatible";
+  let out =
+    Relation.create
+      ~name:(Relation.name a ^ "_union_" ^ Relation.name b)
+      (Relation.schema a)
+  in
+  Relation.iter_rows (Relation.insert out) a;
+  Relation.iter_rows (Relation.insert out) b;
+  out
+
+let sort_by rel attr =
+  let i = Schema.index_of_exn (Relation.schema rel) attr in
+  let rows = Array.of_list (Relation.rows rel) in
+  Array.sort (fun a b -> Value.compare a.(i) b.(i)) rows;
+  let out =
+    Relation.create ~name:(Relation.name rel ^ "_sorted") (Relation.schema rel)
+  in
+  Array.iter (Relation.insert out) rows;
+  out
+
+let limit rel n =
+  let out =
+    Relation.create ~name:(Relation.name rel ^ "_limit") (Relation.schema rel)
+  in
+  (try
+     Relation.iteri_rows
+       (fun i r -> if i >= n then raise Exit else Relation.insert out r)
+       rel
+   with Exit -> ());
+  out
+
+let group_count rel attr =
+  let i = Schema.index_of_exn (Relation.schema rel) attr in
+  let counts : int ref Vtbl.t = Vtbl.create 64 in
+  Relation.iter_rows
+    (fun r ->
+      let v = r.(i) in
+      if not (Value.is_null v) then
+        match Vtbl.find_opt counts v with
+        | Some c -> incr c
+        | None -> Vtbl.add counts v (ref 1))
+    rel;
+  Vtbl.fold (fun v c acc -> (v, !c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let value_set rel attr = Vset.of_column (Relation.column rel attr)

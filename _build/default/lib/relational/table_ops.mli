@@ -1,0 +1,43 @@
+(** Relational algebra over {!Relation.t}.
+
+    Every operation produces a fresh relation; inputs are never mutated. *)
+
+val select : Relation.t -> (Value.t array -> bool) -> Relation.t
+(** Rows satisfying the predicate; output keeps the input name + ["_sel"]. *)
+
+val project : Relation.t -> string list -> Relation.t
+(** Named attributes in the given order. Duplicates are NOT removed (bag
+    semantics, like SQL). @raise Not_found on unknown attribute. *)
+
+val distinct_rows : Relation.t -> Relation.t
+(** Remove exact duplicate rows. *)
+
+val hash_join :
+  left:Relation.t ->
+  right:Relation.t ->
+  on:(string * string) ->
+  Relation.t
+(** Equi-join on [left_attr = right_attr]; the output schema qualifies every
+    attribute with its relation of origin ("rel.attr"). Null keys never
+    join. *)
+
+val semi_join :
+  left:Relation.t -> right:Relation.t -> on:(string * string) -> Relation.t
+(** Left rows with at least one join partner. Output schema = left schema. *)
+
+val union_compatible : Relation.t -> Relation.t -> bool
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Bag union. @raise Invalid_argument unless union-compatible. *)
+
+val sort_by : Relation.t -> string -> Relation.t
+(** Ascending by the named attribute ({!Value.compare}). *)
+
+val limit : Relation.t -> int -> Relation.t
+
+val group_count : Relation.t -> string -> (Value.t * int) list
+(** Distinct values of the attribute with their multiplicities, descending
+    by count. Nulls excluded. *)
+
+val value_set : Relation.t -> string -> Vset.t
+(** Distinct non-null values of a column, as a {!Vset.t}. *)

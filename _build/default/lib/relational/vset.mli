@@ -1,0 +1,29 @@
+(** Hash sets of {!Value.t}, used everywhere value-overlap must be computed
+    (inclusion dependencies, link discovery). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+val add : t -> Value.t -> unit
+
+val mem : t -> Value.t -> bool
+
+val cardinal : t -> int
+
+val iter : (Value.t -> unit) -> t -> unit
+
+val to_list : t -> Value.t list
+
+val of_list : Value.t list -> t
+
+val of_column : Value.t array -> t
+(** Nulls are skipped. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every member of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val inter_count : t -> t -> int
+(** Size of the intersection. *)

@@ -1,0 +1,1 @@
+lib/seq/align.ml: Array Buffer Char Float Option String Subst_matrix

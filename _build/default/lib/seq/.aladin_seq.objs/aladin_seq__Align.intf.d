@@ -1,0 +1,1 @@
+lib/seq/align.mli: Subst_matrix

@@ -1,0 +1,1 @@
+lib/seq/alphabet.ml: Buffer Char Int List Printf String

@@ -1,0 +1,1 @@
+lib/seq/homology.ml: Align Alphabet Float Kmer_index List Option String Subst_matrix

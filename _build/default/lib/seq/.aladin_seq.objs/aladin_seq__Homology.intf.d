@@ -1,0 +1,1 @@
+lib/seq/homology.mli: Alphabet

@@ -1,0 +1,1 @@
+lib/seq/kmer_index.ml: Alphabet Hashtbl Int List String

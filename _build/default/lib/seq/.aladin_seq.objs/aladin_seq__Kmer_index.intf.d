@@ -1,0 +1,1 @@
+lib/seq/kmer_index.mli:

@@ -1,0 +1,1 @@
+lib/seq/subst_matrix.mli: Alphabet

@@ -1,0 +1,68 @@
+type kind = Dna | Rna | Protein
+
+let dna = "ACGT"
+
+let rna = "ACGU"
+
+let protein = "ACDEFGHIKLMNPQRSTVWY"
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> ()
+      | 'a' .. 'z' -> Buffer.add_char buf (Char.uppercase_ascii c)
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let is_over ~alphabet s =
+  let s = normalize s in
+  s <> "" && String.for_all (fun c -> String.contains alphabet c) s
+
+let classify ?(min_len = 10) s =
+  let s = normalize s in
+  if String.length s < min_len then None
+  else if is_over ~alphabet:dna s then Some Dna
+  else if is_over ~alphabet:rna s then Some Rna
+  else if is_over ~alphabet:protein s then Some Protein
+  else None
+
+let classify_column ?(min_len = 10) ?(min_frac = 0.9) values =
+  let nonempty = List.filter (fun s -> normalize s <> "") values in
+  match nonempty with
+  | [] -> None
+  | _ ->
+      let total = List.length nonempty in
+      let count k =
+        List.length
+          (List.filter (fun s -> classify ~min_len s = Some k) nonempty)
+      in
+      let candidates =
+        [ (Dna, count Dna); (Rna, count Rna); (Protein, count Protein) ]
+        |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+      in
+      (match candidates with
+      | (k, n) :: _ when float_of_int n >= min_frac *. float_of_int total ->
+          Some k
+      | _ -> None)
+
+let gc_content s =
+  let s = normalize s in
+  if s = "" then 0.0
+  else
+    let gc = ref 0 in
+    String.iter (fun c -> if c = 'G' || c = 'C' then incr gc) s;
+    float_of_int !gc /. float_of_int (String.length s)
+
+let reverse_complement s =
+  let s = normalize s in
+  let n = String.length s in
+  String.init n (fun i ->
+      match s.[n - 1 - i] with
+      | 'A' -> 'T'
+      | 'T' -> 'A'
+      | 'G' -> 'C'
+      | 'C' -> 'G'
+      | c -> invalid_arg (Printf.sprintf "Alphabet.reverse_complement: %c" c))

@@ -1,0 +1,36 @@
+(** Biological sequence alphabets and sequence-field detection.
+
+    §4.4 of the paper: "Finding sequence fields is simple, as those contain
+    only strings over a fixed alphabet (A, C, T, G for genes)." *)
+
+type kind = Dna | Rna | Protein
+
+val dna : string
+(** "ACGT" *)
+
+val rna : string
+(** "ACGU" *)
+
+val protein : string
+(** The 20 standard amino-acid one-letter codes. *)
+
+val normalize : string -> string
+(** Uppercase and strip whitespace/newlines — flat files wrap sequences. *)
+
+val is_over : alphabet:string -> string -> bool
+(** After normalization, every character is in [alphabet]; empty is false. *)
+
+val classify : ?min_len:int -> string -> kind option
+(** Detect the alphabet of a (normalized) string. DNA wins over protein for
+    ACGT-only strings; [min_len] (default 10) guards against short words like
+    "CAT" being taken for sequences. *)
+
+val classify_column : ?min_len:int -> ?min_frac:float -> string list -> kind option
+(** A column is a sequence field when at least [min_frac] (default 0.9) of
+    its non-empty values classify to the same kind. *)
+
+val gc_content : string -> float
+(** Fraction of G/C in a normalized DNA string; 0 on empty. *)
+
+val reverse_complement : string -> string
+(** DNA reverse complement. @raise Invalid_argument on non-DNA letters. *)

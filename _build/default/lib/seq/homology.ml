@@ -1,0 +1,66 @@
+type hit = {
+  query_id : string;
+  subject_id : string;
+  raw_score : int;
+  normalized : float;
+  shared_kmers : int;
+}
+
+type t = {
+  index : Kmer_index.t;
+  matrix : Subst_matrix.t;
+  min_hits : int;
+}
+
+let default_k = function
+  | Alphabet.Dna | Alphabet.Rna -> 11
+  | Alphabet.Protein -> 4
+
+let create ?k ?(min_hits = 2) kind =
+  let k = Option.value k ~default:(default_k kind) in
+  { index = Kmer_index.create ~k; matrix = Subst_matrix.for_kind kind; min_hits }
+
+let add t ~id s = Kmer_index.add t.index ~id s
+
+let size t = Kmer_index.size t.index
+
+let verify t ~query_id ~query ~subject_id ~shared_kmers ~min_normalized =
+  match Kmer_index.sequence t.index subject_id with
+  | None -> None
+  | Some subject ->
+      let raw = Align.local_score ~matrix:t.matrix query subject in
+      let shorter =
+        if String.length query <= String.length subject then query else subject
+      in
+      let denom =
+        let total = ref 0 in
+        String.iter
+          (fun c -> total := !total + Subst_matrix.score t.matrix c c)
+          shorter;
+        !total
+      in
+      let normalized =
+        if denom <= 0 then 0.0 else float_of_int raw /. float_of_int denom
+      in
+      if normalized >= min_normalized then
+        Some { query_id; subject_id; raw_score = raw; normalized; shared_kmers }
+      else None
+
+let search t ~query_id query ~min_normalized =
+  let query = Alphabet.normalize query in
+  Kmer_index.candidates t.index ~min_hits:t.min_hits query
+  |> List.filter (fun (id, _) -> id <> query_id)
+  |> List.filter_map (fun (subject_id, shared_kmers) ->
+         verify t ~query_id ~query ~subject_id ~shared_kmers ~min_normalized)
+  |> List.sort (fun a b -> Float.compare b.normalized a.normalized)
+
+let all_pairs t ~min_normalized =
+  let ids = List.sort String.compare (Kmer_index.ids t.index) in
+  List.concat_map
+    (fun query_id ->
+      match Kmer_index.sequence t.index query_id with
+      | None -> []
+      | Some q ->
+          search t ~query_id q ~min_normalized
+          |> List.filter (fun h -> h.query_id < h.subject_id))
+    ids

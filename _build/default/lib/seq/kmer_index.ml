@@ -1,0 +1,64 @@
+type t = {
+  k : int;
+  postings : (string, string list ref) Hashtbl.t;  (* kmer -> ids *)
+  sequences : (string, string) Hashtbl.t;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Kmer_index.create: k must be >= 1";
+  { k; postings = Hashtbl.create 1024; sequences = Hashtbl.create 64 }
+
+let k t = t.k
+
+let kmers_of ~k s =
+  let s = Alphabet.normalize s in
+  let n = String.length s in
+  if n < k then []
+  else List.init (n - k + 1) (fun i -> String.sub s i k)
+
+let distinct_kmers ~k s =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun km ->
+      if Hashtbl.mem seen km then false
+      else begin
+        Hashtbl.add seen km ();
+        true
+      end)
+    (kmers_of ~k s)
+
+let add t ~id s =
+  let s = Alphabet.normalize s in
+  Hashtbl.replace t.sequences id s;
+  List.iter
+    (fun km ->
+      match Hashtbl.find_opt t.postings km with
+      | Some ids -> if List.hd !ids <> id then ids := id :: !ids
+      | None -> Hashtbl.add t.postings km (ref [ id ]))
+    (distinct_kmers ~k:t.k s)
+
+let size t = Hashtbl.length t.sequences
+
+let sequence t id = Hashtbl.find_opt t.sequences id
+
+let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.sequences []
+
+let candidates t ?(min_hits = 1) query =
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun km ->
+      match Hashtbl.find_opt t.postings km with
+      | None -> ()
+      | Some ids ->
+          List.iter
+            (fun id ->
+              match Hashtbl.find_opt counts id with
+              | Some c -> incr c
+              | None -> Hashtbl.add counts id (ref 1))
+            !ids)
+    (distinct_kmers ~k:t.k query);
+  Hashtbl.fold
+    (fun id c acc -> if !c >= min_hits then (id, !c) :: acc else acc)
+    counts []
+  |> List.sort (fun (ida, a) (idb, b) ->
+         match Int.compare b a with 0 -> String.compare ida idb | c -> c)

@@ -1,0 +1,31 @@
+(** K-mer inverted index over a collection of named sequences.
+
+    The seeding stage of homology search: candidate subjects are those
+    sharing at least [min_hits] k-mers with the query — only they are
+    verified by alignment. *)
+
+type t
+
+val create : k:int -> t
+(** @raise Invalid_argument when [k < 1]. *)
+
+val k : t -> int
+
+val add : t -> id:string -> string -> unit
+(** Index a sequence under [id]. The sequence is normalized first.
+    Sequences shorter than [k] are recorded but produce no k-mers. *)
+
+val size : t -> int
+(** Number of indexed sequences. *)
+
+val sequence : t -> string -> string option
+
+val ids : t -> string list
+
+val kmers_of : k:int -> string -> string list
+(** All overlapping k-mers of the normalized input (with duplicates). *)
+
+val candidates : t -> ?min_hits:int -> string -> (string * int) list
+(** Subjects sharing k-mers with the query, with the number of distinct
+    shared k-mer positions, descending. [min_hits] defaults to 1. The query
+    itself is included if indexed (callers filter self-hits). *)

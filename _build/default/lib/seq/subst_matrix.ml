@@ -1,0 +1,73 @@
+type t = {
+  lookup : char -> char -> int;
+  gap_open : int;
+  gap_extend : int;
+  mutable table_cache : int array option;
+}
+
+let nucleotide =
+  let lookup a b =
+    let a = Char.uppercase_ascii a and b = Char.uppercase_ascii b in
+    if a = b then 5 else -4
+  in
+  { lookup; gap_open = -8; gap_extend = -2; table_cache = None }
+
+(* BLOSUM62, row/column order A R N D C Q E G H I L K M F P S T W Y V. *)
+let blosum62_order = "ARNDCQEGHILKMFPSTWYV"
+
+let blosum62_rows =
+  [|
+    [| 4; -1; -2; -2; 0; -1; -1; 0; -2; -1; -1; -1; -1; -2; -1; 1; 0; -3; -2; 0 |];
+    [| -1; 5; 0; -2; -3; 1; 0; -2; 0; -3; -2; 2; -1; -3; -2; -1; -1; -3; -2; -3 |];
+    [| -2; 0; 6; 1; -3; 0; 0; 0; 1; -3; -3; 0; -2; -3; -2; 1; 0; -4; -2; -3 |];
+    [| -2; -2; 1; 6; -3; 0; 2; -1; -1; -3; -4; -1; -3; -3; -1; 0; -1; -4; -3; -3 |];
+    [| 0; -3; -3; -3; 9; -3; -4; -3; -3; -1; -1; -3; -1; -2; -3; -1; -1; -2; -2; -1 |];
+    [| -1; 1; 0; 0; -3; 5; 2; -2; 0; -3; -2; 1; 0; -3; -1; 0; -1; -2; -1; -2 |];
+    [| -1; 0; 0; 2; -4; 2; 5; -2; 0; -3; -3; 1; -2; -3; -1; 0; -1; -3; -2; -2 |];
+    [| 0; -2; 0; -1; -3; -2; -2; 6; -2; -4; -4; -2; -3; -3; -2; 0; -2; -2; -3; -3 |];
+    [| -2; 0; 1; -1; -3; 0; 0; -2; 8; -3; -3; -1; -2; -1; -2; -1; -2; -2; 2; -3 |];
+    [| -1; -3; -3; -3; -1; -3; -3; -4; -3; 4; 2; -3; 1; 0; -3; -2; -1; -3; -1; 3 |];
+    [| -1; -2; -3; -4; -1; -2; -3; -4; -3; 2; 4; -2; 2; 0; -3; -2; -1; -2; -1; 1 |];
+    [| -1; 2; 0; -1; -3; 1; 1; -2; -1; -3; -2; 5; -1; -3; -1; 0; -1; -3; -2; -2 |];
+    [| -1; -1; -2; -3; -1; 0; -2; -3; -2; 1; 2; -1; 5; 0; -2; -1; -1; -1; -1; 1 |];
+    [| -2; -3; -3; -3; -2; -3; -3; -3; -1; 0; 0; -3; 0; 6; -4; -2; -2; 1; 3; -1 |];
+    [| -1; -2; -2; -1; -3; -1; -1; -2; -2; -3; -3; -1; -2; -4; 7; -1; -1; -4; -3; -2 |];
+    [| 1; -1; 1; 0; -1; 0; 0; 0; -1; -2; -2; 0; -1; -2; -1; 4; 1; -3; -2; -2 |];
+    [| 0; -1; 0; -1; -1; -1; -1; -2; -2; -1; -1; -1; -1; -2; -1; 1; 5; -2; -2; 0 |];
+    [| -3; -3; -4; -4; -2; -2; -3; -2; -2; -3; -2; -3; -1; 1; -4; -3; -2; 11; 2; -3 |];
+    [| -2; -2; -2; -3; -2; -1; -2; -3; 2; -1; -1; -2; -1; 3; -3; -2; -2; 2; 7; -2 |];
+    [| 0; -3; -3; -3; -1; -2; -2; -3; -3; 3; 1; -2; 1; -1; -2; -2; 0; -3; -2; 4 |];
+  |]
+
+let blosum62 =
+  let index = Array.make 256 (-1) in
+  String.iteri (fun i c -> index.(Char.code c) <- i) blosum62_order;
+  let lookup a b =
+    let ia = index.(Char.code (Char.uppercase_ascii a)) in
+    let ib = index.(Char.code (Char.uppercase_ascii b)) in
+    if ia < 0 || ib < 0 then -4 else blosum62_rows.(ia).(ib)
+  in
+  { lookup; gap_open = -11; gap_extend = -1; table_cache = None }
+
+let score t a b = t.lookup a b
+
+let table t =
+  match t.table_cache with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Array.make (256 * 256) 0 in
+      for a = 0 to 255 do
+        for b = 0 to 255 do
+          tbl.((a * 256) + b) <- t.lookup (Char.chr a) (Char.chr b)
+        done
+      done;
+      t.table_cache <- Some tbl;
+      tbl
+
+let for_kind = function
+  | Alphabet.Dna | Alphabet.Rna -> nucleotide
+  | Alphabet.Protein -> blosum62
+
+let gap_open t = t.gap_open
+
+let gap_extend t = t.gap_extend

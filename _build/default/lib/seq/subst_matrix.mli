@@ -1,0 +1,27 @@
+(** Substitution scoring.
+
+    Nucleotides use a simple match/mismatch model (BLASTN defaults);
+    proteins use BLOSUM62. *)
+
+type t
+
+val nucleotide : t
+(** +5 match / -4 mismatch (BLASTN-like). *)
+
+val blosum62 : t
+(** The standard BLOSUM62 matrix over the 20 amino acids. Unknown letters
+    score as the worst mismatch (-4). *)
+
+val score : t -> char -> char -> int
+
+val table : t -> int array
+(** Flat 256x256 score table ([code a * 256 + code b]), built once per
+    matrix — the allocation-free fast path for alignment inner loops. *)
+
+val for_kind : Alphabet.kind -> t
+
+val gap_open : t -> int
+(** Suggested gap-open penalty (negative). *)
+
+val gap_extend : t -> int
+(** Suggested gap-extension penalty (negative). *)

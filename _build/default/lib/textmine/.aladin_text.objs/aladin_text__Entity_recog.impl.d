@@ -1,0 +1,1 @@
+lib/textmine/entity_recog.ml: Float Hashtbl List String Tokenize

@@ -1,0 +1,1 @@
+lib/textmine/entity_recog.mli:

@@ -1,0 +1,1 @@
+lib/textmine/inverted_index.ml: Float Hashtbl List String Tokenize

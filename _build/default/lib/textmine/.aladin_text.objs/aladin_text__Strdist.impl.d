@@ -1,0 +1,1 @@
+lib/textmine/strdist.ml: Array Hashtbl String

@@ -1,0 +1,1 @@
+lib/textmine/tfidf.ml: Float Hashtbl List Option String Tokenize

@@ -1,0 +1,1 @@
+lib/textmine/tokenize.ml: Buffer Hashtbl List String

@@ -1,0 +1,1 @@
+lib/textmine/tokenize.mli: Hashtbl

@@ -1,0 +1,26 @@
+(** Biological named-entity recognition in free text (GAPSCORE stand-in,
+    §4.4: "methods for finding names of biological entities in natural text
+    can be used for extracting names that are matched with unique fields of
+    primary relations"). Combines a dictionary of known names with surface
+    heuristics for gene/protein-like tokens. *)
+
+type mention = { surface : string; start : int; score : float }
+(** [start] is the token index in the text; [score] in (0,1]. *)
+
+type t
+
+val create : unit -> t
+
+val add_dictionary : t -> string list -> unit
+(** Register known entity names (matched case-insensitively). *)
+
+val dictionary_size : t -> int
+
+val surface_score : string -> float
+(** Heuristic score that a single token is a gene/protein name: mixed
+    alphanumerics ("BRCA2", "p53"), internal capitals, digit suffixes.
+    0 for plain words. *)
+
+val recognize : t -> ?min_score:float -> string -> mention list
+(** Mentions above [min_score] (default 0.5), in text order. Dictionary
+    matches score 1.0; others use {!surface_score}. Stopwords never match. *)

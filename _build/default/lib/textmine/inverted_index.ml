@@ -1,0 +1,105 @@
+type posting = { doc_id : string; field : string; tf : int }
+
+type t = {
+  index : (string, posting list ref) Hashtbl.t;
+  docs : (string, unit) Hashtbl.t;
+}
+
+let create () = { index = Hashtbl.create 1024; docs = Hashtbl.create 256 }
+
+let add t ~doc_id ~field text =
+  Hashtbl.replace t.docs doc_id ();
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let c = try Hashtbl.find counts w with Not_found -> 0 in
+      Hashtbl.replace counts w (c + 1))
+    (Tokenize.terms text);
+  Hashtbl.iter
+    (fun term tf ->
+      let p = { doc_id; field; tf } in
+      match Hashtbl.find_opt t.index term with
+      | Some ps -> ps := p :: !ps
+      | None -> Hashtbl.add t.index term (ref [ p ]))
+    counts
+
+let doc_count t = Hashtbl.length t.docs
+
+let term_count t = Hashtbl.length t.index
+
+let postings t term =
+  match Hashtbl.find_opt t.index (String.lowercase_ascii term) with
+  | Some ps -> !ps
+  | None -> []
+
+type query_result = { doc_id : string; score : float; matched : string list }
+
+let idf t term =
+  let n = float_of_int (max 1 (doc_count t)) in
+  let docs_with =
+    postings t term
+    |> List.fold_left
+         (fun acc (p : posting) ->
+           if List.mem p.doc_id acc then acc else p.doc_id :: acc)
+         []
+    |> List.length
+  in
+  if docs_with = 0 then 0.0 else log (1.0 +. (n /. float_of_int docs_with))
+
+let search t ?field ?(limit = 20) query =
+  let terms = Tokenize.terms query in
+  let scores : (string, float ref * string list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun term ->
+      let w = idf t term in
+      if w > 0.0 then
+        postings t term
+        |> List.iter (fun p ->
+               let keep =
+                 match field with None -> true | Some f -> p.field = f
+               in
+               if keep then
+                 let entry =
+                   match Hashtbl.find_opt scores p.doc_id with
+                   | Some e -> e
+                   | None ->
+                       let e = (ref 0.0, ref []) in
+                       Hashtbl.add scores p.doc_id e;
+                       e
+                 in
+                 let score, matched = entry in
+                 score := !score +. (float_of_int p.tf *. w);
+                 if not (List.mem term !matched) then matched := term :: !matched))
+    terms;
+  Hashtbl.fold
+    (fun doc_id (score, matched) acc ->
+      (* reward matching more distinct query terms *)
+      let coverage =
+        float_of_int (List.length !matched)
+        /. float_of_int (max 1 (List.length terms))
+      in
+      { doc_id; score = !score *. (0.5 +. (0.5 *. coverage)); matched = !matched }
+      :: acc)
+    scores []
+  |> List.sort (fun a b ->
+         match Float.compare b.score a.score with
+         | 0 -> String.compare a.doc_id b.doc_id
+         | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let phrase_matches t query =
+  match Tokenize.terms query with
+  | [] -> []
+  | first :: rest ->
+      let docs_of term =
+        postings t term
+        |> List.map (fun (p : posting) -> p.doc_id)
+        |> List.sort_uniq String.compare
+      in
+      List.fold_left
+        (fun acc term ->
+          let ds = docs_of term in
+          List.filter (fun d -> List.mem d ds) acc)
+        (docs_of first) rest

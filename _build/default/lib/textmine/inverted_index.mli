@@ -1,0 +1,31 @@
+(** Inverted index with TF-IDF ranking — the warehouse's full-text search
+    engine (§4.6: "a specialized search engine can crawl the links and index
+    biological objects and their data and textual annotation"). *)
+
+type t
+
+type posting = { doc_id : string; field : string; tf : int }
+
+val create : unit -> t
+
+val add : t -> doc_id:string -> field:string -> string -> unit
+(** Index one field of a document. Repeated calls accumulate. *)
+
+val doc_count : t -> int
+
+val term_count : t -> int
+
+val postings : t -> string -> posting list
+(** Raw postings for a (lowercased) term. *)
+
+type query_result = { doc_id : string; score : float; matched : string list }
+
+val search : t -> ?field:string -> ?limit:int -> string -> query_result list
+(** Rank documents by summed TF-IDF of the query terms; [field] restricts to
+    a vertical partition (the paper's "focused search"). [limit] defaults to
+    20. Multi-term queries are disjunctive but reward documents matching
+    more terms. *)
+
+val phrase_matches : t -> string -> string list
+(** Document ids whose indexed text contains every query term (conjunctive
+    filter used by the browser's search box). *)

@@ -1,0 +1,137 @@
+let levenshtein a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      cur.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let levenshtein_bounded ~bound a b =
+  if abs (String.length a - String.length b) > bound then None
+  else
+    let d = levenshtein a b in
+    if d <= bound then Some d else None
+
+let similarity a b =
+  let n = max (String.length a) (String.length b) in
+  if n = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int n)
+
+let jaro a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 && m = 0 then 1.0
+  else if n = 0 || m = 0 then 0.0
+  else begin
+    let window = max 0 ((max n m / 2) - 1) in
+    let a_match = Array.make n false and b_match = Array.make m false in
+    let matches = ref 0 in
+    for i = 0 to n - 1 do
+      let lo = max 0 (i - window) and hi = min (m - 1) (i + window) in
+      let rec scan j =
+        if j > hi then ()
+        else if (not b_match.(j)) && a.[i] = b.[j] then begin
+          a_match.(i) <- true;
+          b_match.(j) <- true;
+          incr matches
+        end
+        else scan (j + 1)
+      in
+      scan lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      let transpositions = ref 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if a_match.(i) then begin
+          while not b_match.(!k) do incr k done;
+          if a.[i] <> b.[!k] then incr transpositions;
+          incr k
+        end
+      done;
+      let mf = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      (mf /. float_of_int n +. mf /. float_of_int m +. ((mf -. t) /. mf)) /. 3.0
+    end
+  end
+
+let jaro_winkler a b =
+  let j = jaro a b in
+  let max_prefix = 4 in
+  let rec prefix_len i =
+    if i >= max_prefix || i >= String.length a || i >= String.length b then i
+    else if a.[i] = b.[i] then prefix_len (i + 1)
+    else i
+  in
+  let p = float_of_int (prefix_len 0) in
+  j +. (p *. 0.1 *. (1.0 -. j))
+
+let bigram_multiset s =
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to String.length s - 2 do
+    let bg = String.sub s i 2 in
+    let c = try Hashtbl.find tbl bg with Not_found -> 0 in
+    Hashtbl.replace tbl bg (c + 1)
+  done;
+  tbl
+
+let dice_bigrams a b =
+  let ta = bigram_multiset (String.lowercase_ascii a) in
+  let tb = bigram_multiset (String.lowercase_ascii b) in
+  let total ta = Hashtbl.fold (fun _ c acc -> acc + c) ta 0 in
+  let na = total ta and nb = total tb in
+  if na = 0 && nb = 0 then 1.0
+  else if na = 0 || nb = 0 then 0.0
+  else begin
+    let inter = ref 0 in
+    Hashtbl.iter
+      (fun bg ca ->
+        match Hashtbl.find_opt tb bg with
+        | Some cb -> inter := !inter + min ca cb
+        | None -> ())
+      ta;
+    2.0 *. float_of_int !inter /. float_of_int (na + nb)
+  end
+
+let longest_common_substring a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 || m = 0 then ""
+  else begin
+    let prev = Array.make (m + 1) 0 in
+    let cur = Array.make (m + 1) 0 in
+    let best_len = ref 0 and best_end = ref 0 in
+    for i = 1 to n do
+      cur.(0) <- 0;
+      for j = 1 to m do
+        if a.[i - 1] = b.[j - 1] then begin
+          cur.(j) <- prev.(j - 1) + 1;
+          if cur.(j) > !best_len then begin
+            best_len := cur.(j);
+            best_end := i
+          end
+        end
+        else cur.(j) <- 0
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    String.sub a (!best_end - !best_len) !best_len
+  end
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  end

@@ -1,0 +1,100 @@
+type corpus = {
+  docs : (string, (string, int) Hashtbl.t) Hashtbl.t;  (* doc -> term counts *)
+  df : (string, int) Hashtbl.t;  (* term -> document frequency *)
+}
+
+type vector = (string, float) Hashtbl.t
+
+let corpus_create () = { docs = Hashtbl.create 64; df = Hashtbl.create 256 }
+
+let term_counts text =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let c = try Hashtbl.find counts w with Not_found -> 0 in
+      Hashtbl.replace counts w (c + 1))
+    (Tokenize.terms text);
+  counts
+
+let remove_df c counts =
+  Hashtbl.iter
+    (fun term _ ->
+      match Hashtbl.find_opt c.df term with
+      | Some 1 -> Hashtbl.remove c.df term
+      | Some n -> Hashtbl.replace c.df term (n - 1)
+      | None -> ())
+    counts
+
+let corpus_add c ~doc_id text =
+  (match Hashtbl.find_opt c.docs doc_id with
+  | Some old -> remove_df c old
+  | None -> ());
+  let counts = term_counts text in
+  Hashtbl.replace c.docs doc_id counts;
+  Hashtbl.iter
+    (fun term _ ->
+      let d = try Hashtbl.find c.df term with Not_found -> 0 in
+      Hashtbl.replace c.df term (d + 1))
+    counts
+
+let corpus_size c = Hashtbl.length c.docs
+
+let doc_ids c = Hashtbl.fold (fun id _ acc -> id :: acc) c.docs []
+
+let idf c term =
+  let n = float_of_int (max 1 (corpus_size c)) in
+  match Hashtbl.find_opt c.df term with
+  | Some df when df > 0 -> Float.max 0.0 (log (n /. float_of_int df))
+  | Some _ | None -> log (n +. 1.0)
+
+let vector_of_counts c counts =
+  let v : vector = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter
+    (fun term tf ->
+      let w = float_of_int tf *. idf c term in
+      if w > 0.0 then Hashtbl.replace v term w)
+    counts;
+  v
+
+let vector_of_doc c doc_id =
+  Option.map (vector_of_counts c) (Hashtbl.find_opt c.docs doc_id)
+
+let vector_of_text c text = vector_of_counts c (term_counts text)
+
+let norm v = sqrt (Hashtbl.fold (fun _ w acc -> acc +. (w *. w)) v 0.0)
+
+let cosine a b =
+  let na = norm a and nb = norm b in
+  if na = 0.0 || nb = 0.0 then 0.0
+  else begin
+    let small, large = if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a) in
+    let dot = ref 0.0 in
+    Hashtbl.iter
+      (fun term w ->
+        match Hashtbl.find_opt large term with
+        | Some w' -> dot := !dot +. (w *. w')
+        | None -> ())
+      small;
+    !dot /. (na *. nb)
+  end
+
+let similar_docs c ~doc_id ~min_sim =
+  match vector_of_doc c doc_id with
+  | None -> []
+  | Some v ->
+      Hashtbl.fold
+        (fun other counts acc ->
+          if other = doc_id then acc
+          else
+            let sim = cosine v (vector_of_counts c counts) in
+            if sim >= min_sim then (other, sim) :: acc else acc)
+        c.docs []
+      |> List.sort (fun (ida, a) (idb, b) ->
+             match Float.compare b a with
+             | 0 -> String.compare ida idb
+             | cmp -> cmp)
+
+let top_terms v n =
+  Hashtbl.fold (fun term w acc -> (term, w) :: acc) v []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,32 @@
+(** TF-IDF document vectors and cosine similarity.
+
+    Backs implicit text-similarity links (§4.4) and search ranking (§4.6). *)
+
+type corpus
+
+type vector
+
+val corpus_create : unit -> corpus
+
+val corpus_add : corpus -> doc_id:string -> string -> unit
+(** Add (or replace) a document. Terms come from {!Tokenize.terms}. *)
+
+val corpus_size : corpus -> int
+
+val doc_ids : corpus -> string list
+
+val vector_of_doc : corpus -> string -> vector option
+(** TF-IDF vector of an indexed document. IDF = ln(N / df). *)
+
+val vector_of_text : corpus -> string -> vector
+(** Vector of arbitrary text against the corpus statistics; terms unseen in
+    the corpus get IDF ln(N+1). *)
+
+val cosine : vector -> vector -> float
+(** In [0,1]; 0 when either vector is zero. *)
+
+val similar_docs : corpus -> doc_id:string -> min_sim:float -> (string * float) list
+(** Other documents with cosine >= [min_sim], descending. *)
+
+val top_terms : vector -> int -> (string * float) list
+(** Heaviest terms of a vector (descending weight). *)

@@ -1,0 +1,57 @@
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let split_words s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_word_char c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !out
+
+let words s = List.map String.lowercase_ascii (split_words s)
+
+let words_raw s = split_words s
+
+let stopwords =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun w -> Hashtbl.replace tbl w ())
+    [
+      "a"; "an"; "and"; "are"; "as"; "at"; "be"; "by"; "for"; "from"; "has";
+      "in"; "is"; "it"; "its"; "of"; "on"; "or"; "that"; "the"; "this"; "to";
+      "was"; "which"; "with"; "putative"; "probable"; "predicted";
+      "hypothetical"; "uncharacterized"; "fragment"; "precursor";
+    ];
+  tbl
+
+let stopword w = Hashtbl.mem stopwords (String.lowercase_ascii w)
+
+let terms s =
+  List.filter (fun w -> String.length w > 1 && not (stopword w)) (words s)
+
+let ngrams ~n s =
+  let s = String.lowercase_ascii s in
+  let len = String.length s in
+  if len < n then []
+  else List.init (len - n + 1) (fun i -> String.sub s i n)
+
+let token_set s =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun w -> Hashtbl.replace tbl w ()) (terms s);
+  tbl
+
+let jaccard a b =
+  let sa = token_set a and sb = token_set b in
+  let na = Hashtbl.length sa and nb = Hashtbl.length sb in
+  if na = 0 && nb = 0 then 1.0
+  else begin
+    let inter = ref 0 in
+    Hashtbl.iter (fun w () -> if Hashtbl.mem sb w then incr inter) sa;
+    float_of_int !inter /. float_of_int (na + nb - !inter)
+  end

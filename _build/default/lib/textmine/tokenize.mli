@@ -1,0 +1,21 @@
+(** Tokenization and normalization for description-style text fields. *)
+
+val words : string -> string list
+(** Lowercased maximal runs of letters/digits; punctuation splits. *)
+
+val words_raw : string -> string list
+(** Like {!words} but preserving case — entity recognition needs casing. *)
+
+val stopword : string -> bool
+(** Small English + bio-boilerplate stopword list ("the", "protein", ...). *)
+
+val terms : string -> string list
+(** {!words} minus stopwords and one-character tokens. *)
+
+val ngrams : n:int -> string -> string list
+(** Character n-grams of the lowercased input (no padding). *)
+
+val token_set : string -> (string, unit) Hashtbl.t
+
+val jaccard : string -> string -> float
+(** Jaccard similarity of the {!terms} sets; 1.0 when both are empty. *)

@@ -1,0 +1,1 @@
+test/t_dupdetect.ml: Aladin_dup Aladin_links Aladin_text Alcotest Array Conflict Dup_detect Field_sim Link List Object_sim Objref Printf QCheck QCheck_alcotest String Union_find

@@ -1,0 +1,1 @@
+test/t_fuzz.ml: Aladin Aladin_access Aladin_formats Aladin_metadata Aladin_relational Dump Fasta Genbank Import List Obo Pdb_flat QCheck QCheck_alcotest Sql_lexer Sql_parser String Swissprot Xml

@@ -1,0 +1,1 @@
+test/t_metadata.ml: Aladin_discovery Aladin_links Aladin_metadata Alcotest Link List Objref Printf QCheck QCheck_alcotest Repository Serial Source_profile String T_discovery Xref_disc

@@ -1,0 +1,1 @@
+test/t_relational.ml: Aladin_relational Alcotest Array Catalog Col_stats Constraint_def Csv Int List Printf QCheck QCheck_alcotest Relation Schema String Table_ops Value Vec Vset

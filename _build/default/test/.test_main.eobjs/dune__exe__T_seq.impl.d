@@ -1,0 +1,1 @@
+test/t_seq.ml: Aladin_seq Alcotest Align Alphabet Homology Kmer_index List Printf QCheck QCheck_alcotest String Subst_matrix

@@ -1,0 +1,1 @@
+test/t_textmine.ml: Aladin_text Alcotest Entity_recog Inverted_index List Printf QCheck QCheck_alcotest Strdist Tfidf Tokenize

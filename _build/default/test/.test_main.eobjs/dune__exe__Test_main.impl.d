@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_access T_core T_datagen T_discovery T_dupdetect T_eval T_formats T_fuzz T_linkdisc T_metadata T_relational T_seq T_textmine

@@ -1,0 +1,589 @@
+open Aladin_relational
+open Aladin_access
+
+let check = Alcotest.check
+
+let lexer_tests =
+  [
+    Alcotest.test_case "tokens" `Quick (fun () ->
+        match Sql_lexer.tokenize "SELECT a, b FROM t WHERE x = 'v'" with
+        | [ Kw "SELECT"; Ident "a"; Comma; Ident "b"; Kw "FROM"; Ident "t";
+            Kw "WHERE"; Ident "x"; Eq; String_lit "v" ] -> ()
+        | _ -> Alcotest.fail "bad tokens");
+    Alcotest.test_case "escaped quote in string" `Quick (fun () ->
+        match Sql_lexer.tokenize "'it''s'" with
+        | [ String_lit "it's" ] -> ()
+        | _ -> Alcotest.fail "bad string");
+    Alcotest.test_case "numbers" `Quick (fun () ->
+        match Sql_lexer.tokenize "42 -3.5" with
+        | [ Number_lit a; Number_lit b ] ->
+            check (Alcotest.float 0.001) "int" 42.0 a;
+            check (Alcotest.float 0.001) "neg float" (-3.5) b
+        | _ -> Alcotest.fail "bad numbers");
+    Alcotest.test_case "operators" `Quick (fun () ->
+        match Sql_lexer.tokenize "<> <= >= < > != =" with
+        | [ Neq; Le; Ge; Lt; Gt; Neq; Eq ] -> ()
+        | _ -> Alcotest.fail "bad ops");
+    Alcotest.test_case "unterminated string raises" `Quick (fun () ->
+        match Sql_lexer.tokenize "'oops" with
+        | exception Sql_lexer.Lex_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "keywords case-insensitive" `Quick (fun () ->
+        match Sql_lexer.tokenize "select From" with
+        | [ Kw "SELECT"; Kw "FROM" ] -> ()
+        | _ -> Alcotest.fail "bad keywords");
+  ]
+
+let parser_tests =
+  [
+    Alcotest.test_case "full query" `Quick (fun () ->
+        let q =
+          Sql_parser.parse
+            "SELECT t.a, b FROM t JOIN u ON t.a = u.a WHERE b > 3 AND c = 'x' \
+             ORDER BY b DESC LIMIT 10"
+        in
+        check Alcotest.int "projection" 2 (List.length q.projection);
+        check Alcotest.string "from" "t" q.from_table;
+        check Alcotest.int "joins" 1 (List.length q.joins);
+        (match q.where with
+        | Some (Sql_parser.And (_, _)) -> ()
+        | Some _ | None -> Alcotest.fail "expected conjunction");
+        check Alcotest.bool "order desc" true
+          (match q.order_by with Some o -> o.descending | None -> false);
+        check Alcotest.(option int) "limit" (Some 10) q.limit);
+    Alcotest.test_case "star projection" `Quick (fun () ->
+        let q = Sql_parser.parse "SELECT * FROM t" in
+        check Alcotest.int "empty proj" 0 (List.length q.projection));
+    Alcotest.test_case "distinct" `Quick (fun () ->
+        check Alcotest.bool "flag" true (Sql_parser.parse "SELECT DISTINCT a FROM t").distinct);
+    Alcotest.test_case "is null predicates" `Quick (fun () ->
+        let q = Sql_parser.parse "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL" in
+        match q.where with
+        | Some (Sql_parser.And (Sql_parser.Is_null _, Sql_parser.Is_not_null _)) -> ()
+        | Some _ | None -> Alcotest.fail "bad predicates");
+    Alcotest.test_case "or / not / parens precedence" `Quick (fun () ->
+        let q = Sql_parser.parse "SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT (c = 3)" in
+        match q.where with
+        | Some (Sql_parser.Or (Sql_parser.Compare _,
+                               Sql_parser.And (Sql_parser.Compare _,
+                                               Sql_parser.Not (Sql_parser.Compare _)))) -> ()
+        | Some _ | None -> Alcotest.fail "bad precedence");
+    Alcotest.test_case "in list" `Quick (fun () ->
+        let q = Sql_parser.parse "SELECT * FROM t WHERE a IN ('x', 'y', 3)" in
+        match q.where with
+        | Some (Sql_parser.In_list (_, [ _; _; _ ])) -> ()
+        | Some _ | None -> Alcotest.fail "bad in-list");
+    Alcotest.test_case "aggregates and group by" `Quick (fun () ->
+        let q =
+          Sql_parser.parse
+            "SELECT city_id, COUNT(*), AVG(age) FROM people GROUP BY city_id"
+        in
+        check Alcotest.int "items" 3 (List.length q.projection);
+        check Alcotest.int "group cols" 1 (List.length q.group_by);
+        match q.projection with
+        | [ Sql_parser.Item_col _; Sql_parser.Item_agg Sql_parser.Count_star;
+            Sql_parser.Item_agg (Sql_parser.Avg _) ] -> ()
+        | _ -> Alcotest.fail "bad projection");
+    Alcotest.test_case "qualified column split" `Quick (fun () ->
+        let q = Sql_parser.parse "SELECT src.tbl.attr FROM src.tbl" in
+        match q.projection with
+        | [ Sql_parser.Item_col { table = Some "src.tbl"; attr = "attr" } ] -> ()
+        | _ -> Alcotest.fail "bad column");
+    Alcotest.test_case "trailing garbage raises" `Quick (fun () ->
+        match Sql_parser.parse "SELECT * FROM t extra" with
+        | exception Sql_parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "missing from raises" `Quick (fun () ->
+        match Sql_parser.parse "SELECT a" with
+        | exception Sql_parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+  ]
+
+let fixture_catalog () =
+  let cat = Catalog.create ~name:"db" in
+  let people =
+    Catalog.create_relation cat ~name:"people"
+      (Schema.of_names [ "id"; "name"; "age"; "city_id" ])
+  in
+  List.iter (Relation.insert people)
+    [
+      [| Value.Int 1; Value.text "ada"; Value.Int 36; Value.Int 1 |];
+      [| Value.Int 2; Value.text "bob"; Value.Int 28; Value.Int 2 |];
+      [| Value.Int 3; Value.text "cyd"; Value.Int 41; Value.Int 1 |];
+      [| Value.Int 4; Value.text "dee"; Value.Null; Value.Int 2 |];
+    ];
+  let cities =
+    Catalog.create_relation cat ~name:"cities"
+      (Schema.of_names [ "id"; "city" ])
+  in
+  List.iter (Relation.insert cities)
+    [ [| Value.Int 1; Value.text "berlin" |]; [| Value.Int 2; Value.text "paris" |] ];
+  cat
+
+let run q =
+  Sql_eval.run ~resolve:(Catalog.find (fixture_catalog ())) q
+
+let eval_tests =
+  [
+    Alcotest.test_case "select star" `Quick (fun () ->
+        check Alcotest.int "rows" 4 (Relation.cardinality (run "SELECT * FROM people")));
+    Alcotest.test_case "where comparison" `Quick (fun () ->
+        check Alcotest.int "age > 30" 2
+          (Relation.cardinality (run "SELECT * FROM people WHERE age > 30")));
+    Alcotest.test_case "where equality string" `Quick (fun () ->
+        check Alcotest.int "ada" 1
+          (Relation.cardinality (run "SELECT * FROM people WHERE name = 'ada'")));
+    Alcotest.test_case "like" `Quick (fun () ->
+        check Alcotest.int "names with d" 3
+          (Relation.cardinality (run "SELECT * FROM people WHERE name LIKE '%d%'"));
+        check Alcotest.int "names ending e" 1
+          (Relation.cardinality (run "SELECT * FROM people WHERE name LIKE '%e'")));
+    Alcotest.test_case "is null" `Quick (fun () ->
+        check Alcotest.int "null age" 1
+          (Relation.cardinality (run "SELECT * FROM people WHERE age IS NULL"));
+        check Alcotest.int "non-null" 3
+          (Relation.cardinality (run "SELECT * FROM people WHERE age IS NOT NULL")));
+    Alcotest.test_case "join" `Quick (fun () ->
+        let r =
+          run "SELECT people.name, cities.city FROM people JOIN cities ON people.city_id = cities.id"
+        in
+        check Alcotest.int "rows" 4 (Relation.cardinality r);
+        check Alcotest.int "cols" 2 (Relation.arity r));
+    Alcotest.test_case "join condition reversed" `Quick (fun () ->
+        let r =
+          run "SELECT * FROM people JOIN cities ON cities.id = people.city_id"
+        in
+        check Alcotest.int "rows" 4 (Relation.cardinality r));
+    Alcotest.test_case "join plus filter" `Quick (fun () ->
+        let r =
+          run
+            "SELECT name FROM people JOIN cities ON people.city_id = cities.id \
+             WHERE city = 'berlin'"
+        in
+        check Alcotest.int "two berliners" 2 (Relation.cardinality r));
+    Alcotest.test_case "order by desc limit" `Quick (fun () ->
+        let r = run "SELECT name FROM people WHERE age IS NOT NULL ORDER BY age DESC LIMIT 1" in
+        check Alcotest.bool "oldest" true ((Relation.row r 0).(0) = Value.Text "cyd"));
+    Alcotest.test_case "distinct" `Quick (fun () ->
+        check Alcotest.int "cities" 2
+          (Relation.cardinality (run "SELECT DISTINCT city_id FROM people")));
+    Alcotest.test_case "unknown table" `Quick (fun () ->
+        match run "SELECT * FROM nope" with
+        | exception Sql_eval.Eval_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "unknown column" `Quick (fun () ->
+        match run "SELECT zz FROM people" with
+        | exception Sql_eval.Eval_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "ambiguous column" `Quick (fun () ->
+        match run "SELECT id FROM people JOIN cities ON people.city_id = cities.id" with
+        | exception Sql_eval.Eval_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "or expression" `Quick (fun () ->
+        check Alcotest.int "ada or bob" 2
+          (Relation.cardinality
+             (run "SELECT * FROM people WHERE name = 'ada' OR name = 'bob'")));
+    Alcotest.test_case "not expression" `Quick (fun () ->
+        check Alcotest.int "not ada" 3
+          (Relation.cardinality (run "SELECT * FROM people WHERE NOT name = 'ada'")));
+    Alcotest.test_case "parenthesized precedence" `Quick (fun () ->
+        check Alcotest.int "and binds tighter" 2
+          (Relation.cardinality
+             (run
+                "SELECT * FROM people WHERE name = 'ada' OR name = 'bob' AND age > 20"));
+        check Alcotest.int "parens change it" 1
+          (Relation.cardinality
+             (run
+                "SELECT * FROM people WHERE (name = 'ada' OR name = 'bob') AND age > 30")));
+    Alcotest.test_case "in list eval" `Quick (fun () ->
+        check Alcotest.int "two" 2
+          (Relation.cardinality
+             (run "SELECT * FROM people WHERE name IN ('ada', 'cyd')"));
+        check Alcotest.int "not in" 2
+          (Relation.cardinality
+             (run "SELECT * FROM people WHERE name NOT IN ('ada', 'cyd')")));
+    Alcotest.test_case "count star" `Quick (fun () ->
+        let r = run "SELECT COUNT(*) FROM people" in
+        check Alcotest.bool "4" true ((Relation.row r 0).(0) = Value.Int 4));
+    Alcotest.test_case "count column skips nulls" `Quick (fun () ->
+        let r = run "SELECT COUNT(age) FROM people" in
+        check Alcotest.bool "3" true ((Relation.row r 0).(0) = Value.Int 3));
+    Alcotest.test_case "sum avg min max" `Quick (fun () ->
+        let r = run "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM people" in
+        let row = Relation.row r 0 in
+        check Alcotest.bool "sum" true (row.(0) = Value.Int 105);
+        check Alcotest.bool "avg" true (row.(1) = Value.Float 35.0);
+        check Alcotest.bool "min" true (row.(2) = Value.Int 28);
+        check Alcotest.bool "max" true (row.(3) = Value.Int 41));
+    Alcotest.test_case "group by with count" `Quick (fun () ->
+        let r =
+          run
+            "SELECT city_id, COUNT(*) FROM people GROUP BY city_id ORDER BY city_id"
+        in
+        check Alcotest.int "two groups" 2 (Relation.cardinality r);
+        check Alcotest.bool "berlin has 2" true ((Relation.row r 0).(1) = Value.Int 2));
+    Alcotest.test_case "non-grouped column rejected" `Quick (fun () ->
+        match run "SELECT name, COUNT(*) FROM people GROUP BY city_id" with
+        | exception Sql_eval.Eval_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "order by aggregate output" `Quick (fun () ->
+        let r =
+          run
+            "SELECT city_id, COUNT(*) FROM people GROUP BY city_id ORDER BY city_id DESC"
+        in
+        check Alcotest.bool "paris first" true ((Relation.row r 0).(0) = Value.Int 2));
+    Alcotest.test_case "render_result" `Quick (fun () ->
+        let s = Sql_eval.render_result (run "SELECT name FROM people LIMIT 1") in
+        check Alcotest.bool "has name" true
+          (Aladin_text.Strdist.contains ~needle:"ada" s));
+  ]
+
+(* reference LIKE implementation: O(n*m) DP over the pattern *)
+let like_reference ~pattern s =
+  let p = String.lowercase_ascii pattern and s = String.lowercase_ascii s in
+  let np = String.length p and ns = String.length s in
+  let dp = Array.make_matrix (np + 1) (ns + 1) false in
+  dp.(0).(0) <- true;
+  for i = 1 to np do
+    if p.[i - 1] = '%' then dp.(i).(0) <- dp.(i - 1).(0)
+  done;
+  for i = 1 to np do
+    for j = 1 to ns do
+      dp.(i).(j) <-
+        (match p.[i - 1] with
+        | '%' -> dp.(i - 1).(j) || dp.(i).(j - 1)
+        | '_' -> dp.(i - 1).(j - 1)
+        | c -> c = s.[j - 1] && dp.(i - 1).(j - 1))
+    done
+  done;
+  dp.(np).(ns)
+
+let like_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"like_match agrees with reference DP" ~count:300
+         QCheck.(pair
+                   (string_gen_of_size (QCheck.Gen.int_range 0 8)
+                      (QCheck.Gen.oneofl [ 'a'; 'b'; '%'; '_' ]))
+                   (string_gen_of_size (QCheck.Gen.int_range 0 10)
+                      (QCheck.Gen.oneofl [ 'a'; 'b'; 'c' ])))
+         (fun (pattern, s) ->
+           Sql_eval.like_match ~pattern s = like_reference ~pattern s));
+    Alcotest.test_case "like semantics" `Quick (fun () ->
+        check Alcotest.bool "prefix" true (Sql_eval.like_match ~pattern:"ab%" "abcdef");
+        check Alcotest.bool "suffix" true (Sql_eval.like_match ~pattern:"%def" "abcdef");
+        check Alcotest.bool "infix" true (Sql_eval.like_match ~pattern:"%cd%" "abcdef");
+        check Alcotest.bool "underscore" true (Sql_eval.like_match ~pattern:"a_c" "abc");
+        check Alcotest.bool "exact" true (Sql_eval.like_match ~pattern:"abc" "abc");
+        check Alcotest.bool "case-insensitive" true (Sql_eval.like_match ~pattern:"ABC" "abc");
+        check Alcotest.bool "no match" false (Sql_eval.like_match ~pattern:"x%" "abc");
+        check Alcotest.bool "percent alone" true (Sql_eval.like_match ~pattern:"%" "");
+        check Alcotest.bool "too short" false (Sql_eval.like_match ~pattern:"a_c" "ac"));
+  ]
+
+(* warehouse-level fixtures reuse the linkdisc mini-sources *)
+let mini_profiles () =
+  Aladin_links.Profile_list.of_profiles
+    [
+      Aladin_discovery.Source_profile.analyze (T_linkdisc.source_a ());
+      Aladin_discovery.Source_profile.analyze (T_linkdisc.source_b ());
+    ]
+
+let search_tests =
+  [
+    Alcotest.test_case "build and count" `Quick (fun () ->
+        let s = Search.build (mini_profiles ()) in
+        check Alcotest.int "six objects" 6 (Search.object_count s));
+    Alcotest.test_case "find by description word" `Quick (fun () ->
+        let s = Search.build (mini_profiles ()) in
+        let hits = Search.search s "kinase" in
+        check Alcotest.bool "nonempty" true (hits <> []);
+        check Alcotest.bool "AX001 or BX901 hit" true
+          (List.exists
+             (fun (h : Search.hit) ->
+               h.obj.Aladin_links.Objref.accession = "AX001"
+               || h.obj.Aladin_links.Objref.accession = "BX901")
+             hits));
+    Alcotest.test_case "focused by source" `Quick (fun () ->
+        let s = Search.build (mini_profiles ()) in
+        let hits = Search.focused s ~source:"src_b" "kinase" in
+        check Alcotest.bool "only src_b" true
+          (List.for_all
+             (fun (h : Search.hit) -> h.obj.Aladin_links.Objref.source = "src_b")
+             hits));
+    Alcotest.test_case "resolve accession" `Quick (fun () ->
+        let s = Search.build (mini_profiles ()) in
+        check Alcotest.bool "found" true (Search.resolve s "ax001" <> None);
+        check Alcotest.bool "missing" true (Search.resolve s "nope" = None));
+  ]
+
+let path_rank_tests =
+  let obj s a = Aladin_links.Objref.make ~source:s ~relation:"r" ~accession:a in
+  let link a b c =
+    Aladin_links.Link.make ~src:a ~dst:b ~kind:Aladin_links.Link.Xref
+      ~confidence:c ~evidence:"t"
+  in
+  [
+    Alcotest.test_case "direct link relatedness" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" in
+        let pr = Path_rank.build [ link a b 0.8 ] in
+        check (Alcotest.float 0.001) "conf" 0.8 (Path_rank.relatedness pr a b));
+    Alcotest.test_case "two-hop decays" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" and c = obj "s" "C" in
+        let pr = Path_rank.build [ link a b 1.0; link b c 1.0 ] in
+        check (Alcotest.float 0.001) "decay" 0.5 (Path_rank.relatedness pr a c));
+    Alcotest.test_case "parallel paths add up" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" and c = obj "s" "C" and d = obj "s" "D" in
+        let pr =
+          Path_rank.build [ link a b 1.0; link b d 1.0; link a c 1.0; link c d 1.0 ]
+        in
+        check (Alcotest.float 0.001) "two paths" 1.0 (Path_rank.relatedness pr a d));
+    Alcotest.test_case "unconnected zero" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" in
+        let pr = Path_rank.build [] in
+        check (Alcotest.float 0.001) "zero" 0.0 (Path_rank.relatedness pr a b));
+    Alcotest.test_case "rank_from orders" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" and c = obj "s" "C" in
+        let pr = Path_rank.build [ link a b 0.9; link b c 0.9 ] in
+        match Path_rank.rank_from pr a with
+        | (first, _) :: _ ->
+            check Alcotest.string "direct first" "s:B"
+              (Aladin_links.Objref.to_string first)
+        | [] -> Alcotest.fail "empty");
+  ]
+
+let browser_tests =
+  let build () =
+    let profiles = mini_profiles () in
+    let repo = Aladin_metadata.Repository.create () in
+    let report = Aladin_links.Linker.discover profiles in
+    Aladin_metadata.Repository.set_links repo report.links;
+    Browser.create profiles repo
+  in
+  [
+    Alcotest.test_case "view fields" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v ->
+            check Alcotest.bool "accession field" true
+              (List.mem ("accession", "AX001") v.fields));
+    Alcotest.test_case "annotations present" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v ->
+            check Alcotest.bool "dbxref annotation" true
+              (List.exists (fun (a : Browser.annotation) -> a.relation = "dbxref") v.annotations));
+    Alcotest.test_case "links attached" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v -> check Alcotest.bool "linked" true (v.linked <> []));
+    Alcotest.test_case "follow link" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v -> (
+            match Browser.follow b v 0 with
+            | Some v2 ->
+                check Alcotest.bool "landed elsewhere" true
+                  (v2.obj.Aladin_links.Objref.accession <> "AX001")
+            | None -> Alcotest.fail "follow failed"));
+    Alcotest.test_case "unknown object none" `Quick (fun () ->
+        let b = build () in
+        check Alcotest.bool "none" true
+          (Browser.view_accession b ~source:"src_a" "ZZZ" = None));
+    Alcotest.test_case "render mentions accession" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v ->
+            check Alcotest.bool "rendered" true
+              (Aladin_text.Strdist.contains ~needle:"AX001" (Browser.render v)));
+    Alcotest.test_case "objects enumerates all" `Quick (fun () ->
+        let b = build () in
+        check Alcotest.int "six" 6 (List.length (Browser.objects b)));
+    Alcotest.test_case "siblings window" `Quick (fun () ->
+        let b = build () in
+        match Browser.view_accession b ~source:"src_a" "AX002" with
+        | None -> Alcotest.fail "no view"
+        | Some v -> check Alcotest.int "two neighbours" 2 (List.length v.siblings));
+  ]
+
+let link_query_tests =
+  let obj s a = Aladin_links.Objref.make ~source:s ~relation:"r" ~accession:a in
+  let link ?(kind = Aladin_links.Link.Xref) ?(conf = 0.9) a b =
+    Aladin_links.Link.make ~src:a ~dst:b ~kind ~confidence:conf ~evidence:"t"
+  in
+  let gene = obj "genes" "G1" in
+  let prot = obj "prots" "P1" in
+  let disease = obj "dis" "D1" in
+  let term = obj "onto" "T1" in
+  let graph () =
+    Link_query.create
+      [ link gene prot; link prot disease;
+        link ~kind:Aladin_links.Link.Shared_term ~conf:0.5 prot term ]
+  in
+  [
+    Alcotest.test_case "two-hop traversal" `Quick (fun () ->
+        let hits =
+          Link_query.run (graph ()) ~start:[ gene ]
+            ~steps:[ Link_query.step (); Link_query.step ~target_source:"dis" () ]
+        in
+        match hits with
+        | [ h ] ->
+            check Alcotest.string "endpoint" "dis:D1"
+              (Aladin_links.Objref.to_string h.endpoint);
+            check Alcotest.int "path length" 2 (List.length h.path);
+            check (Alcotest.float 0.001) "score" (0.9 *. 0.9) h.score
+        | hs -> Alcotest.fail (Printf.sprintf "%d hits" (List.length hs)));
+    Alcotest.test_case "kind filter" `Quick (fun () ->
+        let hits =
+          Link_query.run (graph ()) ~start:[ prot ]
+            ~steps:[ Link_query.step ~kinds:[ Aladin_links.Link.Shared_term ] () ]
+        in
+        check Alcotest.int "only term" 1 (List.length hits));
+    Alcotest.test_case "confidence filter" `Quick (fun () ->
+        let hits =
+          Link_query.run (graph ()) ~start:[ prot ]
+            ~steps:[ Link_query.step ~min_confidence:0.8 () ]
+        in
+        check Alcotest.int "two strong" 2 (List.length hits));
+    Alcotest.test_case "no revisit" `Quick (fun () ->
+        (* gene -> prot -> back to gene is forbidden *)
+        let hits =
+          Link_query.run (graph ()) ~start:[ gene ]
+            ~steps:[ Link_query.step (); Link_query.step ~target_source:"genes" () ]
+        in
+        check Alcotest.int "none" 0 (List.length hits));
+    Alcotest.test_case "empty steps echo start" `Quick (fun () ->
+        let hits = Link_query.run (graph ()) ~start:[ gene ] ~steps:[] in
+        check Alcotest.int "one" 1 (List.length hits));
+    Alcotest.test_case "best witness kept" `Quick (fun () ->
+        let a = obj "s" "A" and b = obj "s" "B" in
+        let g = Link_query.create [ link ~conf:0.2 a b; link ~conf:0.9 a b ] in
+        match Link_query.run g ~start:[ a ] ~steps:[ Link_query.step () ] with
+        | [ h ] -> check (Alcotest.float 0.001) "0.9 wins" 0.9 h.score
+        | hs -> Alcotest.fail (Printf.sprintf "%d hits" (List.length hs)));
+    Alcotest.test_case "reachable_count" `Quick (fun () ->
+        check Alcotest.int "prot degree" 3
+          (Link_query.reachable_count (graph ()) prot));
+  ]
+
+let html_tests =
+  [
+    Alcotest.test_case "escape" `Quick (fun () ->
+        check Alcotest.string "escaped" "a&amp;b &lt;c&gt; &quot;d&quot;"
+          (Html_export.escape_html "a&b <c> \"d\""));
+    Alcotest.test_case "filename sanitized" `Quick (fun () ->
+        let o =
+          Aladin_links.Objref.make ~source:"s/1" ~relation:"r" ~accession:"GO:0001"
+        in
+        let f = Html_export.page_filename o in
+        check Alcotest.bool "no slash" true (not (String.contains f '/'));
+        check Alcotest.bool "no colon" true (not (String.contains f ':')));
+    Alcotest.test_case "object page wellformed-ish" `Quick (fun () ->
+        let profiles = mini_profiles () in
+        let repo = Aladin_metadata.Repository.create () in
+        let report = Aladin_links.Linker.discover profiles in
+        Aladin_metadata.Repository.set_links repo report.links;
+        let b = Browser.create profiles repo in
+        match Browser.view_accession b ~source:"src_a" "AX001" with
+        | None -> Alcotest.fail "no view"
+        | Some v ->
+            let html = Html_export.object_page b v in
+            check Alcotest.bool "has title" true
+              (Aladin_text.Strdist.contains ~needle:"AX001" html);
+            check Alcotest.bool "closes body" true
+              (Aladin_text.Strdist.contains ~needle:"</body>" html));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"escape_html leaves no raw specials" ~count:200
+         QCheck.string
+         (fun s ->
+           let e = Html_export.escape_html s in
+           not (String.exists (fun c -> c = '<' || c = '>') e)
+           (* every & in the output must start an entity *)
+           && (let ok = ref true in
+               String.iteri
+                 (fun i c ->
+                   if c = '&' then
+                     let rest = String.sub e i (min 6 (String.length e - i)) in
+                     if
+                       not
+                         (List.exists
+                            (fun ent ->
+                              String.length rest >= String.length ent
+                              && String.sub rest 0 (String.length ent) = ent)
+                            [ "&amp;"; "&lt;"; "&gt;"; "&quot;" ])
+                     then ok := false)
+                 e;
+               !ok)));
+    Alcotest.test_case "write_site" `Quick (fun () ->
+        let profiles = mini_profiles () in
+        let repo = Aladin_metadata.Repository.create () in
+        let b = Browser.create profiles repo in
+        let dir = Filename.temp_file "aladin" "site" in
+        Sys.remove dir;
+        let n = Html_export.write_site b ~dir in
+        check Alcotest.int "six pages" 6 n;
+        check Alcotest.bool "index exists" true
+          (Sys.file_exists (Filename.concat dir "index.html")));
+  ]
+
+let tests =
+  [
+    ("access.sql_lexer", lexer_tests);
+    ("access.sql_parser", parser_tests);
+    ("access.sql_eval", eval_tests);
+    ("access.like", like_tests);
+    ("access.search", search_tests);
+    ("access.path_rank", path_rank_tests);
+    ("access.browser", browser_tests);
+    ("access.link_query", link_query_tests);
+    ("access.html_export", html_tests);
+  ]
+
+let link_export_tests =
+  let obj s acc = Aladin_links.Objref.make ~source:s ~relation:"r" ~accession:acc in
+  let link k c a b =
+    Aladin_links.Link.make ~src:a ~dst:b ~kind:k ~confidence:c ~evidence:"ev,1"
+  in
+  let sample =
+    [ link Aladin_links.Link.Xref 0.9 (obj "a" "A1") (obj "b" "B1");
+      link Aladin_links.Link.Duplicate 0.8 (obj "a" "A1") (obj "b" "B2") ]
+  in
+  [
+    Alcotest.test_case "csv header and quoting" `Quick (fun () ->
+        let csv = Link_export.to_csv sample in
+        match Aladin_relational.Csv.read_string csv with
+        | header :: rows ->
+            check Alcotest.int "7 columns" 7 (List.length header);
+            check Alcotest.int "2 rows" 2 (List.length rows);
+            check Alcotest.bool "evidence with comma survives" true
+              (List.for_all (fun r -> List.length r = 7) rows)
+        | [] -> Alcotest.fail "empty csv");
+    Alcotest.test_case "dot structure" `Quick (fun () ->
+        let dot = Link_export.to_dot sample in
+        let contains needle = Aladin_text.Strdist.contains ~needle dot in
+        check Alcotest.bool "graph" true (contains "graph aladin");
+        check Alcotest.bool "clusters" true (contains "subgraph cluster_");
+        check Alcotest.bool "edge" true (contains "--");
+        check Alcotest.bool "bold duplicate" true (contains "style=bold"));
+    Alcotest.test_case "max_links caps edges" `Quick (fun () ->
+        let many =
+          List.init 20 (fun i ->
+              link Aladin_links.Link.Xref (0.5 +. (0.01 *. float_of_int i))
+                (obj "a" (Printf.sprintf "A%d" i))
+                (obj "b" (Printf.sprintf "B%d" i)))
+        in
+        let dot = Link_export.to_dot ~max_links:5 many in
+        let edge_count =
+          String.split_on_char '\n' dot
+          |> List.filter (fun l -> Aladin_text.Strdist.contains ~needle:" -- " l)
+          |> List.length
+        in
+        check Alcotest.int "5 edges" 5 edge_count);
+  ]
+
+let tests = tests @ [ ("access.link_export", link_export_tests) ]

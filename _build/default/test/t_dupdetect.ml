@@ -1,0 +1,225 @@
+open Aladin_links
+open Aladin_dup
+
+let check = Alcotest.check
+
+let union_find_tests =
+  [
+    Alcotest.test_case "basic union" `Quick (fun () ->
+        let uf = Union_find.create () in
+        Union_find.union uf "a" "b";
+        Union_find.union uf "b" "c";
+        check Alcotest.bool "a~c" true (Union_find.connected uf "a" "c");
+        check Alcotest.bool "a!~d" false (Union_find.connected uf "a" "d"));
+    Alcotest.test_case "clusters min size 2" `Quick (fun () ->
+        let uf = Union_find.create () in
+        Union_find.add uf "lonely";
+        Union_find.union uf "a" "b";
+        check Alcotest.(list (list string)) "one cluster" [ [ "a"; "b" ] ]
+          (Union_find.clusters uf));
+    Alcotest.test_case "find idempotent on fresh" `Quick (fun () ->
+        let uf = Union_find.create () in
+        check Alcotest.string "self" "x" (Union_find.find uf "x"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"union is equivalence" ~count:50
+         QCheck.(list (pair (int_bound 10) (int_bound 10)))
+         (fun pairs ->
+           let uf = Union_find.create () in
+           List.iter
+             (fun (a, b) ->
+               Union_find.union uf (string_of_int a) (string_of_int b))
+             pairs;
+           (* symmetric + transitive closure: connected is an equivalence *)
+           List.for_all
+             (fun (a, b) ->
+               Union_find.connected uf (string_of_int a) (string_of_int b)
+               && Union_find.connected uf (string_of_int b) (string_of_int a))
+             pairs));
+  ]
+
+let field_sim_tests =
+  [
+    Alcotest.test_case "metric choice" `Quick (fun () ->
+        check Alcotest.bool "exact" true (Field_sim.choose_metric "abc" "abc" = Field_sim.Exact);
+        check Alcotest.bool "edit for short" true
+          (Field_sim.choose_metric "abc" "abd" = Field_sim.Edit);
+        check Alcotest.bool "token for long" true
+          (Field_sim.choose_metric (String.make 30 'x' ^ " words here") "other long text entirely"
+          = Field_sim.Token));
+    Alcotest.test_case "sequence metric" `Quick (fun () ->
+        let s1 = String.concat "" (List.init 3 (fun _ -> "ACGTACGTACGT")) in
+        let s2 = String.concat "" (List.init 3 (fun _ -> "ACGTACCTACGT")) in
+        check Alcotest.bool "seq" true
+          (Field_sim.choose_metric s1 s2 = Field_sim.Sequence_metric);
+        check Alcotest.bool "high" true (Field_sim.similarity s1 s2 > 0.7));
+    Alcotest.test_case "similarity bounds" `Quick (fun () ->
+        check (Alcotest.float 0.001) "both empty" 1.0 (Field_sim.similarity "" "");
+        check (Alcotest.float 0.001) "one empty" 0.0 (Field_sim.similarity "" "x");
+        check (Alcotest.float 0.001) "case-insensitive exact" 1.0
+          (Field_sim.similarity "AbC" "abc"));
+    Alcotest.test_case "name_affinity" `Quick (fun () ->
+        check Alcotest.bool "desc vs desc" true
+          (Field_sim.name_affinity "entry.description" "prot.description" > 0.0);
+        check (Alcotest.float 0.001) "unrelated" 0.0
+          (Field_sim.name_affinity "entry.name" "prot.sequence"));
+  ]
+
+let repr obj_acc source fields =
+  { Object_sim.obj = Objref.make ~source ~relation:"r" ~accession:obj_acc; fields }
+
+let object_sim_tests =
+  [
+    Alcotest.test_case "identical objects near 1" `Quick (fun () ->
+        let fields = [ ("r.name", "BRCA2X"); ("r.desc", "repairs the DNA") ] in
+        let s = Object_sim.similarity (repr "A" "s1" fields) (repr "B" "s2" fields) in
+        check Alcotest.bool "high" true (s > 0.85));
+    Alcotest.test_case "disjoint objects low" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("r.name", "AAAB1"); ("r.desc", "mmm nnn ooo") ] in
+        let b = repr "B" "s2" [ ("r.name", "ZZZY9"); ("r.desc", "qqq rrr sss") ] in
+        check Alcotest.bool "low" true (Object_sim.similarity a b < 0.5));
+    Alcotest.test_case "empty fields zero" `Quick (fun () ->
+        let a = repr "A" "s1" [] and b = repr "B" "s2" [ ("r.x", "v") ] in
+        check (Alcotest.float 0.001) "zero" 0.0 (Object_sim.similarity a b));
+    Alcotest.test_case "context downweights common values" `Quick (fun () ->
+        (* many objects share "Homo sapiens"; two also share a rare name *)
+        let common i =
+          repr (Printf.sprintf "C%d" i) "s1"
+            [ ("r.org", "Homo sapiens"); ("r.name", Printf.sprintf "NAME%04d" i) ]
+        in
+        let a = repr "A" "s1" [ ("r.org", "Homo sapiens"); ("r.name", "RARE77") ] in
+        let b = repr "B" "s2" [ ("r.org", "Homo sapiens"); ("r.name", "RARE77") ] in
+        let c = repr "C" "s2" [ ("r.org", "Homo sapiens"); ("r.name", "OTHER88") ] in
+        let reprs = a :: b :: c :: List.init 20 common in
+        let ctx = Object_sim.context_of reprs in
+        let dup_score = Object_sim.similarity ~context:ctx a b in
+        let nondup_score = Object_sim.similarity ~context:ctx a c in
+        check Alcotest.bool "dup higher" true (dup_score > nondup_score +. 0.2));
+    Alcotest.test_case "explain mentions anchor and score" `Quick (fun () ->
+        let fields = [ ("r.name", "BRCA2X"); ("r.desc", "repairs the DNA today") ] in
+        let a = repr "A" "s1" fields and b = repr "B" "s2" fields in
+        let ctx = Object_sim.context_of [ a; b ] in
+        let text = Object_sim.explain ~context:ctx a b in
+        check Alcotest.bool "anchor shown" true
+          (Aladin_text.Strdist.contains ~needle:"ANCHOR" text);
+        check Alcotest.bool "score line" true
+          (Aladin_text.Strdist.contains ~needle:"similarity =" text));
+    Alcotest.test_case "categorical low-df value cannot anchor" `Quick (fun () ->
+        (* "bluex" is rare but has no digit and is short: not identifying *)
+        let a = repr "A" "s1" [ ("r.color", "bluex") ] in
+        let b = repr "B" "s2" [ ("r.color", "bluex") ] in
+        let ctx = Object_sim.context_of [ a; b ] in
+        check Alcotest.bool "halved" true (Object_sim.similarity ~context:ctx a b < 0.6));
+    Alcotest.test_case "field_matches aligned" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("r.name", "XYZ1") ] in
+        let b = repr "B" "s2" [ ("q.other", "zzz"); ("q.name", "XYZ1") ] in
+        match Object_sim.field_matches a b with
+        | [ (_, va, _, vb, vs) ] ->
+            check Alcotest.string "left" "XYZ1" va;
+            check Alcotest.string "right" "XYZ1" vb;
+            check (Alcotest.float 0.001) "exact" 1.0 vs
+        | ms -> Alcotest.fail (Printf.sprintf "%d matches" (List.length ms)));
+  ]
+
+(* reprs of planted duplicates across two pseudo-sources *)
+let planted_reprs () =
+  let words =
+    [| "ALPHA"; "BRAVO"; "CHARLIE"; "DELTA"; "ECHO"; "FOXTROT"; "GOLF";
+       "HOTEL"; "INDIA"; "JULIET" |]
+  in
+  let mk source i extra =
+    repr
+      (Printf.sprintf "%s%03d" (String.uppercase_ascii source) i)
+      source
+      ([ ("p.name", Printf.sprintf "%s%d" words.(i) i);
+         ("p.desc",
+          Printf.sprintf "the %s protein number %d does thing %d"
+            (String.lowercase_ascii words.(i)) i (i * 7)) ]
+      @ extra)
+  in
+  let s1 = List.init 10 (fun i -> mk "left" i [ ("p.org", "Homo sapiens") ]) in
+  let s2 = List.init 10 (fun i -> mk "right" i [ ("p.species", "Homo sapiens") ]) in
+  s1 @ s2
+
+let dup_detect_tests =
+  [
+    Alcotest.test_case "planted duplicates found" `Quick (fun () ->
+        let r = Dup_detect.detect_on (planted_reprs ()) in
+        check Alcotest.int "ten pairs" 10 (List.length r.links);
+        check Alcotest.int "ten clusters" 10 (List.length r.clusters));
+    Alcotest.test_case "higher threshold fewer links" `Quick (fun () ->
+        let reprs = planted_reprs () in
+        let lo =
+          Dup_detect.detect_on
+            ~params:{ Dup_detect.default_params with min_similarity = 0.5 }
+            reprs
+        in
+        let hi =
+          Dup_detect.detect_on
+            ~params:{ Dup_detect.default_params with min_similarity = 0.99 }
+            reprs
+        in
+        check Alcotest.bool "monotone" true
+          (List.length hi.links <= List.length lo.links));
+    Alcotest.test_case "blocking vs all_pairs same recall here" `Quick (fun () ->
+        let reprs = planted_reprs () in
+        let blocked = Dup_detect.detect_on reprs in
+        let full =
+          Dup_detect.detect_on
+            ~params:{ Dup_detect.default_params with all_pairs = true }
+            reprs
+        in
+        check Alcotest.int "same" (List.length full.links) (List.length blocked.links);
+        check Alcotest.bool "blocking cheaper" true
+          (blocked.candidates_checked <= full.candidates_checked));
+    Alcotest.test_case "same-source pairs never candidates" `Quick (fun () ->
+        let r = Dup_detect.detect_on (planted_reprs ()) in
+        check Alcotest.bool "cross only" true
+          (List.for_all
+             (fun (l : Link.t) -> l.src.Objref.source <> l.dst.Objref.source)
+             r.links));
+    Alcotest.test_case "links carry Duplicate kind" `Quick (fun () ->
+        let r = Dup_detect.detect_on (planted_reprs ()) in
+        check Alcotest.bool "kind" true
+          (List.for_all (fun (l : Link.t) -> l.kind = Link.Duplicate) r.links));
+  ]
+
+let conflict_tests =
+  [
+    Alcotest.test_case "disagreeing matched field flagged" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("p.length", "431") ] in
+        let b = repr "B" "s2" [ ("q.length", "497") ] in
+        match Conflict.between a b with
+        | [ c ] ->
+            check Alcotest.string "va" "431" c.value_a;
+            check Alcotest.string "vb" "497" c.value_b
+        | cs -> Alcotest.fail (Printf.sprintf "%d conflicts" (List.length cs)));
+    Alcotest.test_case "agreeing fields not flagged" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("p.name", "SAME1") ] in
+        let b = repr "B" "s2" [ ("q.name", "SAME1") ] in
+        check Alcotest.int "none" 0 (List.length (Conflict.between a b)));
+    Alcotest.test_case "unrelated attribute names not compared" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("p.organism", "mouse") ] in
+        let b = repr "B" "s2" [ ("q.sequence", "ACGT") ] in
+        check Alcotest.int "none" 0 (List.length (Conflict.between a b)));
+    Alcotest.test_case "in_duplicates scoped to links" `Quick (fun () ->
+        let a = repr "A" "s1" [ ("p.len", "10") ] in
+        let b = repr "B" "s2" [ ("q.len", "99") ] in
+        let link =
+          Link.make ~src:a.Object_sim.obj ~dst:b.Object_sim.obj
+            ~kind:Link.Duplicate ~confidence:0.9 ~evidence:"t"
+        in
+        check Alcotest.int "one conflict" 1
+          (List.length (Conflict.in_duplicates [ a; b ] [ link ]));
+        let xref = { link with kind = Link.Xref } in
+        check Alcotest.int "xref ignored" 0
+          (List.length (Conflict.in_duplicates [ a; b ] [ xref ])));
+  ]
+
+let tests =
+  [
+    ("dupdetect.union_find", union_find_tests);
+    ("dupdetect.field_sim", field_sim_tests);
+    ("dupdetect.object_sim", object_sim_tests);
+    ("dupdetect.dup_detect", dup_detect_tests);
+    ("dupdetect.conflict", conflict_tests);
+  ]

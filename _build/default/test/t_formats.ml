@@ -1,0 +1,520 @@
+open Aladin_relational
+open Aladin_formats
+
+let check = Alcotest.check
+
+(* name lengths vary (11/9/6) so that [name] fails the 20 % length-spread
+   accession test and [accession] is the candidate, as in the paper *)
+let sample_swissprot =
+  "ID   TEST1_HUMAN\n\
+   AC   P11111;\n\
+   DE   Test protein one.\n\
+   OS   Homo sapiens.\n\
+   KW   ATP binding; DNA repair.\n\
+   DR   PDB; 1ABC.\n\
+   DR   GO; GO:0005524.\n\
+   RX   MEDLINE; 12345678; Some title.\n\
+   SQ   SEQUENCE 12 AA\n\
+   ..   MKWVTFISLLFL\n\
+   //\n\
+   ID   AB2_MOUSE\n\
+   AC   Q22222;\n\
+   DE   Test protein number two with a much longer description line.\n\
+   OS   Mus musculus.\n\
+   KW   ATP binding.\n\
+   DR   PDB; 2XYZ.\n\
+   //\n\
+   ID   C3_FLY\n\
+   AC   A33333;\n\
+   DE   Third.\n\
+   OS   Drosophila melanogaster.\n\
+   //\n"
+
+let line_format_tests =
+  [
+    Alcotest.test_case "records split on //" `Quick (fun () ->
+        check Alcotest.int "three records" 3
+          (List.length (Line_format.records sample_swissprot)));
+    Alcotest.test_case "parse_line" `Quick (fun () ->
+        match Line_format.parse_line "AC   P11111;" with
+        | Some l ->
+            check Alcotest.string "code" "AC" l.code;
+            check Alcotest.string "payload" "P11111;" l.payload
+        | None -> Alcotest.fail "no line");
+    Alcotest.test_case "blank is None" `Quick (fun () ->
+        check Alcotest.bool "none" true (Line_format.parse_line "   " = None));
+    Alcotest.test_case "joined concatenates" `Quick (fun () ->
+        let lines =
+          [ { Line_format.code = "DE"; payload = "part one" };
+            { Line_format.code = "DE"; payload = "part two" } ]
+        in
+        check Alcotest.(option string) "joined" (Some "part one part two")
+          (Line_format.joined ~code:"DE" lines);
+        check Alcotest.(option string) "missing" None
+          (Line_format.joined ~code:"XX" lines));
+    Alcotest.test_case "split_list" `Quick (fun () ->
+        check Alcotest.(list string) "kws" [ "ATP binding"; "DNA repair" ]
+          (Line_format.split_list "ATP binding; DNA repair."));
+  ]
+
+let swissprot_tests =
+  [
+    Alcotest.test_case "bioentry rows" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        let be = Catalog.find_exn cat "bioentry" in
+        check Alcotest.int "three entries" 3 (Relation.cardinality be);
+        check Alcotest.bool "accession" true
+          (Relation.value be 0 "accession" = Value.Text "P11111");
+        check Alcotest.bool "name" true
+          (Relation.value be 0 "name" = Value.Text "TEST1_HUMAN"));
+    Alcotest.test_case "taxon dictionary dedups" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        check Alcotest.int "three taxa" 3
+          (Relation.cardinality (Catalog.find_exn cat "taxon")));
+    Alcotest.test_case "keywords shared via dictionary" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        check Alcotest.int "terms" 2 (Relation.cardinality (Catalog.find_exn cat "term"));
+        check Alcotest.int "bridge" 3
+          (Relation.cardinality (Catalog.find_exn cat "bioentry_term")));
+    Alcotest.test_case "dbxrefs parsed" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        let dx = Catalog.find_exn cat "dbxref" in
+        check Alcotest.int "three" 3 (Relation.cardinality dx);
+        check Alcotest.bool "target acc" true
+          (Relation.value dx 0 "accession" = Value.Text "1ABC"));
+    Alcotest.test_case "sequence reassembled" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        let bs = Catalog.find_exn cat "biosequence" in
+        check Alcotest.int "one seq" 1 (Relation.cardinality bs);
+        check Alcotest.bool "seq" true
+          (Relation.value bs 0 "biosequence_str" = Value.Text "MKWVTFISLLFL"));
+    Alcotest.test_case "reference parsed" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        let r = Catalog.find_exn cat "reference" in
+        check Alcotest.int "one" 1 (Relation.cardinality r);
+        check Alcotest.bool "pmid" true
+          (Relation.value r 0 "medline_id" = Value.Text "12345678"));
+    Alcotest.test_case "no constraints by default" `Quick (fun () ->
+        let cat = Swissprot.parse sample_swissprot in
+        check Alcotest.int "zero" 0 (List.length (Catalog.constraints cat)));
+    Alcotest.test_case "declare adds dictionary" `Quick (fun () ->
+        let cat = Swissprot.parse ~declare:true sample_swissprot in
+        check Alcotest.bool "has fks" true (List.length (Catalog.declared_fks cat) >= 6));
+  ]
+
+let fasta_tests =
+  [
+    Alcotest.test_case "records parsed" `Quick (fun () ->
+        let doc = ">A1 first protein\nMKWV\nTFIS\n>B2\nACGT\n" in
+        match Fasta.records doc with
+        | [ a; b ] ->
+            check Alcotest.string "acc" "A1" a.accession;
+            check Alcotest.string "desc" "first protein" a.description;
+            check Alcotest.string "seq joined" "MKWVTFIS" a.sequence;
+            check Alcotest.string "no desc" "" b.description
+        | rs -> Alcotest.fail (Printf.sprintf "%d records" (List.length rs)));
+    Alcotest.test_case "render/parse roundtrip" `Quick (fun () ->
+        let rs =
+          [ { Fasta.accession = "X1"; description = "d"; sequence = String.make 130 'A' } ]
+        in
+        check Alcotest.bool "roundtrip" true (Fasta.records (Fasta.render rs) = rs));
+    Alcotest.test_case "wrapping at 60" `Quick (fun () ->
+        let rs =
+          [ { Fasta.accession = "X1"; description = ""; sequence = String.make 70 'C' } ]
+        in
+        let lines = String.split_on_char '\n' (Fasta.render rs) in
+        check Alcotest.bool "wrapped" true (List.exists (fun l -> String.length l = 60) lines));
+    Alcotest.test_case "parse to catalog" `Quick (fun () ->
+        let cat = Fasta.parse ">A1 x\nACGT\n" in
+        let e = Catalog.find_exn cat "entry" in
+        check Alcotest.int "one row" 1 (Relation.cardinality e));
+  ]
+
+let obo_sample =
+  "format-version: 1.2\n\n[Term]\nid: GO:0000001\nname: alpha process\n\
+   namespace: biological_process\ndef: \"The alpha thing.\" [src]\n\n[Term]\n\
+   id: GO:0000002\nname: beta process\nis_a: GO:0000001 ! alpha process\n\n\
+   [Typedef]\nid: part_of\n"
+
+let obo_tests =
+  [
+    Alcotest.test_case "terms parsed" `Quick (fun () ->
+        match Obo.terms obo_sample with
+        | [ a; b ] ->
+            check Alcotest.string "id" "GO:0000001" a.id;
+            check Alcotest.string "name" "alpha process" a.name;
+            check Alcotest.string "def quoted" "The alpha thing." a.definition;
+            check Alcotest.(list string) "is_a comment stripped" [ "GO:0000001" ] b.is_a
+        | ts -> Alcotest.fail (Printf.sprintf "%d terms" (List.length ts)));
+    Alcotest.test_case "typedef ignored" `Quick (fun () ->
+        check Alcotest.int "two" 2 (List.length (Obo.terms obo_sample)));
+    Alcotest.test_case "catalog has isa" `Quick (fun () ->
+        let cat = Obo.parse obo_sample in
+        check Alcotest.int "terms" 2 (Relation.cardinality (Catalog.find_exn cat "term"));
+        check Alcotest.int "isa" 1
+          (Relation.cardinality (Catalog.find_exn cat "term_isa")));
+    Alcotest.test_case "render roundtrip" `Quick (fun () ->
+        let ts = Obo.terms obo_sample in
+        check Alcotest.bool "roundtrip" true (Obo.terms (Obo.render ts) = ts));
+  ]
+
+let pdb_sample =
+  "HEADER    OXIDOREDUCTASE              1ABC\n\
+   TITLE     CRYSTAL STRUCTURE OF SOMETHING\n\
+   COMPND    SOME PROTEIN\n\
+   EXPDTA    X-RAY DIFFRACTION\n\
+   DBREF     1ABC A SWS P11111\n\
+   SEQRES    A MKWVTFIS\n\
+   SEQRES    A LLFLFSSA\n\
+   SEQRES    B ACDEFGHI\n\
+   END\n\
+   HEADER    LYASE              2XYZ\n\
+   TITLE     ANOTHER ONE\n\
+   END\n"
+
+let pdb_tests =
+  [
+    Alcotest.test_case "structures parsed" `Quick (fun () ->
+        let cat = Pdb_flat.parse pdb_sample in
+        let s = Catalog.find_exn cat "structure" in
+        check Alcotest.int "two" 2 (Relation.cardinality s);
+        check Alcotest.bool "acc" true (Relation.value s 0 "pdb_acc" = Value.Text "1ABC");
+        check Alcotest.bool "class" true
+          (Relation.value s 0 "classification" = Value.Text "OXIDOREDUCTASE"));
+    Alcotest.test_case "chains assembled" `Quick (fun () ->
+        let cat = Pdb_flat.parse pdb_sample in
+        let c = Catalog.find_exn cat "chain" in
+        check Alcotest.int "two chains" 2 (Relation.cardinality c);
+        check Alcotest.bool "chain A seq" true
+          (Relation.value c 0 "sequence" = Value.Text "MKWVTFISLLFLFSSA"));
+    Alcotest.test_case "dbref parsed" `Quick (fun () ->
+        let cat = Pdb_flat.parse pdb_sample in
+        let r = Catalog.find_exn cat "struct_ref" in
+        check Alcotest.int "one" 1 (Relation.cardinality r);
+        check Alcotest.bool "acc" true (Relation.value r 0 "accession" = Value.Text "P11111"));
+  ]
+
+let genbank_sample =
+  "LOCUS       KIN1HS 60 bp\n\
+   DEFINITION  Homo sapiens alpha kinase mRNA,\n\
+   \            complete cds.\n\
+   ACCESSION   AB123456\n\
+   SOURCE      Homo sapiens\n\
+   FEATURES             Location/Qualifiers\n\
+   \     source          1..60\n\
+   \                     /organism=\"Homo sapiens\"\n\
+   \     CDS             1..60\n\
+   \                     /gene=\"KIN1\"\n\
+   \                     /db_xref=\"UniProt:P12345\"\n\
+   \                     /pseudo\n\
+   ORIGIN\n\
+   \        1 atggcgatcg atcgatcgta atggcgatcg atcgatcgta atggcgatcg atcgatcgta\n\
+   //\n\
+   LOCUS       TRP9SC 30 bp\n\
+   DEFINITION  Short one.\n\
+   ACCESSION   CD900210\n\
+   SOURCE      Saccharomyces cerevisiae\n\
+   ORIGIN\n\
+   \        1 acgtacgtac gtacgtacgt acgtacgtac\n\
+   //\n"
+
+let genbank_tests =
+  [
+    Alcotest.test_case "records parsed" `Quick (fun () ->
+        match Genbank.records genbank_sample with
+        | [ a; b ] ->
+            check Alcotest.string "locus" "KIN1HS" a.locus;
+            check Alcotest.string "accession" "AB123456" a.accession;
+            check Alcotest.string "definition continuation"
+              "Homo sapiens alpha kinase mRNA, complete cds." a.definition;
+            check Alcotest.string "organism" "Homo sapiens" a.organism;
+            check Alcotest.int "features" 2 (List.length a.features);
+            check Alcotest.int "no features" 0 (List.length b.features);
+            check Alcotest.int "seq len" 60 (String.length a.origin)
+        | rs -> Alcotest.fail (Printf.sprintf "%d records" (List.length rs)));
+    Alcotest.test_case "qualifiers parsed" `Quick (fun () ->
+        match Genbank.records genbank_sample with
+        | a :: _ -> (
+            match List.rev a.features with
+            | cds :: _ ->
+                check Alcotest.string "key" "CDS" cds.key;
+                check Alcotest.(list (pair string string)) "quals"
+                  [ ("gene", "KIN1"); ("db_xref", "UniProt:P12345"); ("pseudo", "") ]
+                  cds.qualifiers
+            | [] -> Alcotest.fail "no features")
+        | [] -> Alcotest.fail "no records");
+    Alcotest.test_case "catalog shape" `Quick (fun () ->
+        let cat = Genbank.parse genbank_sample in
+        check Alcotest.int "entries" 2
+          (Relation.cardinality (Catalog.find_exn cat "entry"));
+        check Alcotest.int "features" 2
+          (Relation.cardinality (Catalog.find_exn cat "feature"));
+        check Alcotest.int "qualifiers" 4
+          (Relation.cardinality (Catalog.find_exn cat "qualifier"));
+        check Alcotest.int "seqs" 2
+          (Relation.cardinality (Catalog.find_exn cat "genbank_seq")));
+    Alcotest.test_case "render/parse roundtrip" `Quick (fun () ->
+        let rs = Genbank.records genbank_sample in
+        check Alcotest.bool "roundtrip" true
+          (Genbank.records (Genbank.render rs) = rs));
+    Alcotest.test_case "sniffed" `Quick (fun () ->
+        check Alcotest.bool "genbank" true
+          (Import.sniff genbank_sample = Some Import.Genbank_flat));
+    Alcotest.test_case "discovery finds entry as primary" `Quick (fun () ->
+        (* needs a few more records so uniqueness probing is meaningful *)
+        let more =
+          List.init 6 (fun i ->
+              { Genbank.locus = Printf.sprintf "L%dX" i;
+                definition =
+                  String.concat " " (List.init (1 + (i mod 5)) (fun _ -> "word"));
+                accession = Printf.sprintf "GB%04d%d" (1000 + (i * 37)) i;
+                organism = "Mus musculus";
+                features =
+                  [ { Genbank.key = "CDS"; location = "1..9";
+                      qualifiers = [ ("db_xref", Printf.sprintf "X:%d" i) ] } ];
+                origin = String.concat "" (List.init (3 + i) (fun _ -> "acgt")) })
+        in
+        let doc = genbank_sample ^ Genbank.render more in
+        let cat = Genbank.parse doc in
+        let sp = Aladin_discovery.Source_profile.analyze cat in
+        check
+          Alcotest.(option (pair string string))
+          "entry.accession"
+          (Some ("entry", "accession"))
+          (Aladin_discovery.Source_profile.primary_accession sp);
+        (* qualifiers sit two FK hops below entry and still get owners *)
+        let om =
+          match
+            Aladin_links.Profile_list.entries
+              (Aladin_links.Profile_list.of_profiles [ sp ])
+          with
+          | [ e ] -> e.owner
+          | _ -> Alcotest.fail "one entry expected"
+        in
+        check Alcotest.bool "qualifier rows owned" true
+          (Aladin_links.Owner_map.owners om ~relation:"qualifier" ~row:0 <> []));
+  ]
+
+let embl_sample =
+  "ID   HSKIN1; SV 1; linear; mRNA; STD; HUM; 60 BP.\n\
+   AC   X51234;\n\
+   DE   Human alpha kinase mRNA\n\
+   OS   Homo sapiens.\n\
+   FT   source          1..60\n\
+   FT                   /organism=\"Homo sapiens\"\n\
+   FT   CDS             1..60\n\
+   FT                   /gene=\"KIN1\"\n\
+   FT                   /db_xref=\"UniProt:P12345\"\n\
+   SQ   Sequence 60 BP;\n\
+   \     atggcgatcg atcgatcgta atggcgatcg atcgatcgta atggcgatcg atcgatcgta\n\
+   //\n\
+   ID   SCTRP9; SV 2; linear; mRNA; STD; FUN; 30 BP.\n\
+   AC   Y00021;\n\
+   DE   Yeast transporter fragment\n\
+   OS   Saccharomyces cerevisiae.\n\
+   SQ   Sequence 30 BP;\n\
+   \     acgtacgtac gtacgtacgt acgtacgtac\n\
+   //\n"
+
+let embl_tests =
+  [
+    Alcotest.test_case "records parsed" `Quick (fun () ->
+        match Embl.records embl_sample with
+        | [ a; b ] ->
+            check Alcotest.string "locus" "HSKIN1" a.locus;
+            check Alcotest.string "accession" "X51234" a.accession;
+            check Alcotest.string "organism" "Homo sapiens" a.organism;
+            check Alcotest.int "features" 2 (List.length a.features);
+            check Alcotest.int "seq" 60 (String.length a.origin);
+            check Alcotest.int "no features" 0 (List.length b.features)
+        | rs -> Alcotest.fail (Printf.sprintf "%d records" (List.length rs)));
+    Alcotest.test_case "qualifiers" `Quick (fun () ->
+        match Embl.records embl_sample with
+        | a :: _ -> (
+            match List.rev a.features with
+            | cds :: _ ->
+                check Alcotest.(list (pair string string)) "quals"
+                  [ ("gene", "KIN1"); ("db_xref", "UniProt:P12345") ]
+                  cds.qualifiers
+            | [] -> Alcotest.fail "no features")
+        | [] -> Alcotest.fail "no records");
+    Alcotest.test_case "catalog shape" `Quick (fun () ->
+        let cat = Embl.parse embl_sample in
+        check Alcotest.int "entries" 2
+          (Relation.cardinality (Catalog.find_exn cat "entry"));
+        check Alcotest.int "qualifiers" 3
+          (Relation.cardinality (Catalog.find_exn cat "qualifier"));
+        check Alcotest.int "seqs" 2
+          (Relation.cardinality (Catalog.find_exn cat "embl_seq")));
+    Alcotest.test_case "render/parse roundtrip" `Quick (fun () ->
+        let rs = Embl.records embl_sample in
+        check Alcotest.bool "roundtrip" true (Embl.records (Embl.render rs) = rs));
+    Alcotest.test_case "sniffed as embl, not swissprot" `Quick (fun () ->
+        check Alcotest.bool "embl" true (Import.sniff embl_sample = Some Import.Embl_flat);
+        check Alcotest.bool "swissprot unchanged" true
+          (Import.sniff sample_swissprot = Some Import.Swissprot_flat));
+  ]
+
+let xml_tests =
+  [
+    Alcotest.test_case "parse nested" `Quick (fun () ->
+        match Xml.parse "<a x='1'><b>hello</b><b>world</b></a>" with
+        | Xml.Element { tag = "a"; attrs = [ ("x", "1") ]; children } ->
+            check Alcotest.int "children" 2 (List.length children)
+        | _ -> Alcotest.fail "bad parse");
+    Alcotest.test_case "entities decoded" `Quick (fun () ->
+        let n = Xml.parse "<a>x &amp; y &lt;z&gt;</a>" in
+        check Alcotest.string "text" "x & y <z>" (Xml.text_content n));
+    Alcotest.test_case "cdata" `Quick (fun () ->
+        let n = Xml.parse "<a><![CDATA[1 < 2 & 3]]></a>" in
+        check Alcotest.string "raw" "1 < 2 & 3" (Xml.text_content n));
+    Alcotest.test_case "comments and pi skipped" `Quick (fun () ->
+        let n = Xml.parse "<?xml version='1.0'?><!-- hi --><a><!-- in --><b/></a>" in
+        check Alcotest.int "one child" 1 (List.length (Xml.children_named "b" n)));
+    Alcotest.test_case "self-closing" `Quick (fun () ->
+        match Xml.parse "<a><b attr=\"v\"/></a>" with
+        | n -> (
+            match Xml.children_named "b" n with
+            | [ b ] -> check Alcotest.(option string) "attr" (Some "v") (Xml.attr "attr" b)
+            | _ -> Alcotest.fail "no b"));
+    Alcotest.test_case "mismatched tag raises" `Quick (fun () ->
+        match Xml.parse "<a><b></a></b>" with
+        | exception Xml.Parse_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "render escapes" `Quick (fun () ->
+        let n = Xml.Element { tag = "a"; attrs = [ ("k", "v&w") ]; children = [ Xml.Text "<x>" ] } in
+        check Alcotest.string "rendered" "<a k=\"v&amp;w\">&lt;x&gt;</a>" (Xml.render n));
+    Alcotest.test_case "render/parse stable" `Quick (fun () ->
+        let doc = "<root><item id=\"1\">alpha</item><item id=\"2\">beta</item></root>" in
+        let n = Xml.parse doc in
+        check Alcotest.string "stable" doc (Xml.render (Xml.parse (Xml.render n))));
+  ]
+
+let xml_shred_tests =
+  [
+    Alcotest.test_case "tables per tag" `Quick (fun () ->
+        let cat =
+          Xml_shred.shred_string
+            "<db><prot id=\"P1\"><name>alpha</name></prot><prot id=\"P2\"/></db>"
+        in
+        check Alcotest.(list string) "tables" [ "db"; "prot"; "name" ]
+          (Catalog.relation_names cat);
+        check Alcotest.int "prots" 2
+          (Relation.cardinality (Catalog.find_exn cat "prot")));
+    Alcotest.test_case "parent ids" `Quick (fun () ->
+        let cat = Xml_shred.shred_string "<db><prot id=\"P1\"/></db>" in
+        let prot = Catalog.find_exn cat "prot" in
+        check Alcotest.bool "parent is db" true
+          (Relation.value prot 0 "parent_id" = Value.Int 1);
+        let db = Catalog.find_exn cat "db" in
+        check Alcotest.bool "root parent null" true
+          (Value.is_null (Relation.value db 0 "parent_id")));
+    Alcotest.test_case "attribute columns unioned" `Quick (fun () ->
+        let cat =
+          Xml_shred.shred_string "<r><e a=\"1\"/><e b=\"2\"/></r>"
+        in
+        let e = Catalog.find_exn cat "e" in
+        check Alcotest.bool "has a" true (Schema.mem (Relation.schema e) "a");
+        check Alcotest.bool "has b" true (Schema.mem (Relation.schema e) "b"));
+    Alcotest.test_case "content column" `Quick (fun () ->
+        let cat = Xml_shred.shred_string "<r><e>some text</e></r>" in
+        let e = Catalog.find_exn cat "e" in
+        check Alcotest.bool "text" true
+          (Relation.value e 0 "content" = Value.Text "some text"));
+  ]
+
+let dump_tests =
+  [
+    Alcotest.test_case "constraints roundtrip" `Quick (fun () ->
+        let cs =
+          [ Constraint_def.Unique { relation = "t"; attribute = "a" };
+            Constraint_def.Primary_key { relation = "t"; attribute = "b" };
+            Constraint_def.Foreign_key
+              { src_relation = "u"; src_attribute = "x"; dst_relation = "t";
+                dst_attribute = "b" } ]
+        in
+        check Alcotest.bool "roundtrip" true
+          (Dump.parse_constraints (Dump.render_constraints cs) = cs));
+    Alcotest.test_case "comments skipped" `Quick (fun () ->
+        check Alcotest.int "none" 0
+          (List.length (Dump.parse_constraints "# a comment\n\n")));
+    Alcotest.test_case "bad line raises" `Quick (fun () ->
+        match Dump.parse_constraints "nonsense line here extra tokens yes" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "load from strings" `Quick (fun () ->
+        let cat = Dump.load ~name:"s" [ ("t", "a,b\n1,x\n2,y\n") ] in
+        check Alcotest.int "rows" 2 (Relation.cardinality (Catalog.find_exn cat "t")));
+    Alcotest.test_case "save/load dir" `Quick (fun () ->
+        let dir = Filename.temp_file "aladin" "" in
+        Sys.remove dir;
+        let cat = Dump.load ~name:"s" [ ("t", "a,b\n1,x\n") ] in
+        Catalog.declare cat (Constraint_def.Unique { relation = "t"; attribute = "a" });
+        Dump.save_dir cat dir;
+        let cat2 = Dump.load_dir ~name:"s2" dir in
+        check Alcotest.int "rows" 1 (Relation.cardinality (Catalog.find_exn cat2 "t"));
+        check Alcotest.int "constraints" 1 (List.length (Catalog.constraints cat2)));
+  ]
+
+let import_tests =
+  [
+    Alcotest.test_case "sniff formats" `Quick (fun () ->
+        let fmt d = Import.sniff d in
+        check Alcotest.bool "fasta" true (fmt ">X1 d\nACGT\n" = Some Import.Fasta_format);
+        check Alcotest.bool "xml" true (fmt "<a/>" = Some Import.Xml_format);
+        check Alcotest.bool "obo" true (fmt obo_sample = Some Import.Obo_format);
+        check Alcotest.bool "pdb" true (fmt pdb_sample = Some Import.Pdb_format);
+        check Alcotest.bool "swissprot" true
+          (fmt sample_swissprot = Some Import.Swissprot_flat);
+        check Alcotest.bool "csv" true (fmt "a,b\n1,2\n" = Some Import.Csv_dump);
+        check Alcotest.bool "unknown" true (fmt "" = None));
+    Alcotest.test_case "import_string dispatches" `Quick (fun () ->
+        let cat = Import.import_string ~name:"x" ">A d\nACGT\n" in
+        check Alcotest.bool "entry table" true (Catalog.mem cat "entry"));
+    Alcotest.test_case "unsniffable raises" `Quick (fun () ->
+        match Import.import_string ~name:"x" "" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "no error");
+  ]
+
+let all_tests () =
+  [
+    ("formats.line_format", line_format_tests);
+    ("formats.swissprot", swissprot_tests);
+    ("formats.fasta", fasta_tests);
+    ("formats.genbank", genbank_tests);
+    ("formats.embl", embl_tests);
+    ("formats.obo", obo_tests);
+    ("formats.pdb_flat", pdb_tests);
+    ("formats.xml", xml_tests);
+    ("formats.xml_shred", xml_shred_tests);
+    ("formats.dump", dump_tests);
+    ("formats.import", import_tests);
+  ]
+
+let embl_discovery_tests =
+  [
+    Alcotest.test_case "discovery on an EMBL source" `Quick (fun () ->
+        (* pad with generated records so uniqueness probing is meaningful *)
+        let more =
+          List.init 6 (fun i ->
+              { Genbank.locus = Printf.sprintf "LOC%d" i;
+                definition =
+                  String.concat " " (List.init (1 + (i mod 5)) (fun _ -> "word"));
+                accession = Printf.sprintf "EM%04d%d" (2000 + (i * 41)) i;
+                organism = "Mus musculus";
+                features =
+                  [ { Genbank.key = "CDS"; location = "1..9";
+                      qualifiers = [ ("db_xref", Printf.sprintf "Y:%d" i) ] } ];
+                origin = String.concat "" (List.init (3 + i) (fun _ -> "acgt")) })
+        in
+        let doc = embl_sample ^ Embl.render more in
+        let sp = Aladin_discovery.Source_profile.analyze (Embl.parse doc) in
+        check
+          Alcotest.(option (pair string string))
+          "entry.accession"
+          (Some ("entry", "accession"))
+          (Aladin_discovery.Source_profile.primary_accession sp));
+  ]
+
+let tests = all_tests () @ [ ("formats.embl_discovery", embl_discovery_tests) ]

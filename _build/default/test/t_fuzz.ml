@@ -1,0 +1,114 @@
+(* Robustness: parsers and loaders over arbitrary input must either
+   succeed or fail with their documented exception — never crash with
+   anything else, never loop. *)
+
+open Aladin_formats
+open Aladin_access
+
+let no_crash name count gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count gen (fun input ->
+         match f input with
+         | _ -> true
+         | exception Xml.Parse_error _ -> true
+         | exception Sql_parser.Parse_error _ -> true
+         | exception Sql_lexer.Lex_error _ -> true
+         | exception Invalid_argument _ -> true))
+
+(* printable-ish strings with structure-relevant characters *)
+let textish =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 200)
+    (QCheck.Gen.oneofl
+       [ 'a'; 'b'; 'Z'; '0'; '9'; ' '; '\n'; '\t'; '<'; '>'; '/'; '='; '"';
+         '\''; '&'; ';'; ':'; ','; '.'; '('; ')'; '%'; '_'; '-'; '#'; '['; ']' ])
+
+let sql_tokens =
+  QCheck.make
+    QCheck.Gen.(
+      let word =
+        oneofl
+          [ "SELECT"; "FROM"; "WHERE"; "JOIN"; "ON"; "AND"; "OR"; "NOT";
+            "GROUP"; "BY"; "ORDER"; "LIMIT"; "IN"; "IS"; "NULL"; "LIKE";
+            "COUNT"; "("; ")"; "*"; ","; "="; "<>"; "t"; "a"; "b"; "t.a";
+            "'x'"; "42"; "3.5" ]
+      in
+      map (String.concat " ") (list_size (int_range 0 15) word))
+
+let fuzz_tests =
+  [
+    no_crash "xml parser never crashes" 500 textish (fun s -> Xml.parse s);
+    no_crash "swissprot parser total" 300 textish (fun s -> Swissprot.parse s);
+    no_crash "genbank parser total" 300 textish (fun s -> Genbank.parse s);
+    no_crash "fasta parser total" 300 textish (fun s -> Fasta.parse s);
+    no_crash "obo parser total" 300 textish (fun s -> Obo.parse s);
+    no_crash "pdb parser total" 300 textish (fun s -> Pdb_flat.parse s);
+    no_crash "csv reader total" 300 textish (fun s -> Aladin_relational.Csv.read_string s);
+    no_crash "sniff total" 300 textish (fun s -> Import.sniff s);
+    no_crash "sql parser structured fuzz" 500 sql_tokens (fun s -> Sql_parser.parse s);
+    no_crash "sql lexer raw fuzz" 300 textish (fun s -> Sql_lexer.tokenize s);
+    no_crash "repository load total" 300 textish (fun s ->
+        Aladin_metadata.Repository.load s);
+    no_crash "feedback load total" 300 textish (fun s -> Aladin.Feedback.load s);
+    no_crash "dump constraints total" 300 textish (fun s -> Dump.parse_constraints s);
+  ]
+
+(* structural property: render . parse = id on generated XML trees *)
+let xml_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "item"; "node" ] in
+  let attr_val =
+    string_size ~gen:(oneofl [ 'x'; 'y'; '&'; '<'; '"'; ' ' ]) (int_range 0 6)
+  in
+  let text_node =
+    map
+      (fun s -> Xml.Text s)
+      (string_size ~gen:(oneofl [ 'h'; 'i'; '&'; '>'; ' ' ]) (int_range 1 8))
+  in
+  let rec node depth =
+    if depth = 0 then text_node
+    else
+      frequency
+        [ (1, text_node);
+          (2,
+           map3
+             (fun tag attrs children -> Xml.Element { tag; attrs; children })
+             tag
+             (list_size (int_range 0 2)
+                (map2 (fun k v -> (k, v)) (oneofl [ "k1"; "k2" ]) attr_val))
+             (list_size (int_range 0 3) (node (depth - 1)))) ]
+  in
+  map
+    (fun children -> Xml.Element { tag = "root"; attrs = []; children })
+    (list_size (int_range 0 4) (node 2))
+
+(* consecutive text nodes merge on reparse, so compare text-normalized *)
+let rec normalize = function
+  | Xml.Text s -> Xml.Text s
+  | Xml.Element { tag; attrs; children } ->
+      (* merge every adjacent text run, then drop whitespace-only runs —
+         matching what serialization loses *)
+      let merged =
+        List.fold_left
+          (fun acc child ->
+            match (normalize child, acc) with
+            | Xml.Text t, Xml.Text prev :: rest -> Xml.Text (prev ^ t) :: rest
+            | n, _ -> n :: acc)
+          [] children
+      in
+      let kept =
+        List.filter
+          (function Xml.Text t -> String.trim t <> "" | Xml.Element _ -> true)
+          (List.rev merged)
+      in
+      Xml.Element { tag; attrs; children = kept }
+
+let roundtrip_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"xml render/parse roundtrip" ~count:200
+         (QCheck.make xml_gen)
+         (fun tree ->
+           normalize (Xml.parse (Xml.render tree)) = normalize tree));
+  ]
+
+let tests = [ ("fuzz.parsers", fuzz_tests); ("fuzz.xml_roundtrip", roundtrip_tests) ]

@@ -1,0 +1,119 @@
+open Aladin_discovery
+open Aladin_links
+open Aladin_metadata
+
+let check = Alcotest.check
+
+let serial_tests =
+  [
+    Alcotest.test_case "escape/unescape" `Quick (fun () ->
+        let s = "a\tb\nc\\d" in
+        check Alcotest.string "roundtrip" s (Serial.unescape (Serial.escape s));
+        check Alcotest.bool "no raw tab" true
+          (not (String.contains (Serial.escape s) '\t')));
+    Alcotest.test_case "record/fields" `Quick (fun () ->
+        let fs = [ "plain"; "with\ttab"; "with\nnewline"; "" ] in
+        check Alcotest.(list string) "roundtrip" fs (Serial.fields (Serial.record fs)));
+    Alcotest.test_case "float roundtrip" `Quick (fun () ->
+        let f = 0.123456789 in
+        check (Alcotest.float 1e-12) "exact" f
+          (Serial.float_of_string_exn (Serial.float_to_string f)));
+    Alcotest.test_case "bad int raises" `Quick (fun () ->
+        match Serial.int_of_string_exn "xyz" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "no error");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"escape roundtrip" ~count:200 QCheck.string
+         (fun s -> Serial.unescape (Serial.escape s) = s));
+  ]
+
+let mini_profile () =
+  Source_profile.analyze (T_discovery.mini_source ())
+
+let sample_link () =
+  Link.make
+    ~src:(Objref.make ~source:"a" ~relation:"entry" ~accession:"A1")
+    ~dst:(Objref.make ~source:"b" ~relation:"prot" ~accession:"B1")
+    ~kind:Link.Xref ~confidence:0.9 ~evidence:"test evidence"
+
+let repository_tests =
+  [
+    Alcotest.test_case "add and find source" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        check Alcotest.bool "found" true (Repository.find_source repo "mini" <> None);
+        check Alcotest.int "one" 1 (List.length (Repository.sources repo)));
+    Alcotest.test_case "add replaces same name" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        Repository.add_source repo (mini_profile ());
+        check Alcotest.int "still one" 1 (List.length (Repository.sources repo)));
+    Alcotest.test_case "record contents" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        match Repository.find_source repo "mini" with
+        | None -> Alcotest.fail "missing"
+        | Some r ->
+            check Alcotest.(option (pair string string)) "primary"
+              (Some ("entry", "accession")) r.primary;
+            check Alcotest.bool "fks" true (r.fks <> []);
+            check Alcotest.bool "stats" true (r.stats <> []));
+    Alcotest.test_case "links_of symmetric" `Quick (fun () ->
+        let repo = Repository.create () in
+        let l = sample_link () in
+        Repository.set_links repo [ l ];
+        check Alcotest.int "src side" 1 (List.length (Repository.links_of repo l.src));
+        check Alcotest.int "dst side" 1 (List.length (Repository.links_of repo l.dst)));
+    Alcotest.test_case "remove_source drops links" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        Repository.set_links repo [ sample_link () ];
+        Repository.remove_source repo "a";
+        check Alcotest.int "links gone" 0 (List.length (Repository.links repo)));
+    Alcotest.test_case "add_links merges" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.set_links repo [ sample_link () ];
+        Repository.add_links repo [ sample_link () ];
+        check Alcotest.int "deduped" 1 (List.length (Repository.links repo)));
+    Alcotest.test_case "save/load roundtrip" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        Repository.set_links repo [ sample_link () ];
+        Repository.set_correspondences repo
+          [ { Xref_disc.src_source = "a"; src_relation = "dbxref";
+              src_attribute = "accession"; dst_source = "b"; dst_relation = "prot";
+              dst_attribute = "accession"; matches = 5; match_frac = 0.5;
+              encoded = true } ];
+        let doc = Repository.save repo in
+        let repo2 = Repository.load doc in
+        check Alcotest.int "sources" 1 (List.length (Repository.sources repo2));
+        check Alcotest.int "links" 1 (List.length (Repository.links repo2));
+        check Alcotest.int "corrs" 1 (List.length (Repository.correspondences repo2));
+        (match (Repository.find_source repo "mini", Repository.find_source repo2 "mini") with
+        | Some a, Some b ->
+            check Alcotest.bool "primary kept" true (a.primary = b.primary);
+            check Alcotest.int "fk count" (List.length a.fks) (List.length b.fks);
+            check Alcotest.int "stats count" (List.length a.stats) (List.length b.stats)
+        | _ -> Alcotest.fail "source lost");
+        (match (Repository.links repo2, Repository.links repo) with
+        | [ l2 ], [ l1 ] ->
+            check Alcotest.bool "link equal" true (Link.same_endpoints l1 l2);
+            check Alcotest.string "evidence" l1.evidence l2.evidence
+        | _ -> Alcotest.fail "links lost"));
+    Alcotest.test_case "load rejects garbage" `Quick (fun () ->
+        match Repository.load "not a repo" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "no error");
+    Alcotest.test_case "stats_summary" `Quick (fun () ->
+        let repo = Repository.create () in
+        Repository.add_source repo (mini_profile ());
+        match Repository.stats_summary repo with
+        | [ (name, rels, rows, _) ] ->
+            check Alcotest.string "name" "mini" name;
+            check Alcotest.int "rels" 5 rels;
+            check Alcotest.bool "rows" true (rows > 0)
+        | other -> Alcotest.fail (Printf.sprintf "%d rows" (List.length other)));
+  ]
+
+let tests =
+  [ ("metadata.serial", serial_tests); ("metadata.repository", repository_tests) ]

@@ -1,0 +1,209 @@
+open Aladin_text
+
+let check = Alcotest.check
+
+let tokenize_tests =
+  [
+    Alcotest.test_case "words split and lowercase" `Quick (fun () ->
+        check Alcotest.(list string) "words" [ "atp"; "binding"; "p53" ]
+          (Tokenize.words "ATP-binding, p53!"));
+    Alcotest.test_case "words_raw keeps case" `Quick (fun () ->
+        check Alcotest.(list string) "raw" [ "BRCA2"; "kinase" ]
+          (Tokenize.words_raw "BRCA2 kinase"));
+    Alcotest.test_case "stopwords" `Quick (fun () ->
+        check Alcotest.bool "the" true (Tokenize.stopword "The");
+        check Alcotest.bool "putative" true (Tokenize.stopword "putative");
+        check Alcotest.bool "kinase" false (Tokenize.stopword "kinase"));
+    Alcotest.test_case "terms filter stopwords and singles" `Quick (fun () ->
+        check Alcotest.(list string) "terms" [ "kinase"; "binding" ]
+          (Tokenize.terms "the kinase a binding"));
+    Alcotest.test_case "ngrams" `Quick (fun () ->
+        check Alcotest.(list string) "bigrams" [ "ab"; "bc" ] (Tokenize.ngrams ~n:2 "abc");
+        check Alcotest.(list string) "too short" [] (Tokenize.ngrams ~n:5 "abc"));
+    Alcotest.test_case "jaccard" `Quick (fun () ->
+        check (Alcotest.float 0.001) "identical" 1.0
+          (Tokenize.jaccard "protein kinase" "protein kinase");
+        check (Alcotest.float 0.001) "disjoint" 0.0
+          (Tokenize.jaccard "protein kinase" "gene expression");
+        check (Alcotest.float 0.001) "both empty" 1.0 (Tokenize.jaccard "" ""));
+  ]
+
+let strdist_tests =
+  [
+    Alcotest.test_case "levenshtein known" `Quick (fun () ->
+        check Alcotest.int "kitten" 3 (Strdist.levenshtein "kitten" "sitting");
+        check Alcotest.int "same" 0 (Strdist.levenshtein "abc" "abc");
+        check Alcotest.int "to empty" 3 (Strdist.levenshtein "abc" ""));
+    Alcotest.test_case "bounded" `Quick (fun () ->
+        check Alcotest.(option int) "within" (Some 3)
+          (Strdist.levenshtein_bounded ~bound:3 "kitten" "sitting");
+        check Alcotest.(option int) "exceeds" None
+          (Strdist.levenshtein_bounded ~bound:2 "kitten" "sitting");
+        check Alcotest.(option int) "length prune" None
+          (Strdist.levenshtein_bounded ~bound:1 "ab" "abcdef"));
+    Alcotest.test_case "similarity bounds" `Quick (fun () ->
+        check (Alcotest.float 0.001) "same" 1.0 (Strdist.similarity "x" "x");
+        check (Alcotest.float 0.001) "empty" 1.0 (Strdist.similarity "" "");
+        check (Alcotest.float 0.001) "disjoint" 0.0 (Strdist.similarity "ab" "cd"));
+    Alcotest.test_case "jaro_winkler known" `Quick (fun () ->
+        let jw = Strdist.jaro_winkler "MARTHA" "MARHTA" in
+        check Alcotest.bool "martha" true (jw > 0.95 && jw < 0.97);
+        check (Alcotest.float 0.001) "identical" 1.0 (Strdist.jaro_winkler "DWAYNE" "DWAYNE");
+        check (Alcotest.float 0.001) "empty vs nonempty" 0.0 (Strdist.jaro_winkler "" "x"));
+    Alcotest.test_case "dice_bigrams" `Quick (fun () ->
+        check (Alcotest.float 0.001) "identical" 1.0 (Strdist.dice_bigrams "night" "night");
+        check (Alcotest.float 0.001) "disjoint" 0.0 (Strdist.dice_bigrams "abc" "xyz"));
+    Alcotest.test_case "longest_common_substring" `Quick (fun () ->
+        check Alcotest.string "lcs" "P11140"
+          (Strdist.longest_common_substring "Uniprot:P11140" "P11140");
+        check Alcotest.string "empty" "" (Strdist.longest_common_substring "" "abc"));
+    Alcotest.test_case "contains" `Quick (fun () ->
+        check Alcotest.bool "yes" true (Strdist.contains ~needle:"GT" "ACGT");
+        check Alcotest.bool "no" false (Strdist.contains ~needle:"TT" "ACGT");
+        check Alcotest.bool "empty" true (Strdist.contains ~needle:"" "x"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein symmetric" ~count:100
+         QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 12))
+                   (string_of_size (QCheck.Gen.int_range 0 12)))
+         (fun (a, b) -> Strdist.levenshtein a b = Strdist.levenshtein b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein identity" ~count:100
+         QCheck.(string_of_size (QCheck.Gen.int_range 0 15))
+         (fun s -> Strdist.levenshtein s s = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"levenshtein triangle" ~count:100
+         QCheck.(triple (string_of_size (QCheck.Gen.int_range 0 8))
+                   (string_of_size (QCheck.Gen.int_range 0 8))
+                   (string_of_size (QCheck.Gen.int_range 0 8)))
+         (fun (a, b, c) ->
+           Strdist.levenshtein a c <= Strdist.levenshtein a b + Strdist.levenshtein b c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"jaro_winkler in [0,1]" ~count:100
+         QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 12))
+                   (string_of_size (QCheck.Gen.int_range 0 12)))
+         (fun (a, b) ->
+           let s = Strdist.jaro_winkler a b in
+           s >= 0.0 && s <= 1.0));
+  ]
+
+let tfidf_tests =
+  [
+    Alcotest.test_case "cosine identical" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "protein kinase binding";
+        Tfidf.corpus_add c ~doc_id:"b" "unrelated gene expression stuff";
+        let v = Tfidf.vector_of_text c "protein kinase binding" in
+        check (Alcotest.float 0.001) "self" 1.0 (Tfidf.cosine v v));
+    Alcotest.test_case "cosine disjoint" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "alpha beta";
+        Tfidf.corpus_add c ~doc_id:"b" "gamma delta";
+        match (Tfidf.vector_of_doc c "a", Tfidf.vector_of_doc c "b") with
+        | Some va, Some vb -> check (Alcotest.float 0.001) "zero" 0.0 (Tfidf.cosine va vb)
+        | _ -> Alcotest.fail "missing vectors");
+    Alcotest.test_case "similar_docs excludes self" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "zinc finger domain";
+        Tfidf.corpus_add c ~doc_id:"b" "zinc finger domain protein";
+        Tfidf.corpus_add c ~doc_id:"c" "completely different words here";
+        let sims = Tfidf.similar_docs c ~doc_id:"a" ~min_sim:0.3 in
+        check Alcotest.bool "b found" true (List.mem_assoc "b" sims);
+        check Alcotest.bool "self absent" false (List.mem_assoc "a" sims);
+        check Alcotest.bool "c absent" false (List.mem_assoc "c" sims));
+    Alcotest.test_case "corpus_add replaces" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "first version";
+        Tfidf.corpus_add c ~doc_id:"a" "second version";
+        check Alcotest.int "size" 1 (Tfidf.corpus_size c));
+    Alcotest.test_case "idf downweights common terms" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "common rare1";
+        Tfidf.corpus_add c ~doc_id:"b" "common rare2";
+        Tfidf.corpus_add c ~doc_id:"c" "common rare3";
+        let v = Tfidf.vector_of_text c "common rare1" in
+        match Tfidf.top_terms v 2 with
+        | (top, _) :: _ -> check Alcotest.string "rare on top" "rare1" top
+        | [] -> Alcotest.fail "empty vector");
+    Alcotest.test_case "unknown doc" `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        check Alcotest.bool "none" true (Tfidf.vector_of_doc c "zz" = None));
+  ]
+
+let inverted_tests =
+  [
+    Alcotest.test_case "search finds and ranks" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"d1" ~field:"desc" "kinase kinase kinase";
+        Inverted_index.add idx ~doc_id:"d2" ~field:"desc" "kinase once, other words";
+        (match Inverted_index.search idx "kinase" with
+        | first :: _ :: _ -> check Alcotest.string "tf wins" "d1" first.doc_id
+        | other -> Alcotest.fail (Printf.sprintf "%d results" (List.length other))));
+    Alcotest.test_case "field restriction" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"d1" ~field:"name" "alpha";
+        Inverted_index.add idx ~doc_id:"d2" ~field:"desc" "alpha";
+        let hits = Inverted_index.search idx ~field:"name" "alpha" in
+        check Alcotest.(list string) "only d1" [ "d1" ]
+          (List.map (fun (r : Inverted_index.query_result) -> r.doc_id) hits));
+    Alcotest.test_case "multi-term coverage bonus" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"both" ~field:"f" "alpha beta";
+        Inverted_index.add idx ~doc_id:"one" ~field:"f" "alpha gamma";
+        (match Inverted_index.search idx "alpha beta" with
+        | first :: _ -> check Alcotest.string "both wins" "both" first.doc_id
+        | [] -> Alcotest.fail "no results"));
+    Alcotest.test_case "phrase_matches conjunctive" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"d1" ~field:"f" "alpha beta";
+        Inverted_index.add idx ~doc_id:"d2" ~field:"f" "alpha";
+        check Alcotest.(list string) "d1 only" [ "d1" ]
+          (Inverted_index.phrase_matches idx "alpha beta"));
+    Alcotest.test_case "limit respected" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        for i = 1 to 30 do
+          Inverted_index.add idx ~doc_id:(string_of_int i) ~field:"f" "shared"
+        done;
+        check Alcotest.int "limit" 5
+          (List.length (Inverted_index.search idx ~limit:5 "shared")));
+    Alcotest.test_case "counts" `Quick (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"d" ~field:"f" "alpha beta";
+        check Alcotest.int "docs" 1 (Inverted_index.doc_count idx);
+        check Alcotest.int "terms" 2 (Inverted_index.term_count idx));
+  ]
+
+let entity_tests =
+  [
+    Alcotest.test_case "dictionary match" `Quick (fun () ->
+        let t = Entity_recog.create () in
+        Entity_recog.add_dictionary t [ "brca2" ];
+        match Entity_recog.recognize t "the BRCA2 gene" with
+        | [ m ] ->
+            check Alcotest.string "surface" "BRCA2" m.surface;
+            check (Alcotest.float 0.001) "score" 1.0 m.score
+        | ms -> Alcotest.fail (Printf.sprintf "%d mentions" (List.length ms)));
+    Alcotest.test_case "surface scores" `Quick (fun () ->
+        check Alcotest.bool "BRCA2 high" true (Entity_recog.surface_score "BRCA2" >= 0.5);
+        check Alcotest.bool "p53 high" true (Entity_recog.surface_score "p53" >= 0.5);
+        check (Alcotest.float 0.001) "plain word" 0.0 (Entity_recog.surface_score "protein");
+        check (Alcotest.float 0.001) "stopword" 0.0 (Entity_recog.surface_score "the"));
+    Alcotest.test_case "min_score filters" `Quick (fun () ->
+        let t = Entity_recog.create () in
+        let ms = Entity_recog.recognize t ~min_score:0.99 "maybe CFTR5 here" in
+        check Alcotest.int "none" 0 (List.length ms));
+    Alcotest.test_case "token positions" `Quick (fun () ->
+        let t = Entity_recog.create () in
+        Entity_recog.add_dictionary t [ "xyz1" ];
+        match Entity_recog.recognize t "first second XYZ1" with
+        | [ m ] -> check Alcotest.int "index" 2 m.start
+        | ms -> Alcotest.fail (Printf.sprintf "%d mentions" (List.length ms)));
+  ]
+
+let tests =
+  [
+    ("textmine.tokenize", tokenize_tests);
+    ("textmine.strdist", strdist_tests);
+    ("textmine.tfidf", tfidf_tests);
+    ("textmine.inverted_index", inverted_tests);
+    ("textmine.entity_recog", entity_tests);
+  ]
