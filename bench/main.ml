@@ -41,10 +41,9 @@ let analyze_corpus (corpus : Dg.Corpus.t) =
   Lk.Profile_list.of_profiles
     (List.map Ds.Source_profile.analyze corpus.catalogs)
 
-let timed f =
-  let t0 = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. t0)
+(* monotonic wall clock — Sys.time would report CPU time, which undercounts
+   anything I/O-bound and inflates nothing-burger spins *)
+let timed = Aladin_obs.Clock.timed
 
 let scores_cells (s : Ev.Metrics.scores) =
   [ Ev.Report.cell_f s.precision; Ev.Report.cell_f s.recall; Ev.Report.cell_f s.f1 ]

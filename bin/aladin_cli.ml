@@ -6,6 +6,7 @@
    aladin search FILE... -q Q   ranked full-text search
    aladin query FILE... -s SQL  run SQL over the warehouse
    aladin links FILE...         list discovered links
+   aladin trace FILE...         integrate and report the execution trace
    aladin demo                  integrate a generated synthetic corpus *)
 
 open Cmdliner
@@ -22,9 +23,23 @@ let load_config = function
   | Some path -> Config.of_file path
   | None -> Config.default
 
-let build_warehouse ?config paths =
+let build_warehouse ?config ?trace paths =
   let config = load_config config in
-  Warehouse.integrate ~config (import_all paths)
+  Warehouse.integrate ~config ?trace (import_all paths)
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the pipeline execution trace to $(docv) as JSON.")
+
+let with_trace_file file f =
+  match file with
+  | None -> f None
+  | Some path ->
+      let tr = Aladin_obs.Trace.create ~name:"aladin" () in
+      let v = f (Some tr) in
+      Aladin_obs.Sink.write_json tr path;
+      Printf.printf "trace written to %s\n" path;
+      v
 
 let paths_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Source files or dump directories.")
@@ -36,20 +51,22 @@ let integrate_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"META"
            ~doc:"Write the metadata repository to $(docv).")
   in
-  let run paths save config =
-    let w = build_warehouse ?config paths in
-    print_string (Aladin_system.summary w);
-    match save with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Aladin_metadata.Repository.save (Warehouse.repository w));
-        close_out oc;
-        Printf.printf "metadata written to %s\n" path
-    | None -> ()
+  let run paths save config trace_file =
+    with_trace_file trace_file (fun trace ->
+        let w = build_warehouse ?config ?trace paths in
+        print_string (Aladin_system.summary w);
+        match save with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Aladin_metadata.Repository.save (Warehouse.repository w));
+            close_out oc;
+            Printf.printf "metadata written to %s\n" path
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
-    Term.(const run $ paths_arg $ save $ config_arg)
+    Term.(const run $ paths_arg $ save $ config_arg $ trace_file_arg)
 
 (* --- discover --- *)
 
@@ -186,6 +203,28 @@ let links_cmd =
     (Cmd.info "links" ~doc:"List discovered object links (text, CSV or DOT).")
     Term.(const run $ paths_arg $ kind $ format)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let json =
+    Arg.(value & opt (some string) None & info [ "o"; "json" ] ~docv:"FILE"
+           ~doc:"Also write the trace to $(docv) as JSON.")
+  in
+  let run paths config json =
+    let tr = Aladin_obs.Trace.create ~name:"aladin" () in
+    let (_ : Warehouse.t) = build_warehouse ?config ~trace:tr paths in
+    print_string (Aladin_obs.Sink.pretty tr);
+    match json with
+    | Some path ->
+        Aladin_obs.Sink.write_json tr path;
+        Printf.printf "trace written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Integrate sources and report the pipeline execution trace:               per-step spans, counters and latency histograms.")
+    Term.(const run $ paths_arg $ config_arg $ json)
+
 (* --- profile --- *)
 
 let profile_cmd =
@@ -279,17 +318,18 @@ let demo_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Corpus seed.")
   in
-  let run seed =
-    let corpus =
-      Aladin_datagen.Corpus.generate
-        { Aladin_datagen.Corpus.default_params with seed }
-    in
-    let w = Warehouse.integrate corpus.catalogs in
-    print_string (Aladin_system.summary w)
+  let run seed trace_file =
+    with_trace_file trace_file (fun trace ->
+        let corpus =
+          Aladin_datagen.Corpus.generate
+            { Aladin_datagen.Corpus.default_params with seed }
+        in
+        let w = Warehouse.integrate ?trace corpus.catalogs in
+        print_string (Aladin_system.summary w))
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Generate a synthetic life-science corpus and integrate it.")
-    Term.(const run $ seed)
+    Term.(const run $ seed $ trace_file_arg)
 
 let () =
   let info =
@@ -300,5 +340,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ integrate_cmd; discover_cmd; browse_cmd; search_cmd; query_cmd;
-            links_cmd; profile_cmd; dups_cmd; export_cmd; shell_cmd;
-            demo_cmd ]))
+            links_cmd; trace_cmd; profile_cmd; dups_cmd; export_cmd;
+            shell_cmd; demo_cmd ]))

@@ -4,6 +4,7 @@ open Aladin_links
 open Aladin_metadata
 open Aladin_access
 module Dup = Aladin_dup
+module Obs = Aladin_obs
 
 type step =
   | Import_step
@@ -35,6 +36,7 @@ type t = {
   pending_changes : (string, int) Hashtbl.t;
   feedback : Feedback.t;
   mutable seq_state : Seq_links.state option;
+  mutable last_trace : Obs.Trace.t option;
 }
 
 let create ?(config = Config.default) () =
@@ -52,6 +54,7 @@ let create ?(config = Config.default) () =
     pending_changes = Hashtbl.create 8;
     feedback = Feedback.create ();
     seq_state = None;
+    last_trace = None;
   }
 
 let config t = t.cfg
@@ -62,10 +65,7 @@ let invalidate t =
   t.cached_paths <- None;
   t.cached_link_query <- None
 
-let timed f =
-  let start = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. start)
+let last_trace t = t.last_trace
 
 (* incremental homology: align only the new source's sequences against the
    persistent index; a replaced source forces a rebuild *)
@@ -96,13 +96,18 @@ let relink ?new_source t =
     t.cfg.incremental_seq && t.cfg.linker.enable_seq && new_source <> None
   in
   let report, link_secs =
-    timed (fun () ->
+    Obs.Trace.ambient_span_timed "link discovery" (fun () ->
         if incremental then begin
           let params = { t.cfg.linker with enable_seq = false } in
           let report = Linker.discover ~params t.profile_list in
           let seq_links =
             match new_source with
-            | Some s -> seq_links_incremental t ~new_source:s
+            | Some s ->
+                (* the linker skipped its seq pass; the incremental one is
+                   its stand-in, so it reports under the same span name *)
+                Obs.Trace.ambient_span "seq pass"
+                  ~attrs:[ ("mode", "incremental"); ("source", s) ]
+                  (fun () -> seq_links_incremental t ~new_source:s)
             | None -> []
           in
           { report with
@@ -127,8 +132,15 @@ let relink ?new_source t =
     | None -> []
   in
   let dups, dup_secs =
-    timed (fun () ->
-        Dup.Dup_detect.detect ~params:t.cfg.dup ~exclude_attributes t.profile_list)
+    Obs.Trace.ambient_span_timed "duplicate detection" (fun () ->
+        let (dups : Dup.Dup_detect.result) =
+          Dup.Dup_detect.detect ~params:t.cfg.dup ~exclude_attributes
+            t.profile_list
+        in
+        Obs.Trace.ambient_incr ~by:dups.candidates_checked
+          "dup.candidates_checked";
+        Obs.Trace.ambient_incr ~by:(List.length dups.links) "dup.links";
+        dups)
   in
   t.last_dups <- Some dups;
   Repository.set_links t.repo
@@ -138,56 +150,86 @@ let relink ?new_source t =
   | None -> ());
   (link_secs, dup_secs)
 
-let add_source t catalog =
+let add_source ?trace t catalog =
   let name = Catalog.name catalog in
-  t.catalog_list <-
-    List.filter (fun c -> Catalog.name c <> name) t.catalog_list @ [ catalog ];
-  (* step 2: profile + accession + FK inference + primary choice *)
-  let sp2, secs2 =
-    timed (fun () ->
-        let profile = Profile.compute catalog in
-        let cands = Accession.candidates ~params:t.cfg.accession profile in
-        let fks =
-          Feedback.filter_fks t.feedback ~source:name
-            (Inclusion.infer ~params:t.cfg.inclusion profile)
+  let tr =
+    match trace with
+    | Some tr -> tr
+    | None -> Obs.Trace.create ~name:(Printf.sprintf "add-source %s" name) ()
+  in
+  let timings =
+    Obs.Trace.with_ambient tr (fun () ->
+        t.catalog_list <-
+          List.filter (fun c -> Catalog.name c <> name) t.catalog_list
+          @ [ catalog ];
+        (* step 1 ran when the caller produced the catalog; a marker span
+           keeps all five steps visible in every trace *)
+        Obs.Trace.ambient_span "import"
+          ~attrs:
+            [ ("source", name);
+              ("rows", string_of_int (Catalog.total_rows catalog)) ]
+          (fun () -> ());
+        (* step 2: profile + accession + FK inference + primary choice *)
+        let sp2, secs2 =
+          Obs.Trace.ambient_span_timed "primary discovery" (fun () ->
+              let profile =
+                Obs.Trace.ambient_span "profile" (fun () ->
+                    Profile.compute catalog)
+              in
+              let cands =
+                Obs.Trace.ambient_span "accession candidates" (fun () ->
+                    Accession.candidates ~params:t.cfg.accession profile)
+              in
+              let fks =
+                Obs.Trace.ambient_span "fk inference" (fun () ->
+                    Feedback.filter_fks t.feedback ~source:name
+                      (Inclusion.infer ~params:t.cfg.inclusion profile))
+              in
+              let graph, primary =
+                Obs.Trace.ambient_span "primary choice" (fun () ->
+                    let graph =
+                      Fk_graph.build
+                        ~relations:(Catalog.relation_names catalog) fks
+                    in
+                    (graph, Primary.choose graph cands))
+              in
+              (profile, cands, fks, graph, primary))
         in
-        let graph =
-          Fk_graph.build ~relations:(Catalog.relation_names catalog) fks
+        let profile, cands, fks, graph, primary = sp2 in
+        (* step 3: secondary structure *)
+        let secondary, secs3 =
+          Obs.Trace.ambient_span_timed "secondary discovery" (fun () ->
+              Option.map
+                (fun (p : Primary.scored) ->
+                  Secondary.discover ~max_len:t.cfg.max_path_len graph
+                    ~primary:p.relation)
+                primary)
         in
-        let primary = Primary.choose graph cands in
-        (profile, cands, fks, graph, primary))
+        let sp =
+          { Source_profile.profile; accession_candidates = cands; fks; graph;
+            primary; secondary }
+        in
+        t.profile_list <- Profile_list.add t.profile_list sp;
+        Repository.add_source t.repo sp;
+        (* steps 4 + 5 *)
+        let link_secs, dup_secs = relink ~new_source:name t in
+        Hashtbl.remove t.pending_changes name;
+        invalidate t;
+        [
+          { step = Import_step; seconds = 0.0 };
+          { step = Primary_discovery; seconds = secs2 };
+          { step = Secondary_discovery; seconds = secs3 };
+          { step = Link_discovery; seconds = link_secs };
+          { step = Duplicate_detection; seconds = dup_secs };
+        ])
   in
-  let profile, cands, fks, graph, primary = sp2 in
-  (* step 3: secondary structure *)
-  let secondary, secs3 =
-    timed (fun () ->
-        Option.map
-          (fun (p : Primary.scored) ->
-            Secondary.discover ~max_len:t.cfg.max_path_len graph
-              ~primary:p.relation)
-          primary)
-  in
-  let sp =
-    { Source_profile.profile; accession_candidates = cands; fks; graph;
-      primary; secondary }
-  in
-  t.profile_list <- Profile_list.add t.profile_list sp;
-  Repository.add_source t.repo sp;
-  (* steps 4 + 5 *)
-  let link_secs, dup_secs = relink ~new_source:name t in
-  Hashtbl.remove t.pending_changes name;
-  invalidate t;
-  [
-    { step = Import_step; seconds = 0.0 };
-    { step = Primary_discovery; seconds = secs2 };
-    { step = Secondary_discovery; seconds = secs3 };
-    { step = Link_discovery; seconds = link_secs };
-    { step = Duplicate_detection; seconds = dup_secs };
-  ]
+  t.last_trace <- Some tr;
+  Repository.set_provenance t.repo (Obs.Sink.to_json tr);
+  timings
 
-let integrate ?config catalogs =
+let integrate ?config ?trace catalogs =
   let t = create ?config () in
-  List.iter (fun c -> ignore (add_source t c)) catalogs;
+  List.iter (fun c -> ignore (add_source ?trace t c)) catalogs;
   t
 
 let sources t = List.map Catalog.name t.catalog_list
@@ -348,6 +390,9 @@ let load_dir ?config ?(reanalyze = false) dir =
     let meta = Repository.load (read_file (Filename.concat dir "metadata.txt")) in
     Repository.set_links t.repo (Repository.links meta);
     Repository.set_correspondences t.repo (Repository.correspondences meta);
+    (match Repository.provenance meta with
+    | Some p -> Repository.set_provenance t.repo p
+    | None -> ());
     List.iter
       (fun catalog ->
         match Profile_list.find t.profile_list (Catalog.name catalog) with

@@ -28,13 +28,26 @@ val create : ?config:Config.t -> unit -> t
 
 val config : t -> Config.t
 
-val add_source : t -> Catalog.t -> timing list
+val add_source : ?trace:Aladin_obs.Trace.t -> t -> Catalog.t -> timing list
 (** Steps 2-5 for the new source (step 1, import, happened when the caller
-    produced the catalog — its timing is reported as 0 here). Replaces any
-    source with the same name. *)
+    produced the catalog — its timing is reported as 0 here, but an
+    ["import"] marker span is still recorded). Replaces any source with the
+    same name.
 
-val integrate : ?config:Config.t -> Catalog.t list -> t
-(** Fresh warehouse with all sources added. *)
+    Every run is traced: spans for the five pipeline steps (child spans for
+    profiling, FK inference, the link passes, ...), counters and latency
+    histograms from the discovery layers. Pass [trace] to accumulate into
+    your own collector; otherwise a fresh one is created. The trace is
+    retained (see {!last_trace}) and its JSON rendering stored as the
+    repository's provenance record. Timings in the returned list come from
+    the same monotonic wall clock as the spans. *)
+
+val integrate : ?config:Config.t -> ?trace:Aladin_obs.Trace.t -> Catalog.t list -> t
+(** Fresh warehouse with all sources added (all into the same [trace] when
+    given). *)
+
+val last_trace : t -> Aladin_obs.Trace.t option
+(** Execution trace of the most recent {!add_source} run. *)
 
 val sources : t -> string list
 

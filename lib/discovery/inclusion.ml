@@ -140,9 +140,7 @@ let infer ?(params = default_params) profile =
           let src_unique =
             Profile.is_unique profile ~relation:src.relation ~attribute:src.attribute
           in
-          let candidates =
-            List.filter_map
-              (fun (dst : Col_stats.t) ->
+          let eval_candidate (dst : Col_stats.t) =
                 let same =
                   norm dst.relation = norm src.relation
                   && norm dst.attribute = norm src.attribute
@@ -185,7 +183,17 @@ let infer ?(params = default_params) profile =
                       Some (dst, affinity +. equal_bonus +. (0.1 *. tightness))
                     end
                   end
-                end)
+                end
+          in
+          let candidates =
+            List.filter_map
+              (fun dst ->
+                Aladin_obs.Trace.ambient_incr "fk.pairs_considered";
+                match eval_candidate dst with
+                | None ->
+                    Aladin_obs.Trace.ambient_incr "fk.pairs_pruned";
+                    None
+                | some -> some)
               uniques
           in
           match
@@ -207,7 +215,9 @@ let infer ?(params = default_params) profile =
         end)
       all
   in
-  declared @ inferred
+  let fks = declared @ inferred in
+  Aladin_obs.Trace.ambient_incr ~by:(List.length fks) "fk.accepted";
+  fks
 
 let candidate_pairs_considered profile =
   let all = Profile.all_stats profile in

@@ -1,3 +1,5 @@
+module Obs = Aladin_obs
+
 type params = {
   xref : Xref_disc.params;
   seq : Seq_links.params;
@@ -29,27 +31,68 @@ type report = {
   onto_result : Onto_links.result option;
 }
 
+(* each pass is a child span of the ambient "link discovery" span (when the
+   orchestrator installed a trace) and feeds the shared pass-latency
+   histogram *)
+let pass name f =
+  let v, secs = Obs.Trace.ambient_span_timed name f in
+  Obs.Trace.ambient_observe "linkdisc.pass_seconds" secs;
+  v
+
 let discover ?(params = default_params) profiles =
   let xref_result =
-    if params.enable_xref then Some (Xref_disc.discover ~params:params.xref profiles)
+    if params.enable_xref then
+      Some
+        (pass "xref pass" (fun () ->
+             let r = Xref_disc.discover ~params:params.xref profiles in
+             Obs.Trace.ambient_incr ~by:r.attributes_scanned
+               "xref.attributes_scanned";
+             Obs.Trace.ambient_incr ~by:r.pairs_compared "xref.pairs_compared";
+             Obs.Trace.ambient_incr
+               ~by:(List.length r.correspondences)
+               "xref.correspondences_accepted";
+             Obs.Trace.ambient_incr ~by:(List.length r.links) "xref.links";
+             r))
     else None
   in
   let seq_result =
-    if params.enable_seq then Some (Seq_links.discover ~params:params.seq profiles)
+    if params.enable_seq then
+      Some
+        (pass "seq pass" (fun () ->
+             let r = Seq_links.discover ~params:params.seq profiles in
+             Obs.Trace.ambient_incr ~by:r.sequences_indexed
+               "seq.sequences_indexed";
+             Obs.Trace.ambient_incr ~by:r.pairs_verified "seq.pairs_verified";
+             Obs.Trace.ambient_incr ~by:(List.length r.links) "seq.links";
+             r))
     else None
   in
   let text_result =
-    if params.enable_text then Some (Text_links.discover ~params:params.text profiles)
+    if params.enable_text then
+      Some
+        (pass "text pass" (fun () ->
+             let r = Text_links.discover ~params:params.text profiles in
+             Obs.Trace.ambient_incr ~by:r.documents "text.documents";
+             Obs.Trace.ambient_incr ~by:(List.length r.links) "text.links";
+             r))
     else None
   in
   let xref_links =
     match xref_result with Some r -> r.links | None -> []
   in
   let onto_result =
-    if params.enable_onto then begin
-      let parents = Onto_links.parents_from_profiles profiles in
-      Some (Onto_links.discover ~params:params.onto ~parents ~xrefs:xref_links ())
-    end
+    if params.enable_onto then
+      Some
+        (pass "onto pass" (fun () ->
+             let parents = Onto_links.parents_from_profiles profiles in
+             let r =
+               Onto_links.discover ~params:params.onto ~parents
+                 ~xrefs:xref_links ()
+             in
+             Obs.Trace.ambient_incr ~by:r.hub_targets_skipped
+               "onto.hub_targets_skipped";
+             Obs.Trace.ambient_incr ~by:(List.length r.links) "onto.links";
+             r))
     else None
   in
   let links =

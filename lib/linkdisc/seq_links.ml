@@ -105,6 +105,8 @@ let state_add_source st profiles ~source =
     | Some e -> Owner_map.object_of_row e.owner ~relation ~row
   in
   let links = ref [] in
+  let indexed = ref 0 in
+  let verified = ref 0 in
   List.iter
     (fun f ->
       match Profile_list.find profiles f.source with
@@ -126,6 +128,7 @@ let state_add_source st profiles ~source =
                     Sq.Homology.search engine ~query_id s
                       ~min_normalized:params.min_normalized
                   in
+                  verified := !verified + List.length hits;
                   List.iter
                     (fun (h : Sq.Homology.hit) ->
                       let ss, sr, srow = decode h.subject_id in
@@ -147,12 +150,16 @@ let state_add_source st profiles ~source =
                               (objs_of ss sr srow))
                           (objs_of f.source f.relation row_i))
                     hits;
-                  Sq.Homology.add engine ~id:query_id s
+                  Sq.Homology.add engine ~id:query_id s;
+                  incr indexed
                 end
               end)
             rel)
     fields;
   let fresh = Link.dedup !links in
+  Aladin_obs.Trace.ambient_incr ~by:!indexed "seq.sequences_indexed";
+  Aladin_obs.Trace.ambient_incr ~by:!verified "seq.pairs_verified";
+  Aladin_obs.Trace.ambient_incr ~by:(List.length fresh) "seq.links";
   st.acc <- Link.dedup (fresh @ st.acc);
   fresh
 

@@ -152,17 +152,22 @@ let discover ?(params = default_params) profiles =
                  (fun (((tgt_source, _, _) as tgt), target_set) ->
                    if tgt_source <> src_source then begin
                      incr pairs_compared;
-                     match
-                       scan_attribute e ~src_source ~relation:cs.relation
-                         ~attribute:cs.attribute ~target:tgt ~target_set params
-                     with
+                     let hit, secs =
+                       Aladin_obs.Clock.timed (fun () ->
+                           scan_attribute e ~src_source ~relation:cs.relation
+                             ~attribute:cs.attribute ~target:tgt ~target_set
+                             params)
+                     in
+                     Aladin_obs.Trace.ambient_observe "xref.scan_seconds" secs;
+                     match hit with
                      | Some (ls, corr) ->
                          links := ls @ !links;
                          correspondences := corr :: !correspondences
                      | None -> ()
                    end)
                  target_sets
-             end))
+             end
+             else Aladin_obs.Trace.ambient_incr "xref.attributes_pruned"))
     (Profile_list.entries profiles);
   {
     links = Link.dedup !links;

@@ -15,9 +15,11 @@ type t = {
   mutable source_records : source_record list;
   mutable link_store : Link.t list;
   mutable corr_store : Xref_disc.correspondence list;
+  mutable prov_store : string option;
 }
 
-let create () = { source_records = []; link_store = []; corr_store = [] }
+let create () =
+  { source_records = []; link_store = []; corr_store = []; prov_store = None }
 
 let record_of_profile (sp : Source_profile.t) =
   let catalog = Profile.catalog sp.profile in
@@ -69,6 +71,10 @@ let links_of t obj =
 let set_correspondences t cs = t.corr_store <- cs
 
 let correspondences t = t.corr_store
+
+let set_provenance t doc = t.prov_store <- Some doc
+
+let provenance t = t.prov_store
 
 (* --- serialization --- *)
 
@@ -149,6 +155,9 @@ let save t =
           c.dst_relation; c.dst_attribute; string_of_int c.matches;
           Serial.float_to_string c.match_frac; string_of_bool c.encoded ])
     t.corr_store;
+  (match t.prov_store with
+  | Some doc -> line [ "provenance"; doc ]
+  | None -> ());
   Buffer.contents buf
 
 type loading = {
@@ -156,10 +165,14 @@ type loading = {
   mutable done_sources : source_record list;
   mutable loaded_links : Link.t list;
   mutable loaded_corrs : Xref_disc.correspondence list;
+  mutable loaded_prov : string option;
 }
 
 let load doc =
-  let st = { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [] } in
+  let st =
+    { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [];
+      loaded_prov = None }
+  in
   let flush () =
     match st.cur with
     | Some r ->
@@ -244,6 +257,9 @@ let load doc =
                 match_frac = Serial.float_of_string_exn frac;
                 encoded = bool_of_string encoded }
               :: st.loaded_corrs
+        | [ "provenance"; prov ] ->
+            flush ();
+            st.loaded_prov <- Some prov
         | fs ->
             invalid_arg
               (Printf.sprintf "Repository.load: bad line %S"
@@ -254,6 +270,7 @@ let load doc =
     source_records = st.done_sources;
     link_store = List.rev st.loaded_links;
     corr_store = List.rev st.loaded_corrs;
+    prov_store = st.loaded_prov;
   }
 
 let stats_summary t =

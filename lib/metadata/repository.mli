@@ -54,6 +54,14 @@ val set_correspondences : t -> Xref_disc.correspondence list -> unit
 
 val correspondences : t -> Xref_disc.correspondence list
 
+val set_provenance : t -> string -> unit
+(** Store the provenance record of the last pipeline run — by convention
+    the JSON execution trace emitted by [Aladin_obs.Sink.to_json]
+    ("statistics ... and provenance", §3). Replaces any previous record;
+    persisted by {!save}/{!load}. *)
+
+val provenance : t -> string option
+
 val save : t -> string
 
 val load : string -> t

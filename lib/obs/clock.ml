@@ -1,0 +1,11 @@
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let timed f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)

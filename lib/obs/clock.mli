@@ -1,0 +1,15 @@
+(** The pipeline's single time source: a monotonic wall clock.
+
+    [Sys.time] measures CPU time, which silently undercounts I/O waits and
+    collapses entirely under parallelism; every step timing and bench number
+    in this repo goes through this module instead. The reading is based on
+    [Unix.gettimeofday] and clamped to be non-decreasing, so an NTP step
+    backwards can never produce a negative duration. *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, non-decreasing across calls. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f] and returns its result with the elapsed wall-clock
+    seconds (always >= 0). Not exception-safe by design — use
+    {!Trace.with_span} when [f] may raise. *)

@@ -1,0 +1,14 @@
+(** A named monotonically-increasing event count (pairs considered, pairs
+    pruned, candidates accepted, ...). Counters live inside a {!Trace} and
+    are exported by {!Sink}. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> unit
+(** Default increment 1. *)
+
+val value : t -> int
+
+val reset : t -> unit

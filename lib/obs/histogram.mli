@@ -1,0 +1,35 @@
+(** A latency histogram with fixed log-scale buckets (seconds).
+
+    Cheap enough to sit on a hot path: one array index per observation,
+    no allocation. Summaries (count / sum / min / max / mean and the
+    cumulative-style bucket counts) are exported by {!Sink}. *)
+
+type t
+
+val default_bounds : float array
+(** Upper bucket bounds in seconds: 1us, 10us, ... 100s; values above the
+    last bound land in an implicit overflow bucket. *)
+
+val create : ?bounds:float array -> unit -> t
+(** [bounds] must be sorted ascending. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val min_value : t -> float
+(** 0.0 when empty. *)
+
+val max_value : t -> float
+(** 0.0 when empty. *)
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val buckets : t -> (float * int) list
+(** (upper bound, observations <= bound and > previous bound); the final
+    entry has bound [infinity]. Bucket counts sum to {!count}. *)
+
+val reset : t -> unit

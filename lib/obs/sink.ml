@@ -1,0 +1,170 @@
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  (* JSON has no inf/nan literals *)
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  else Buffer.add_string buf "null"
+
+let add_list buf add_item items =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_item item)
+    items;
+  Buffer.add_char buf ']'
+
+let add_obj buf add_pair pairs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i pair ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_pair pair)
+    pairs;
+  Buffer.add_char buf '}'
+
+let add_key buf k =
+  add_json_string buf k;
+  Buffer.add_char buf ':'
+
+let rec add_span buf ~t0 sp =
+  Buffer.add_char buf '{';
+  add_key buf "name";
+  add_json_string buf (Span.name sp);
+  Buffer.add_string buf ",";
+  add_key buf "start_s";
+  add_float buf (Span.start sp -. t0);
+  Buffer.add_string buf ",";
+  add_key buf "duration_s";
+  add_float buf (Span.duration sp);
+  Buffer.add_string buf ",";
+  add_key buf "attrs";
+  add_obj buf
+    (fun (k, v) ->
+      add_key buf k;
+      add_json_string buf v)
+    (Span.attrs sp);
+  Buffer.add_string buf ",";
+  add_key buf "children";
+  add_list buf (add_span buf ~t0) (Span.children sp);
+  Buffer.add_char buf '}'
+
+let add_histogram buf h =
+  Buffer.add_char buf '{';
+  add_key buf "count";
+  Buffer.add_string buf (string_of_int (Histogram.count h));
+  Buffer.add_string buf ",";
+  add_key buf "sum_s";
+  add_float buf (Histogram.sum h);
+  Buffer.add_string buf ",";
+  add_key buf "min_s";
+  add_float buf (Histogram.min_value h);
+  Buffer.add_string buf ",";
+  add_key buf "max_s";
+  add_float buf (Histogram.max_value h);
+  Buffer.add_string buf ",";
+  add_key buf "mean_s";
+  add_float buf (Histogram.mean h);
+  Buffer.add_string buf ",";
+  add_key buf "buckets";
+  add_list buf
+    (fun (bound, n) ->
+      Buffer.add_char buf '{';
+      add_key buf "le_s";
+      add_float buf bound;
+      Buffer.add_string buf ",";
+      add_key buf "count";
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_char buf '}')
+    (Histogram.buckets h);
+  Buffer.add_char buf '}'
+
+let to_json trace =
+  let buf = Buffer.create 4096 in
+  let t0 = Trace.started_at trace in
+  Buffer.add_char buf '{';
+  add_key buf "trace";
+  add_json_string buf (Trace.name trace);
+  Buffer.add_string buf ",";
+  add_key buf "started_at";
+  add_float buf t0;
+  Buffer.add_string buf ",";
+  add_key buf "duration_s";
+  add_float buf (Trace.duration trace);
+  Buffer.add_string buf ",";
+  add_key buf "spans";
+  add_list buf (add_span buf ~t0) (Trace.roots trace);
+  Buffer.add_string buf ",";
+  add_key buf "counters";
+  add_obj buf
+    (fun (k, v) ->
+      add_key buf k;
+      Buffer.add_string buf (string_of_int v))
+    (Trace.counters trace);
+  Buffer.add_string buf ",";
+  add_key buf "histograms";
+  add_obj buf
+    (fun (k, h) ->
+      add_key buf k;
+      add_histogram buf h)
+    (Trace.histograms trace);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_json trace path =
+  let oc = open_out path in
+  output_string oc (to_json trace);
+  output_char oc '\n';
+  close_out oc
+
+let pretty trace =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "trace %S  (%.3f s, %d top-level spans)\n"
+    (Trace.name trace) (Trace.duration trace)
+    (List.length (Trace.roots trace));
+  let rec span indent sp =
+    Printf.bprintf buf "%s%-28s %8.3f s%s\n" indent (Span.name sp)
+      (Span.duration sp)
+      (match Span.attrs sp with
+      | [] -> ""
+      | attrs ->
+          "  ["
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)
+          ^ "]");
+    List.iter (span (indent ^ "  ")) (Span.children sp)
+  in
+  List.iter (span "  ") (Trace.roots trace);
+  (match Trace.counters trace with
+  | [] -> ()
+  | cs ->
+      Buffer.add_string buf "counters:\n";
+      List.iter (fun (k, v) -> Printf.bprintf buf "  %-36s %d\n" k v) cs);
+  (match Trace.histograms trace with
+  | [] -> ()
+  | hs ->
+      Buffer.add_string buf "histograms:\n";
+      List.iter
+        (fun (k, h) ->
+          Printf.bprintf buf
+            "  %-36s count=%d mean=%.2fms min=%.2fms max=%.2fms\n" k
+            (Histogram.count h)
+            (1000.0 *. Histogram.mean h)
+            (1000.0 *. Histogram.min_value h)
+            (1000.0 *. Histogram.max_value h))
+        hs);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+type t = {
+  sname : string;
+  sstart : float;
+  mutable sfinish : float option;
+  mutable sattrs : (string * string) list; (* reversed *)
+  mutable schildren : t list; (* reversed *)
+}
+
+let make ~name ~start =
+  { sname = name; sstart = start; sfinish = None; sattrs = []; schildren = [] }
+
+let close t ~at =
+  match t.sfinish with
+  | Some _ -> ()
+  | None -> t.sfinish <- Some (Float.max at t.sstart)
+
+let is_open t = t.sfinish = None
+
+let name t = t.sname
+
+let start t = t.sstart
+
+let finish t = match t.sfinish with Some f -> f | None -> t.sstart
+
+let duration t = finish t -. t.sstart
+
+let attrs t = List.rev t.sattrs
+
+let add_attr t k v = t.sattrs <- (k, v) :: t.sattrs
+
+let add_child t child = t.schildren <- child :: t.schildren
+
+let children t = List.rev t.schildren

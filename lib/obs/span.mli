@@ -1,0 +1,35 @@
+(** One timed operation inside a trace: a name, a wall-clock interval from
+    {!Clock}, string attributes, and child spans. Spans are created and
+    closed by {!Trace}; consumers (tests, {!Sink}) only read them. *)
+
+type t
+
+val make : name:string -> start:float -> t
+(** An open span. *)
+
+val close : t -> at:float -> unit
+(** Idempotent; [at] is clamped to [start] so durations are never
+    negative. *)
+
+val is_open : t -> bool
+
+val name : t -> string
+
+val start : t -> float
+(** Absolute seconds ({!Clock} domain). *)
+
+val finish : t -> float
+(** Equals [start] while the span is open. *)
+
+val duration : t -> float
+(** [finish - start], >= 0. *)
+
+val attrs : t -> (string * string) list
+(** In insertion order. *)
+
+val add_attr : t -> string -> string -> unit
+
+val add_child : t -> t -> unit
+
+val children : t -> t list
+(** In creation order. *)

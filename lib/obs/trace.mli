@@ -1,0 +1,78 @@
+(** The trace collector: a tree of {!Span}s plus named {!Counter}s and
+    {!Histogram}s for one pipeline run.
+
+    Two usage styles:
+
+    - {b explicit}: the orchestrator (the warehouse, the CLI, the bench
+      harness) holds a [Trace.t] and wraps each step in {!with_span};
+    - {b ambient}: deep library code (link passes, FK inference) records
+      into whatever trace the orchestrator installed with {!with_ambient}.
+      Every [ambient_*] function is a no-op when no trace is installed, so
+      instrumented code pays nothing outside a traced run.
+
+    The ambient slot is a plain global — this process is single-threaded;
+    revisit if the ROADMAP's parallelism work lands. Span recording is
+    exception-safe: a raising body still closes its span. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** Default name ["trace"]. *)
+
+val name : t -> string
+
+val started_at : t -> float
+
+(** {2 Spans} *)
+
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the body inside a new span; nests under the innermost open span,
+    or becomes a root span. *)
+
+val timed_span :
+  t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** {!with_span} that also returns the span's duration in seconds. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach to the innermost open span; no-op when none is open. *)
+
+val roots : t -> Span.t list
+(** Completed top-level spans, in completion order. *)
+
+val duration : t -> float
+(** Latest root-span finish minus {!started_at}; 0 with no roots. *)
+
+(** {2 Metrics} *)
+
+val incr : t -> ?by:int -> string -> unit
+
+val observe : t -> string -> float -> unit
+
+val counter_value : t -> string -> int
+(** 0 for a name never incremented. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** Sorted by name. *)
+
+(** {2 Ambient trace} *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient trace for the body (restoring the previous
+    one after, so traced regions nest). *)
+
+val ambient : unit -> t option
+
+val ambient_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** {!with_span} on the ambient trace; just runs the body when none. *)
+
+val ambient_span_timed :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** Like {!ambient_span} but always returns the wall-clock duration, with
+    or without an ambient trace. *)
+
+val ambient_incr : ?by:int -> string -> unit
+
+val ambient_observe : string -> float -> unit

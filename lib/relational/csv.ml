@@ -55,15 +55,80 @@ let escape_field s =
 
 let render_line fields = String.concat "," (List.map escape_field fields)
 
+(* Streaming record reader: newlines only terminate a record when outside
+   quotes, so quoted fields may span lines; a CR immediately before an
+   unquoted record-ending LF is stripped (CRLF input), while CR/LF inside
+   quotes are preserved verbatim. *)
 let read_string doc =
-  String.split_on_char '\n' doc
-  |> List.filter_map (fun line ->
-         let line =
-           if String.length line > 0 && line.[String.length line - 1] = '\r' then
-             String.sub line 0 (String.length line - 1)
-           else line
-         in
-         if String.trim line = "" then None else Some (parse_line line))
+  let n = String.length doc in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let saw_quote = ref false in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let end_record () =
+    (* a record that is a single unquoted blank-ish field is a skipped
+       blank line (matching the old line-based reader) *)
+    let blank =
+      !fields = [] && (not !saw_quote) && String.trim (Buffer.contents buf) = ""
+    in
+    if blank then Buffer.clear buf
+    else begin
+      flush_field ();
+      records := List.rev !fields :: !records
+    end;
+    fields := [];
+    saw_quote := false
+  in
+  (* states: 0 = unquoted, 1 = inside quotes *)
+  let rec loop i state =
+    if i >= n then begin
+      if state = 1 || !fields <> [] || Buffer.length buf > 0 || !saw_quote then
+        end_record ()
+    end
+    else
+      let c = doc.[i] in
+      match state with
+      | 0 ->
+          if c = ',' then begin
+            flush_field ();
+            loop (i + 1) 0
+          end
+          else if c = '"' && Buffer.length buf = 0 then begin
+            saw_quote := true;
+            loop (i + 1) 1
+          end
+          else if c = '\r' && i + 1 < n && doc.[i + 1] = '\n' then begin
+            (* unquoted CRLF is a record terminator; a CR that arrived
+               inside quotes is data and never reaches this branch *)
+            end_record ();
+            loop (i + 2) 0
+          end
+          else if c = '\n' then begin
+            end_record ();
+            loop (i + 1) 0
+          end
+          else begin
+            Buffer.add_char buf c;
+            loop (i + 1) 0
+          end
+      | _ ->
+          if c = '"' then
+            if i + 1 < n && doc.[i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              loop (i + 2) 1
+            end
+            else loop (i + 1) 0
+          else begin
+            Buffer.add_char buf c;
+            loop (i + 1) 1
+          end
+  in
+  loop 0 0;
+  List.rev !records
 
 let read_file path =
   let ic = open_in path in

@@ -1,16 +1,20 @@
 (** Minimal RFC-4180-ish CSV reader/writer (relational dump files). *)
 
 val parse_line : string -> string list
-(** Split one record. Handles double-quoted fields with embedded commas and
-    escaped quotes (""). Does not handle embedded newlines (dump files from
-    the generators never produce them). *)
+(** Split one pre-split line into fields. Handles double-quoted fields with
+    embedded commas and escaped quotes (""). A field spanning multiple
+    physical lines cannot be represented here — use {!read_string}, which
+    tracks quote state across newlines. *)
 
 val escape_field : string -> string
 
 val render_line : string list -> string
 
 val read_string : string -> string list list
-(** Whole document -> records. Blank lines are skipped. *)
+(** Whole document -> records. Streams across lines with quote-state
+    tracking: quoted fields may contain newlines, CR and LF inside quotes
+    are preserved, and a CR before an unquoted record-ending LF is stripped
+    (CRLF input). Blank lines are skipped. *)
 
 val read_file : string -> string list list
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: build + tests + the wall-clock grep-gate.
+#
+#   scripts/check.sh
+#
+# The grep-gate keeps Sys.time (CPU time, not wall-clock) out of shipped
+# code: every timing must go through Aladin_obs.Clock. Doc comments that
+# mention Sys.time are fine; call sites are not. Tests may use it when
+# they are specifically about the distinction.
+set -eu
+cd "$(dirname "$0")/.."
+
+if grep -rnE 'Sys\.time[[:space:]]*\(' lib bin bench \
+    --include='*.ml' --include='*.mli' 2>/dev/null; then
+  echo "error: Sys.time call site found (use Aladin_obs.Clock instead)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no Sys.time call sites in lib/ bin/ bench/"
+
+dune build
+dune runtest
+echo "check.sh: all green"

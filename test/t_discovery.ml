@@ -130,6 +130,33 @@ let accession_tests =
         let params = { Accession.default_params with min_length = 3 } in
         check Alcotest.int "found with 3" 1
           (List.length (Accession.candidates ~params p)));
+    (* regression: real-world accession shapes must satisfy the per-value
+       letter test (min_alpha_frac = 1.0) *)
+    Alcotest.test_case "accepts UniProt-shaped accessions" `Quick (fun () ->
+        let p = profile_of [ "P12345"; "Q67890"; "O43210" ] in
+        check Alcotest.(list (pair string string)) "found" [ ("t", "a") ]
+          (candidate_of p));
+    Alcotest.test_case "accepts GenBank-shaped accessions" `Quick (fun () ->
+        let p = profile_of [ "NM_000546"; "NM_000547"; "NM_000548" ] in
+        check Alcotest.(list (pair string string)) "found" [ ("t", "a") ]
+          (candidate_of p));
+    Alcotest.test_case "accepts GO-term-shaped accessions" `Quick (fun () ->
+        let p = profile_of [ "GO:0008150"; "GO:0003674"; "GO:0005575" ] in
+        check Alcotest.(list (pair string string)) "found" [ ("t", "a") ]
+          (candidate_of p));
+    Alcotest.test_case "rejects digits-plus-separator (documented deviation)"
+      `Quick (fun () ->
+        (* the paper's rule ("at least one non-digit") would accept these;
+           our stricter letter test treats them as surrogate-key-shaped —
+           see the min_alpha_frac doc in accession.mli *)
+        let p = profile_of [ "12:34567"; "12:34568"; "12:34569" ] in
+        check Alcotest.int "none" 0 (List.length (candidate_of p)));
+    Alcotest.test_case "min_alpha_frac = 0 recovers the paper's rule" `Quick
+      (fun () ->
+        let p = profile_of [ "12:34567"; "12:34568"; "12:34569" ] in
+        let params = { Accession.default_params with min_alpha_frac = 0.0 } in
+        check Alcotest.int "found" 1
+          (List.length (Accession.candidates ~params p)));
   ]
 
 let inclusion_tests =

@@ -411,6 +411,54 @@ let csv_tests =
                 fields);
            QCheck.assume (fields <> []);
            Csv.parse_line (Csv.render_line fields) = fields));
+    Alcotest.test_case "quoted field spans lines" `Quick (fun () ->
+        check
+          Alcotest.(list (list string))
+          "records"
+          [ [ "a"; "line one\nline two" ]; [ "b"; "plain" ] ]
+          (Csv.read_string "a,\"line one\nline two\"\nb,plain\n"));
+    Alcotest.test_case "quoted field keeps crlf" `Quick (fun () ->
+        (* CR is stripped only at an unquoted record boundary *)
+        check
+          Alcotest.(list (list string))
+          "records"
+          [ [ "x\r\ny"; "z" ] ]
+          (Csv.read_string "\"x\r\ny\",z\r\n"));
+    Alcotest.test_case "quoted empty field is not a blank line" `Quick (fun () ->
+        check
+          Alcotest.(list (list string))
+          "records"
+          [ [ "" ]; [ "a" ] ]
+          (Csv.read_string "\"\"\na\n"));
+    Alcotest.test_case "render/read_string embedded specials" `Quick (fun () ->
+        let records =
+          [ [ "newline\nin field"; "comma,in field" ];
+            [ "quote\"in field"; "crlf\r\nin field" ] ]
+        in
+        let doc =
+          String.concat "\n" (List.map Csv.render_line records) ^ "\n"
+        in
+        check Alcotest.(list (list string)) "records" records
+          (Csv.read_string doc));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"csv record roundtrip (multi-line fields)"
+         ~count:200
+         QCheck.(
+           list_of_size (Gen.int_range 1 5)
+             (list_of_size (Gen.int_range 1 4)
+                (string_of_size (Gen.int_range 0 10))))
+         (fun records ->
+           (* a record whose rendering is all-whitespace reads back as a
+              skipped blank line unless quoted; exclude that shape *)
+           QCheck.assume
+             (List.for_all
+                (fun fields ->
+                  String.trim (Csv.render_line fields) <> "")
+                records);
+           let doc =
+             String.concat "\n" (List.map Csv.render_line records) ^ "\n"
+           in
+           Csv.read_string doc = records));
   ]
 
 let tests =
