@@ -753,6 +753,127 @@ let e12_changes () =
   Ev.Report.print r
 
 (* ------------------------------------------------------------------ *)
+(* pipeline — domain-pool speedup trajectory (BENCH_pipeline.json)     *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_steps =
+  [ "primary discovery"; "fk inference"; "secondary discovery";
+    "link discovery"; "xref pass"; "seq pass"; "duplicate detection" ]
+
+(* total seconds per span name, summed over the whole trace tree *)
+let step_seconds tr =
+  let tbl = Hashtbl.create 16 in
+  let rec walk sp =
+    let n = Aladin_obs.Span.name sp in
+    Hashtbl.replace tbl n
+      (Option.value ~default:0.0 (Hashtbl.find_opt tbl n)
+      +. Aladin_obs.Span.duration sp);
+    List.iter walk (Aladin_obs.Span.children sp)
+  in
+  List.iter walk (Aladin_obs.Trace.roots tr);
+  fun name -> Option.value ~default:0.0 (Hashtbl.find_opt tbl name)
+
+let pipeline_bench () =
+  let corpus = Dg.Corpus.generate default_corpus_params in
+  let run domains =
+    let tr =
+      Aladin_obs.Trace.create ~name:(Printf.sprintf "pipeline d=%d" domains) ()
+    in
+    let w, wall =
+      timed (fun () ->
+          Warehouse.integrate
+            ~config:{ Config.default with domains }
+            ~trace:tr corpus.catalogs)
+    in
+    (domains, wall, step_seconds tr, List.length (Warehouse.links w),
+     Aladin_obs.Trace.counter_value tr "fk.accepted")
+  in
+  let runs = List.map run [ 1; 2; 4 ] in
+  let r =
+    Ev.Report.create
+      ~title:
+        "pipeline: full warehouse integration at 1/2/4 domains (seconds; \
+         results must be identical)"
+      ~columns:(("domains" :: "wall" :: pipeline_steps) @ [ "links"; "fks" ])
+  in
+  List.iter
+    (fun (d, wall, sec, links, fks) ->
+      Ev.Report.add_row r
+        ((string_of_int d :: Printf.sprintf "%.3f" wall
+          :: List.map (fun s -> Printf.sprintf "%.3f" (sec s)) pipeline_steps)
+        @ [ string_of_int links; string_of_int fks ]))
+    runs;
+  Ev.Report.print r;
+  (match runs with
+  | (_, _, _, links1, fks1) :: rest ->
+      let same =
+        List.for_all (fun (_, _, _, l, f) -> l = links1 && f = fks1) rest
+      in
+      Printf.printf "determinism across pool sizes: %s\n"
+        (if same then "ok (links and fks identical)" else "MISMATCH")
+  | [] -> ());
+  let base =
+    match runs with
+    | (_, wall, sec, _, _) :: _ -> (wall, sec)
+    | [] -> (0.0, fun _ -> 0.0)
+  in
+  let speedup base_v v = if v > 0.0 then base_v /. v else 1.0 in
+  let json =
+    let run_json (d, wall, sec, links, fks) =
+      Printf.sprintf
+        "    {\n\
+        \      \"domains\": %d,\n\
+        \      \"wall_seconds\": %.6f,\n\
+        \      \"speedup_vs_1_domain\": %.3f,\n\
+        \      \"links\": %d,\n\
+        \      \"fks\": %d,\n\
+        \      \"step_seconds\": {\n\
+         %s\n\
+        \      }\n\
+        \    }"
+        d wall
+        (speedup (fst base) wall)
+        links fks
+        (String.concat ",\n"
+           (List.map
+              (fun s -> Printf.sprintf "        %S: %.6f" s (sec s))
+              pipeline_steps))
+    in
+    let four =
+      List.find_opt (fun (d, _, _, _, _) -> d = 4) runs
+    in
+    let hot_speedups =
+      match four with
+      | Some (_, _, sec4, _, _) ->
+          String.concat ",\n"
+            (List.map
+               (fun s ->
+                 Printf.sprintf "    %S: %.3f" s
+                   (speedup ((snd base) s) (sec4 s)))
+               [ "fk inference"; "xref pass" ])
+      | None -> ""
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"pipeline\",\n\
+      \  \"corpus_seed\": %d,\n\
+      \  \"runs\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"hot_step_speedups_at_4_domains\": {\n\
+       %s\n\
+      \  }\n\
+       }\n"
+      default_corpus_params.Dg.Corpus.seed
+      (String.concat ",\n" (List.map run_json runs))
+      hot_speedups
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel microbenchmarks of the hot kernels                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -831,6 +952,7 @@ let experiments =
     ("scale", ("E10: incremental addition cost", e10_scale));
     ("access", ("E11: access engine", e11_access));
     ("changes", ("E12: change threshold", e12_changes));
+    ("pipeline", ("pipeline: domain-pool speedup 1/2/4", pipeline_bench));
   ]
 
 let () =

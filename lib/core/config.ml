@@ -10,6 +10,7 @@ type t = {
   incremental_seq : bool;
   max_path_len : int;
   change_threshold : float;
+  domains : int;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     incremental_seq = true;
     max_path_len = 6;
     change_threshold = 0.1;
+    domains = 0;
   }
 
 let parse_bool key v =
@@ -75,6 +77,7 @@ let apply t key v =
   | "incremental_seq" -> { t with incremental_seq = parse_bool key v }
   | "max_path_len" -> { t with max_path_len = parse_int key v }
   | "change_threshold" -> { t with change_threshold = parse_float key v }
+  | "domains" -> { t with domains = parse_int key v }
   | _ -> invalid_arg (Printf.sprintf "Config: unknown key %S" key)
 
 let of_string doc =
@@ -119,5 +122,6 @@ let to_string t =
       Printf.sprintf "incremental_seq = %b" t.incremental_seq;
       Printf.sprintf "max_path_len = %d" t.max_path_len;
       Printf.sprintf "change_threshold = %g" t.change_threshold;
+      Printf.sprintf "domains = %d" t.domains;
     ]
   ^ "\n"

@@ -16,6 +16,10 @@ type t = {
   change_threshold : float;
       (** §6.2: fraction of a source's rows that must change before links
           are recomputed (default 0.1) *)
+  domains : int;
+      (** domain-pool size for the parallel discovery fan-outs; 0 (default)
+          = auto: the [ALADIN_DOMAINS] environment variable when set, else
+          [Domain.recommended_domain_count ()]. 1 forces sequential. *)
 }
 
 val default : t
@@ -38,6 +42,7 @@ val of_string : string -> t
     incremental_seq                 bool
     max_path_len                    int
     change_threshold                float
+    domains                         int
     v}
     @raise Invalid_argument on unknown keys or unparsable values. *)
 

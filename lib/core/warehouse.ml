@@ -5,6 +5,7 @@ open Aladin_metadata
 open Aladin_access
 module Dup = Aladin_dup
 module Obs = Aladin_obs
+module Par = Aladin_par
 
 type step =
   | Import_step
@@ -24,6 +25,7 @@ type timing = { step : step; seconds : float }
 
 type t = {
   cfg : Config.t;
+  pool : Par.Pool.t;
   mutable catalog_list : Catalog.t list;
   mutable profile_list : Profile_list.t;
   repo : Repository.t;
@@ -42,6 +44,7 @@ type t = {
 let create ?(config = Config.default) () =
   {
     cfg = config;
+    pool = Par.Pool.get ~domains:config.domains ();
     catalog_list = [];
     profile_list = Profile_list.empty;
     repo = Repository.create ();
@@ -80,13 +83,17 @@ let seq_links_incremental t ~new_source =
           (fun (e : Profile_list.entry) ->
             let s = Source_profile.source e.sp in
             if s <> new_source then
-              ignore (Seq_links.state_add_source st t.profile_list ~source:s))
+              ignore
+                (Seq_links.state_add_source ~pool:t.pool st t.profile_list
+                   ~source:s))
           (Profile_list.entries t.profile_list);
         t.seq_state <- Some st;
         st
   in
   let st = ensure_fresh_state () in
-  ignore (Seq_links.state_add_source st t.profile_list ~source:new_source);
+  ignore
+    (Seq_links.state_add_source ~pool:t.pool st t.profile_list
+       ~source:new_source);
   Seq_links.state_links st
 
 (* steps 4+5 are global: re-run link and duplicate discovery over every
@@ -99,7 +106,7 @@ let relink ?new_source t =
     Obs.Trace.ambient_span_timed "link discovery" (fun () ->
         if incremental then begin
           let params = { t.cfg.linker with enable_seq = false } in
-          let report = Linker.discover ~params t.profile_list in
+          let report = Linker.discover ~params ~pool:t.pool t.profile_list in
           let seq_links =
             match new_source with
             | Some s ->
@@ -116,7 +123,7 @@ let relink ?new_source t =
         end
         else begin
           t.seq_state <- None;
-          Linker.discover ~params:t.cfg.linker t.profile_list
+          Linker.discover ~params:t.cfg.linker ~pool:t.pool t.profile_list
         end)
   in
   t.last_report <- Some report;
@@ -134,8 +141,8 @@ let relink ?new_source t =
   let dups, dup_secs =
     Obs.Trace.ambient_span_timed "duplicate detection" (fun () ->
         let (dups : Dup.Dup_detect.result) =
-          Dup.Dup_detect.detect ~params:t.cfg.dup ~exclude_attributes
-            t.profile_list
+          Dup.Dup_detect.detect ~params:t.cfg.dup ~pool:t.pool
+            ~exclude_attributes t.profile_list
         in
         Obs.Trace.ambient_incr ~by:dups.candidates_checked
           "dup.candidates_checked";
@@ -183,7 +190,8 @@ let add_source ?trace t catalog =
               let fks =
                 Obs.Trace.ambient_span "fk inference" (fun () ->
                     Feedback.filter_fks t.feedback ~source:name
-                      (Inclusion.infer ~params:t.cfg.inclusion profile))
+                      (Inclusion.infer ~params:t.cfg.inclusion ~pool:t.pool
+                         profile))
               in
               let graph, primary =
                 Obs.Trace.ambient_span "primary choice" (fun () ->

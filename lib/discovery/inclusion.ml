@@ -31,13 +31,27 @@ let tokens_of name =
   |> List.filter (fun t -> t <> "" && t <> "id" && t <> "fk" && t <> "ref")
   |> List.sort_uniq String.compare
 
-let overlap a b =
-  let inter = List.filter (fun t -> List.mem t b) a in
-  let union = List.length a + List.length b - List.length inter in
-  if union = 0 then 0.0
-  else float_of_int (List.length inter) /. float_of_int union
+(* sorted-merge intersection: both inputs are sort_uniq'ed by tokens_of *)
+let inter_count a b =
+  let rec go n a b =
+    match (a, b) with
+    | [], _ | _, [] -> n
+    | x :: a', y :: b' -> (
+        match String.compare x y with
+        | 0 -> go (n + 1) a' b'
+        | c when c < 0 -> go n a' b
+        | _ -> go n a b')
+  in
+  go 0 a b
 
-let contains_token hay t = List.exists (fun h -> h = t || Aladin_text.Strdist.contains ~needle:t h) hay
+let overlap a b =
+  let inter = inter_count a b in
+  let union = List.length a + List.length b - inter in
+  if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+(* Strdist.contains is reflexive, so it subsumes the equality case *)
+let contains_token hay t =
+  List.exists (fun h -> Aladin_text.Strdist.contains ~needle:t h) hay
 
 let name_affinity ~src_attribute ~dst_relation ~dst_attribute =
   let src = tokens_of src_attribute in
@@ -103,7 +117,31 @@ let source_cardinality profile fk =
   in
   if src_unique && Vset.equal src_vals dst_vals then One_to_one else One_to_many
 
-let infer ?(params = default_params) profile =
+(* The two pruning predicates, shared by [infer] and
+   [candidate_pairs_considered] so the reported comparison space never
+   drifts from the work actually done. *)
+let source_eligible params ~covered (src : Col_stats.t) =
+  src.distinct > 0
+  && (not (covered src))
+  && (match params.max_source_distinct with
+     | Some m -> src.distinct <= m
+     | None -> true)
+
+let candidate_target (src : Col_stats.t) (dst : Col_stats.t) =
+  (not
+     (norm dst.relation = norm src.relation
+     && norm dst.attribute = norm src.attribute))
+  && compatible src dst
+  && dst.distinct >= src.distinct
+
+let covered_by declared (cs : Col_stats.t) =
+  List.exists
+    (fun fk ->
+      norm fk.src_relation = norm cs.relation
+      && norm fk.src_attribute = norm cs.attribute)
+    declared
+
+let infer ?(params = default_params) ?pool profile =
   let all = Profile.all_stats profile in
   let uniques =
     List.filter
@@ -115,24 +153,22 @@ let infer ?(params = default_params) profile =
   let declared =
     List.map (fun fk -> { fk with cardinality = source_cardinality profile fk }) declared
   in
-  let covered (cs : Col_stats.t) =
-    List.exists
-      (fun fk ->
-        norm fk.src_relation = norm cs.relation
-        && norm fk.src_attribute = norm cs.attribute)
-      declared
-  in
+  let covered = covered_by declared in
+  (* the value-set cache fills lazily; force every set the fan-out can
+     read so workers never mutate the shared table *)
+  let eligible_srcs = List.filter (source_eligible params ~covered) all in
+  Profile.precompute_values profile
+    (List.map (fun (cs : Col_stats.t) -> (cs.relation, cs.attribute)) eligible_srcs
+    @ List.filter_map
+        (fun (dst : Col_stats.t) ->
+          if List.exists (fun src -> candidate_target src dst) eligible_srcs
+          then Some (dst.relation, dst.attribute)
+          else None)
+        uniques);
   let inferred =
-    List.filter_map
+    Aladin_par.Pool.filter_map ?pool
       (fun (src : Col_stats.t) ->
-        let skip =
-          src.distinct = 0
-          || covered src
-          || (match params.max_source_distinct with
-             | Some m -> src.distinct > m
-             | None -> false)
-        in
-        if skip then None
+        if not (source_eligible params ~covered src) then None
         else begin
           let src_vals =
             Profile.values profile ~relation:src.relation ~attribute:src.attribute
@@ -141,12 +177,7 @@ let infer ?(params = default_params) profile =
             Profile.is_unique profile ~relation:src.relation ~attribute:src.attribute
           in
           let eval_candidate (dst : Col_stats.t) =
-                let same =
-                  norm dst.relation = norm src.relation
-                  && norm dst.attribute = norm src.attribute
-                in
-                if same || not (compatible src dst) || dst.distinct < src.distinct
-                then None
+                if not (candidate_target src dst) then None
                 else begin
                   let dst_vals =
                     Profile.values profile ~relation:dst.relation
@@ -219,7 +250,7 @@ let infer ?(params = default_params) profile =
   Aladin_obs.Trace.ambient_incr ~by:(List.length fks) "fk.accepted";
   fks
 
-let candidate_pairs_considered profile =
+let candidate_pairs_considered ?(params = default_params) profile =
   let all = Profile.all_stats profile in
   let uniques =
     List.filter
@@ -227,18 +258,10 @@ let candidate_pairs_considered profile =
         Profile.is_unique profile ~relation:cs.relation ~attribute:cs.attribute)
       all
   in
+  let declared = if params.use_declared then declared_fks profile else [] in
+  let covered = covered_by declared in
   List.fold_left
     (fun acc (src : Col_stats.t) ->
-      if src.distinct = 0 then acc
-      else
-        acc
-        + List.length
-            (List.filter
-               (fun (dst : Col_stats.t) ->
-                 not
-                   (norm dst.relation = norm src.relation
-                   && norm dst.attribute = norm src.attribute)
-                 && compatible src dst
-                 && dst.distinct >= src.distinct)
-               uniques))
+      if not (source_eligible params ~covered src) then acc
+      else acc + List.length (List.filter (candidate_target src) uniques))
     0 all

@@ -50,10 +50,15 @@ type params = {
 
 val default_params : params
 
-val infer : ?params:params -> Profile.t -> fk list
+val infer : ?params:params -> ?pool:Aladin_par.Pool.t -> Profile.t -> fk list
 (** All declared FKs plus, for every remaining source attribute, the best
-    value-compatible target (if any). Deterministic order. *)
+    value-compatible target (if any). Deterministic order: with a [pool]
+    the per-source candidate scans fan out across domains, but the result
+    (and the trace counters) are identical to the sequential run. *)
 
-val candidate_pairs_considered : Profile.t -> int
-(** Size of the source x target comparison space after type pruning —
-    the cost metric reported by experiment E6/E10. *)
+val candidate_pairs_considered : ?params:params -> Profile.t -> int
+(** Size of the source x target comparison space after pruning — the cost
+    metric reported by experiment E6/E10. Uses the same source/target
+    predicates as {!infer} (empty and declared-FK-covered sources and
+    [max_source_distinct] overflows are skipped), so it counts exactly the
+    pairs [infer] evaluates. *)

@@ -50,6 +50,11 @@ let values t ~relation ~attribute =
       Hashtbl.add t.values k vs;
       vs
 
+let precompute_values t pairs =
+  List.iter
+    (fun (relation, attribute) -> ignore (values t ~relation ~attribute))
+    pairs
+
 let is_unique t ~relation ~attribute =
   Catalog.declared_unique t.catalog ~relation ~attribute
   || (stats t ~relation ~attribute).all_unique

@@ -115,14 +115,21 @@ let candidate_pairs params reprs =
       !out
   end
 
-let detect_on ?(params = default_params) reprs =
+let detect_on ?(params = default_params) ?pool reprs =
   let pairs = candidate_pairs params reprs in
   let context = Object_sim.context_of reprs in
+  (* similarity only reads the context, so it fans out; union-find and
+     link building stay sequential in pair order *)
+  let sims =
+    Aladin_par.Pool.map ?pool
+      (fun ((a : Object_sim.repr), (b : Object_sim.repr)) ->
+        Object_sim.similarity ~context a b)
+      pairs
+  in
   let uf = Union_find.create () in
   let links =
     List.filter_map
-      (fun ((a : Object_sim.repr), (b : Object_sim.repr)) ->
-        let sim = Object_sim.similarity ~context a b in
+      (fun (((a : Object_sim.repr), (b : Object_sim.repr)), sim) ->
         if sim >= params.min_similarity then begin
           Union_find.union uf (Objref.to_string a.obj) (Objref.to_string b.obj);
           Some
@@ -130,7 +137,7 @@ let detect_on ?(params = default_params) reprs =
                ~evidence:(Printf.sprintf "object similarity %.2f" sim))
         end
         else None)
-      pairs
+      (List.combine pairs sims)
   in
   {
     links = Link.dedup links;
@@ -139,5 +146,5 @@ let detect_on ?(params = default_params) reprs =
     reprs;
   }
 
-let detect ?params ?exclude_attributes profiles =
-  detect_on ?params (Object_sim.build_reprs ?exclude_attributes profiles)
+let detect ?params ?pool ?exclude_attributes profiles =
+  detect_on ?params ?pool (Object_sim.build_reprs ?exclude_attributes profiles)

@@ -30,11 +30,15 @@ val candidate_pairs :
 
 val detect :
   ?params:params ->
+  ?pool:Aladin_par.Pool.t ->
   ?exclude_attributes:(string * string * string) list ->
   Profile_list.t ->
   result
 (** [exclude_attributes] (see {!Object_sim.build_reprs}) should name the
-    cross-reference attributes discovered in step 4. *)
+    cross-reference attributes discovered in step 4. With a [pool] the
+    pairwise similarity verification fans out across domains; the result
+    is identical to the sequential run. *)
 
-val detect_on : ?params:params -> Object_sim.repr list -> result
+val detect_on :
+  ?params:params -> ?pool:Aladin_par.Pool.t -> Object_sim.repr list -> result
 (** Same, over prebuilt representations (lets experiments reuse them). *)

@@ -60,9 +60,16 @@ let dedup links =
       let key =
         (Objref.to_string l.src, Objref.to_string l.dst, kind_rank l.kind)
       in
+      (* tie-break on evidence so the kept representative does not depend
+         on traversal order (sequential and parallel runs must agree) *)
       match Hashtbl.find_opt tbl key with
-      | Some existing when existing.confidence >= l.confidence -> ()
-      | Some _ | None -> Hashtbl.replace tbl key l)
+      | Some existing
+        when l.confidence > existing.confidence
+             || (l.confidence = existing.confidence
+                && String.compare l.evidence existing.evidence < 0) ->
+          Hashtbl.replace tbl key l
+      | Some _ -> ()
+      | None -> Hashtbl.replace tbl key l)
     links;
   Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
   |> List.sort compare_links

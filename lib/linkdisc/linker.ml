@@ -39,12 +39,12 @@ let pass name f =
   Obs.Trace.ambient_observe "linkdisc.pass_seconds" secs;
   v
 
-let discover ?(params = default_params) profiles =
+let discover ?(params = default_params) ?pool profiles =
   let xref_result =
     if params.enable_xref then
       Some
         (pass "xref pass" (fun () ->
-             let r = Xref_disc.discover ~params:params.xref profiles in
+             let r = Xref_disc.discover ~params:params.xref ?pool profiles in
              Obs.Trace.ambient_incr ~by:r.attributes_scanned
                "xref.attributes_scanned";
              Obs.Trace.ambient_incr ~by:r.pairs_compared "xref.pairs_compared";
@@ -59,7 +59,7 @@ let discover ?(params = default_params) profiles =
     if params.enable_seq then
       Some
         (pass "seq pass" (fun () ->
-             let r = Seq_links.discover ~params:params.seq profiles in
+             let r = Seq_links.discover ~params:params.seq ?pool profiles in
              Obs.Trace.ambient_incr ~by:r.sequences_indexed
                "seq.sequences_indexed";
              Obs.Trace.ambient_incr ~by:r.pairs_verified "seq.pairs_verified";

@@ -22,6 +22,8 @@ type report = {
   onto_result : Onto_links.result option;
 }
 
-val discover : ?params:params -> Profile_list.t -> report
+val discover : ?params:params -> ?pool:Aladin_par.Pool.t -> Profile_list.t -> report
+(** The pool (if any) is handed to the xref and seq passes, the two
+    quadratic ones; text and onto passes stay sequential. *)
 
 val count_by_kind : Link.t list -> (Link.kind * int) list

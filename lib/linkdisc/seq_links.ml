@@ -90,7 +90,7 @@ let engine_for st kind =
       Hashtbl.add st.engines kind e;
       e
 
-let state_add_source st profiles ~source =
+let state_add_source ?pool st profiles ~source =
   if List.mem source st.seen then
     invalid_arg
       (Printf.sprintf "Seq_links.state_add_source: %s already indexed" source);
@@ -104,15 +104,15 @@ let state_add_source st profiles ~source =
     | None -> []
     | Some e -> Owner_map.object_of_row e.owner ~relation ~row
   in
-  let links = ref [] in
-  let indexed = ref 0 in
-  let verified = ref 0 in
+  (* Phase 0 (sequential): collect the new sequences in row order and
+     pre-create engines — the one index mutation the fan-out must not do. *)
+  let collected = ref [] in
   List.iter
     (fun f ->
       match Profile_list.find profiles f.source with
       | None -> ()
       | Some e ->
-          let engine = engine_for st f.kind in
+          ignore (engine_for st f.kind);
           let catalog = Profile.catalog e.sp.profile in
           let rel = Catalog.find_exn catalog f.relation in
           let ai = Schema.index_of_exn (Relation.schema rel) f.attribute in
@@ -121,43 +121,81 @@ let state_add_source st profiles ~source =
               let v = row.(ai) in
               if not (Value.is_null v) then begin
                 let s = Sq.Alphabet.normalize (Value.to_string v) in
-                if String.length s >= params.min_seq_len then begin
-                  let query_id = encode f.source f.relation row_i in
-                  (* search-then-add yields each unordered pair once *)
-                  let hits =
-                    Sq.Homology.search engine ~query_id s
-                      ~min_normalized:params.min_normalized
-                  in
-                  verified := !verified + List.length hits;
-                  List.iter
-                    (fun (h : Sq.Homology.hit) ->
-                      let ss, sr, srow = decode h.subject_id in
-                      if (not params.cross_source_only) || ss <> f.source then
-                        List.iter
-                          (fun src_obj ->
-                            List.iter
-                              (fun dst_obj ->
-                                if not (Objref.equal src_obj dst_obj) then
-                                  links :=
-                                    Link.make ~src:src_obj ~dst:dst_obj
-                                      ~kind:Link.Seq_similarity
-                                      ~confidence:(Float.min 1.0 h.normalized)
-                                      ~evidence:
-                                        (Printf.sprintf
-                                           "homology score=%d norm=%.2f"
-                                           h.raw_score h.normalized)
-                                    :: !links)
-                              (objs_of ss sr srow))
-                          (objs_of f.source f.relation row_i))
-                    hits;
-                  Sq.Homology.add engine ~id:query_id s;
-                  incr indexed
-                end
+                if String.length s >= params.min_seq_len then
+                  collected := (f, row_i, s) :: !collected
               end)
             rel)
     fields;
+  let new_seqs = List.rev !collected in
+  (* Phase 1 (parallel): each new sequence against the persistent index,
+     which holds only previously-seen sources and is read-only here. *)
+  let old_hits =
+    Aladin_par.Pool.map ?pool
+      (fun (f, row_i, s) ->
+        Sq.Homology.search
+          (Hashtbl.find st.engines f.kind)
+          ~query_id:(encode f.source f.relation row_i)
+          s ~min_normalized:params.min_normalized)
+      new_seqs
+  in
+  (* Phase 2 (sequential): new-vs-new pairs via per-kind scratch indexes
+     (search-then-add yields each unordered pair once), then commit every
+     new sequence to the persistent index. Homology scoring is per-subject,
+     so old-hits + scratch-hits equals the old single search against the
+     incrementally growing index, hit for hit. *)
+  let scratch = Hashtbl.create 3 in
+  let scratch_for kind =
+    match Hashtbl.find_opt scratch kind with
+    | Some e -> e
+    | None ->
+        let e = Sq.Homology.create kind in
+        Hashtbl.add scratch kind e;
+        e
+  in
+  let links = ref [] in
+  let verified = ref 0 in
+  List.iter2
+    (fun (f, row_i, s) old ->
+      let query_id = encode f.source f.relation row_i in
+      let sc = scratch_for f.kind in
+      let hits =
+        old
+        @ Sq.Homology.search sc ~query_id s
+            ~min_normalized:params.min_normalized
+      in
+      verified := !verified + List.length hits;
+      List.iter
+        (fun (h : Sq.Homology.hit) ->
+          let ss, sr, srow = decode h.subject_id in
+          if (not params.cross_source_only) || ss <> f.source then
+            List.iter
+              (fun src_obj ->
+                List.iter
+                  (fun dst_obj ->
+                    if not (Objref.equal src_obj dst_obj) then
+                      links :=
+                        Link.make ~src:src_obj ~dst:dst_obj
+                          ~kind:Link.Seq_similarity
+                          ~confidence:(Float.min 1.0 h.normalized)
+                          ~evidence:
+                            (Printf.sprintf "homology score=%d norm=%.2f"
+                               h.raw_score h.normalized)
+                        :: !links)
+                  (objs_of ss sr srow))
+              (objs_of f.source f.relation row_i))
+        hits;
+      Sq.Homology.add sc ~id:query_id s)
+    new_seqs old_hits;
+  List.iter
+    (fun (f, row_i, s) ->
+      Sq.Homology.add
+        (Hashtbl.find st.engines f.kind)
+        ~id:(encode f.source f.relation row_i)
+        s)
+    new_seqs;
+  let indexed = List.length new_seqs in
   let fresh = Link.dedup !links in
-  Aladin_obs.Trace.ambient_incr ~by:!indexed "seq.sequences_indexed";
+  Aladin_obs.Trace.ambient_incr ~by:indexed "seq.sequences_indexed";
   Aladin_obs.Trace.ambient_incr ~by:!verified "seq.pairs_verified";
   Aladin_obs.Trace.ambient_incr ~by:(List.length fresh) "seq.links";
   st.acc <- Link.dedup (fresh @ st.acc);
@@ -165,7 +203,7 @@ let state_add_source st profiles ~source =
 
 let state_links st = st.acc
 
-let discover ?(params = default_params) profiles =
+let discover ?(params = default_params) ?pool profiles =
   let fields = sequence_fields params profiles in
   let kinds =
     List.sort_uniq compare (List.map (fun f -> f.kind) fields)
@@ -197,7 +235,9 @@ let discover ?(params = default_params) profiles =
                   end)
                 rel)
         kind_fields;
-      let hits = Sq.Homology.all_pairs engine ~min_normalized:params.min_normalized in
+      let hits =
+        Sq.Homology.all_pairs ?pool engine ~min_normalized:params.min_normalized
+      in
       pairs_verified := !pairs_verified + List.length hits;
       List.iter
         (fun (h : Sq.Homology.hit) ->

@@ -30,7 +30,10 @@ type result = {
   pairs_verified : int;
 }
 
-val discover : ?params:params -> Profile_list.t -> result
+val discover :
+  ?params:params -> ?pool:Aladin_par.Pool.t -> Profile_list.t -> result
+(** With a [pool] the all-pairs homology search fans out across domains;
+    the result is identical to the sequential run. *)
 
 (** {2 Incremental discovery}
 
@@ -46,10 +49,13 @@ val state_create : ?params:params -> unit -> state
 
 val state_sources : state -> string list
 
-val state_add_source : state -> Profile_list.t -> source:string -> Link.t list
+val state_add_source :
+  ?pool:Aladin_par.Pool.t -> state -> Profile_list.t -> source:string -> Link.t list
 (** Index the named source's sequence fields; returns the NEW links (new
     vs. indexed, and new vs. new). The profile list must contain every
-    source indexed so far plus the new one.
+    source indexed so far plus the new one. With a [pool] the new-vs-indexed
+    searches fan out (the persistent index is read-only during the fan-out;
+    new-vs-new stays sequential), with identical results and counters.
     @raise Invalid_argument when the source is already indexed. *)
 
 val state_links : state -> Link.t list

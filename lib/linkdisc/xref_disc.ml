@@ -112,7 +112,7 @@ let scan_attribute entry ~src_source ~relation ~attribute
         } )
   else None
 
-let discover ?(params = default_params) profiles =
+let discover ?(params = default_params) ?pool profiles =
   let targets = Profile_list.targets profiles in
   (* accession string set per target *)
   let target_sets =
@@ -128,8 +128,10 @@ let discover ?(params = default_params) profiles =
         (tgt, set))
       targets
   in
-  let links = ref [] in
-  let correspondences = ref [] in
+  (* sequential enumeration pass: collect attribute x target scan tasks in
+     traversal order (and count/prune here, so those counters keep their
+     exact sequential values); the scans themselves fan out below *)
+  let tasks = ref [] in
   let attributes_scanned = ref 0 in
   let pairs_compared = ref 0 in
   List.iter
@@ -152,26 +154,26 @@ let discover ?(params = default_params) profiles =
                  (fun (((tgt_source, _, _) as tgt), target_set) ->
                    if tgt_source <> src_source then begin
                      incr pairs_compared;
-                     let hit, secs =
-                       Aladin_obs.Clock.timed (fun () ->
-                           scan_attribute e ~src_source ~relation:cs.relation
-                             ~attribute:cs.attribute ~target:tgt ~target_set
-                             params)
-                     in
-                     Aladin_obs.Trace.ambient_observe "xref.scan_seconds" secs;
-                     match hit with
-                     | Some (ls, corr) ->
-                         links := ls @ !links;
-                         correspondences := corr :: !correspondences
-                     | None -> ()
+                     tasks := (e, src_source, cs, tgt, target_set) :: !tasks
                    end)
                  target_sets
              end
              else Aladin_obs.Trace.ambient_incr "xref.attributes_pruned"))
     (Profile_list.entries profiles);
+  let scan (e, src_source, (cs : Col_stats.t), tgt, target_set) =
+    let hit, secs =
+      Aladin_obs.Clock.timed (fun () ->
+          scan_attribute e ~src_source ~relation:cs.relation
+            ~attribute:cs.attribute ~target:tgt ~target_set params)
+    in
+    Aladin_obs.Trace.ambient_observe "xref.scan_seconds" secs;
+    hit
+  in
+  let hits = Aladin_par.Pool.map ?pool scan (List.rev !tasks) in
+  let links = List.concat_map (function Some (ls, _) -> ls | None -> []) hits in
   {
-    links = Link.dedup !links;
-    correspondences = List.rev !correspondences;
+    links = Link.dedup links;
+    correspondences = List.filter_map (Option.map snd) hits;
     attributes_scanned = !attributes_scanned;
     pairs_compared = !pairs_compared;
   }

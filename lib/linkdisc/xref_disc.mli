@@ -39,4 +39,8 @@ val decode_candidates : string -> string list
 (** Tokens of an encoded cross-reference value worth matching: the value
     itself plus alphanumeric segments after ':' '/' '|' and '=' splits. *)
 
-val discover : ?params:params -> Profile_list.t -> result
+val discover :
+  ?params:params -> ?pool:Aladin_par.Pool.t -> Profile_list.t -> result
+(** With a [pool] the attribute x target scans fan out across domains;
+    links, correspondences and counters are identical to the sequential
+    run (link order is made canonical by {!Link.dedup}). *)

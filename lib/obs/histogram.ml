@@ -57,6 +57,23 @@ let buckets t =
       in
       (bound, t.counts.(i)))
 
+let merge_into dst src =
+  if dst.bounds <> src.bounds then
+    invalid_arg "Histogram.merge_into: bucket bounds differ";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  if src.total > 0 then begin
+    if dst.total = 0 then begin
+      dst.vmin <- src.vmin;
+      dst.vmax <- src.vmax
+    end
+    else begin
+      if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+      if src.vmax > dst.vmax then dst.vmax <- src.vmax
+    end;
+    dst.total <- dst.total + src.total;
+    dst.vsum <- dst.vsum +. src.vsum
+  end
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;

@@ -32,4 +32,10 @@ val buckets : t -> (float * int) list
 (** (upper bound, observations <= bound and > previous bound); the final
     entry has bound [infinity]. Bucket counts sum to {!count}. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s observations into [dst]: bucket
+    counts and totals add, min/max combine. Used to merge per-domain
+    buffers after a parallel fan-out. [src] is left untouched.
+    @raise Invalid_argument when the two histograms' bounds differ. *)
+
 val reset : t -> unit

@@ -90,6 +90,79 @@ let counters t =
 let histograms t =
   Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.thistograms [] |> by_name
 
+let attach_span t sp =
+  match t.open_stack with
+  | parent :: _ -> Span.add_child parent sp
+  | [] -> t.finished_roots <- sp :: t.finished_roots
+
+(* --- per-domain buffers --- *)
+
+type buffer = {
+  bcounters : (string, Counter.t) Hashtbl.t;
+  bhistograms : (string, Histogram.t) Hashtbl.t;
+  mutable bstack : Span.t list; (* innermost first *)
+  mutable broots : Span.t list; (* reversed *)
+}
+
+let buffer_create () =
+  {
+    bcounters = Hashtbl.create 8;
+    bhistograms = Hashtbl.create 4;
+    bstack = [];
+    broots = [];
+  }
+
+let buffer_key : buffer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_buffer b f =
+  let prev = Domain.DLS.get buffer_key in
+  Domain.DLS.set buffer_key (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set buffer_key prev) f
+
+let buf_counter b cname =
+  match Hashtbl.find_opt b.bcounters cname with
+  | Some c -> c
+  | None ->
+      let c = Counter.create () in
+      Hashtbl.add b.bcounters cname c;
+      c
+
+let buf_histogram b hname =
+  match Hashtbl.find_opt b.bhistograms hname with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add b.bhistograms hname h;
+      h
+
+let buffer_span b ?(attrs = []) sname f =
+  let sp = Span.make ~name:sname ~start:(Clock.now ()) in
+  List.iter (fun (k, v) -> Span.add_attr sp k v) attrs;
+  b.bstack <- sp :: b.bstack;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.close sp ~at:(Clock.now ());
+      (match b.bstack with
+      | s :: rest when s == sp -> b.bstack <- rest
+      | _ -> b.bstack <- List.filter (fun s -> s != sp) b.bstack);
+      match b.bstack with
+      | parent :: _ -> Span.add_child parent sp
+      | [] -> b.broots <- sp :: b.broots)
+    f
+
+let merge_buffer t ?spans_into b =
+  Hashtbl.iter (fun k c -> incr t ~by:(Counter.value c) k) b.bcounters;
+  Hashtbl.iter
+    (fun k h -> Histogram.merge_into (histogram t k) h)
+    b.bhistograms;
+  List.iter
+    (fun sp ->
+      match spans_into with
+      | Some parent -> Span.add_child parent sp
+      | None -> attach_span t sp)
+    (List.rev b.broots)
+
 (* --- ambient trace --- *)
 
 let current : t option ref = ref None
@@ -102,15 +175,25 @@ let with_ambient t f =
 let ambient () = !current
 
 let ambient_span ?attrs sname f =
-  match !current with Some t -> with_span t ?attrs sname f | None -> f ()
+  match Domain.DLS.get buffer_key with
+  | Some b -> buffer_span b ?attrs sname f
+  | None -> (
+      match !current with Some t -> with_span t ?attrs sname f | None -> f ())
 
 let ambient_span_timed ?attrs sname f =
-  match !current with
-  | Some t -> timed_span t ?attrs sname f
-  | None -> Clock.timed f
+  match Domain.DLS.get buffer_key with
+  | Some b -> Clock.timed (fun () -> buffer_span b ?attrs sname f)
+  | None -> (
+      match !current with
+      | Some t -> timed_span t ?attrs sname f
+      | None -> Clock.timed f)
 
 let ambient_incr ?by cname =
-  match !current with Some t -> incr t ?by cname | None -> ()
+  match Domain.DLS.get buffer_key with
+  | Some b -> Counter.incr ?by (buf_counter b cname)
+  | None -> ( match !current with Some t -> incr t ?by cname | None -> ())
 
 let ambient_observe hname v =
-  match !current with Some t -> observe t hname v | None -> ()
+  match Domain.DLS.get buffer_key with
+  | Some b -> Histogram.observe (buf_histogram b hname) v
+  | None -> ( match !current with Some t -> observe t hname v | None -> ())

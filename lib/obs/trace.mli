@@ -10,8 +10,12 @@
       Every [ambient_*] function is a no-op when no trace is installed, so
       instrumented code pays nothing outside a traced run.
 
-    The ambient slot is a plain global — this process is single-threaded;
-    revisit if the ROADMAP's parallelism work lands. Span recording is
+    The ambient slot is a plain global owned by the orchestrating domain.
+    Worker domains must never touch it directly: during a parallel
+    fan-out, [Aladin_par.Pool] installs a per-domain {!buffer}
+    (domain-local storage) that every [ambient_*] call routes into, and
+    merges the buffers back with {!merge_buffer} once the fan-out joins —
+    so traces stay exact under parallelism. Span recording is
     exception-safe: a raising body still closes its span. *)
 
 type t
@@ -76,3 +80,29 @@ val ambient_span_timed :
 val ambient_incr : ?by:int -> string -> unit
 
 val ambient_observe : string -> float -> unit
+
+(** {2 Per-domain buffers}
+
+    Worker domains record ambient effects into a private [buffer] instead
+    of the shared trace; the pool merges buffers after joining. Counter
+    merges are exact (integer sums are order-independent); histogram
+    float sums may differ from a sequential run in the last bit. *)
+
+type buffer
+
+val buffer_create : unit -> buffer
+
+val with_buffer : buffer -> (unit -> 'a) -> 'a
+(** Route every [ambient_*] call made by this domain during the body into
+    [b] (restoring the previous routing after). The buffer takes
+    precedence over the ambient trace, so the installing domain's own
+    work is buffered too. *)
+
+val merge_buffer : t -> ?spans_into:Span.t -> buffer -> unit
+(** Fold a buffer's counters and histograms into the trace, and attach
+    its top-level spans as children of [spans_into] when given, else via
+    {!attach_span}. The buffer is not cleared; merge each buffer once. *)
+
+val attach_span : t -> Span.t -> unit
+(** Attach an externally built (closed) span as a child of the innermost
+    open span, or as a root when none is open. *)

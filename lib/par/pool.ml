@@ -1,0 +1,218 @@
+module Trace = Aladin_obs.Trace
+module Span = Aladin_obs.Span
+module Clock = Aladin_obs.Clock
+
+(* One batch = one parallel_map call. Items are claimed with an atomic
+   cursor (dynamic load balancing); [completed] counts items finished so
+   the submitter can wait for stragglers after the cursor runs dry. *)
+type batch = { total : int; completed : int Atomic.t; work : int -> unit }
+
+type t = {
+  domains : int; (* participants per fan-out, caller included *)
+  m : Mutex.t;
+  work_ready : Condition.t; (* a batch was posted, or stop *)
+  batch_done : Condition.t; (* the last in-flight item finished *)
+  mutable batch : batch option;
+  mutable batch_id : int;
+  mutable stopped : bool;
+  mutable handles : unit Domain.t list;
+}
+
+(* set while a domain (worker or caller) is draining a batch; a nested
+   fan-out from inside a task would deadlock the fixed-size pool *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let run_sequential f xs = List.map f xs
+
+let size t = if t.stopped then 1 else t.domains
+
+let worker_loop t participant =
+  let rec loop last_id =
+    Mutex.lock t.m;
+    while t.batch_id = last_id && not t.stopped do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stopped then Mutex.unlock t.m
+    else begin
+      let id = t.batch_id and b = t.batch in
+      Mutex.unlock t.m;
+      (match b with Some b -> b.work participant | None -> ());
+      loop id
+    end
+  in
+  loop 0
+
+let shutdown t =
+  Mutex.lock t.m;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready
+  end;
+  let hs = t.handles in
+  t.handles <- [];
+  Mutex.unlock t.m;
+  List.iter Domain.join hs
+
+let all_pools : t list ref = ref []
+let all_pools_m = Mutex.create ()
+let cleanup_registered = ref false
+
+let register t =
+  Mutex.lock all_pools_m;
+  all_pools := t :: !all_pools;
+  if not !cleanup_registered then begin
+    cleanup_registered := true;
+    at_exit (fun () -> List.iter shutdown !all_pools)
+  end;
+  Mutex.unlock all_pools_m
+
+let auto_domains () =
+  match Sys.getenv_opt "ALADIN_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "ALADIN_DOMAINS must be a positive integer, got %S" s))
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> auto_domains ()
+  in
+  let t =
+    {
+      domains;
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      batch_id = 0;
+      stopped = false;
+      handles = [];
+    }
+  in
+  if domains > 1 then
+    t.handles <-
+      List.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1)));
+  register t;
+  t
+
+(* shared pools per size, so Config/env-driven callers never spawn twice *)
+let shared : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_m = Mutex.create ()
+
+let get ?(domains = 0) () =
+  let d = if domains <= 0 then auto_domains () else domains in
+  Mutex.lock shared_m;
+  let pool =
+    match Hashtbl.find_opt shared d with
+    | Some p when not p.stopped -> p
+    | Some _ | None ->
+        let p = create ~domains:d () in
+        Hashtbl.replace shared d p;
+        p
+  in
+  Mutex.unlock shared_m;
+  pool
+
+let run_parallel t f input =
+  let n = Array.length input in
+  let out = Array.make n None in
+  let error = Atomic.make None in
+  let tracing = Trace.ambient () in
+  let nparts = t.domains in
+  let bufs = Array.init nparts (fun _ -> Trace.buffer_create ()) in
+  (* per-participant (items, first-claim time, last-finish time) *)
+  let stats = Array.make nparts None in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let run_item i =
+    if Atomic.get error = None then
+      match f input.(i) with
+      | v -> out.(i) <- Some v
+      | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+  in
+  let drain () =
+    let k = ref 0 in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run_item i;
+        incr k;
+        if 1 + Atomic.fetch_and_add completed 1 = n then begin
+          Mutex.lock t.m;
+          Condition.broadcast t.batch_done;
+          Mutex.unlock t.m
+        end;
+        loop ()
+      end
+    in
+    loop ();
+    !k
+  in
+  let work p =
+    Domain.DLS.set in_task true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_task false)
+      (fun () ->
+        let t0 = Clock.now () in
+        let k =
+          if tracing = None then drain ()
+          else Trace.with_buffer bufs.(p) (fun () -> drain ())
+        in
+        if k > 0 then stats.(p) <- Some (k, t0, Clock.now ()))
+  in
+  let b = { total = n; completed; work } in
+  Mutex.lock t.m;
+  t.batch <- Some b;
+  t.batch_id <- t.batch_id + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  work 0;
+  Mutex.lock t.m;
+  while Atomic.get completed < n do
+    Condition.wait t.batch_done t.m
+  done;
+  t.batch <- None;
+  Mutex.unlock t.m;
+  (match tracing with
+  | None -> ()
+  | Some tr ->
+      Trace.add_attr tr "par.domains" (string_of_int nparts);
+      Array.iteri
+        (fun p st ->
+          match st with
+          | Some (k, t0, t1) ->
+              let sp = Span.make ~name:"par.worker" ~start:t0 in
+              Span.add_attr sp "worker" (string_of_int p);
+              Span.add_attr sp "items" (string_of_int k);
+              Span.close sp ~at:t1;
+              Trace.merge_buffer tr ~spans_into:sp bufs.(p);
+              Trace.attach_span tr sp
+          | None -> Trace.merge_buffer tr bufs.(p))
+        stats);
+  match Atomic.get error with
+  | Some e -> raise e
+  | None -> Array.to_list (Array.map Option.get out)
+
+let parallel_map t f xs =
+  if Domain.DLS.get in_task then
+    invalid_arg "Pool.parallel_map: nested fan-out from inside a pool task";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+      if t.domains <= 1 || t.stopped then run_sequential f xs
+      else run_parallel t f (Array.of_list xs)
+
+let parallel_filter_map t f xs = List.filter_map Fun.id (parallel_map t f xs)
+
+let map ?pool f xs =
+  match pool with None -> run_sequential f xs | Some p -> parallel_map p f xs
+
+let filter_map ?pool f xs =
+  match pool with
+  | None -> List.filter_map f xs
+  | Some p -> parallel_filter_map p f xs

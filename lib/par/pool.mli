@@ -1,0 +1,71 @@
+(** Fixed-size domain pool for the embarrassingly parallel candidate loops
+    of the pipeline (inclusion-dependency inference, xref scans, homology
+    search, duplicate similarity).
+
+    {b Determinism contract.} [parallel_map pool f xs] returns exactly
+    [List.map f xs] for any pool size, provided [f] is pure up to ambient
+    trace recording: items are claimed dynamically by whichever domain is
+    free, but results are assembled by input index. Ambient
+    {!Aladin_obs.Trace} counters and histogram observations made inside [f]
+    are collected in per-domain buffers and merged after the fan-out, so
+    counter totals are also independent of the schedule (histogram float
+    sums may differ in the last bit because float addition is not
+    associative).
+
+    {b Domain-safety contract.} [f] must not mutate shared state: every
+    table it touches must be read-only during the fan-out (see the
+    "Parallel execution" section of DESIGN.md). Ambient trace calls are the
+    one sanctioned effect.
+
+    A pool of size [n] uses the calling domain plus [n - 1] spawned worker
+    domains; size <= 1 means no domains are ever spawned and every call
+    degrades to the plain sequential [List] functions. Pools are the only
+    place in the codebase allowed to call [Domain.spawn] / [Mutex.create]
+    (enforced by scripts/check.sh). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** A pool running on [domains] domains in total ([<= 1] = sequential; the
+    calling domain is one of them, so [domains - 1] workers are spawned).
+    [domains] defaults to {!auto_domains}. Created pools are shut down
+    automatically at exit. *)
+
+val auto_domains : unit -> int
+(** The [ALADIN_DOMAINS] environment variable when set (a positive
+    integer), else [Domain.recommended_domain_count ()].
+    @raise Invalid_argument when [ALADIN_DOMAINS] is set but unparsable. *)
+
+val get : ?domains:int -> unit -> t
+(** A shared pool of the given size ([0] or unset = {!auto_domains});
+    pools are cached per size, so repeated calls do not spawn new
+    domains. This is what {!Aladin.Config}-driven callers use. *)
+
+val size : t -> int
+(** Total domains participating in a fan-out, including the caller. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs], fanned out over the pool. Results are assembled in
+    input order. The first exception raised by [f] is re-raised in the
+    caller (remaining items are drained without running [f]); the pool
+    stays usable.
+    @raise Invalid_argument when called from inside a pool task (nested
+    fan-out would deadlock the fixed-size pool). *)
+
+val parallel_filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+(** [List.filter_map f xs] with {!parallel_map}'s contract. *)
+
+val run_sequential : ('a -> 'b) -> 'a list -> 'b list
+(** The sequential fallback ([List.map]); what every [parallel_*] function
+    runs when [size t <= 1]. Exposed so callers can be explicit. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} when a pool is given, {!run_sequential} otherwise —
+    the convenience form used by library entry points taking [?pool]. *)
+
+val filter_map : ?pool:t -> ('a -> 'b option) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Join the pool's worker domains. Idempotent; runs automatically for
+    every created pool via [at_exit]. Using a pool after [shutdown] falls
+    back to sequential execution. *)

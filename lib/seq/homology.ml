@@ -54,9 +54,10 @@ let search t ~query_id query ~min_normalized =
          verify t ~query_id ~query ~subject_id ~shared_kmers ~min_normalized)
   |> List.sort (fun a b -> Float.compare b.normalized a.normalized)
 
-let all_pairs t ~min_normalized =
+let all_pairs ?pool t ~min_normalized =
   let ids = List.sort String.compare (Kmer_index.ids t.index) in
-  List.concat_map
+  (* per-query searches only read the index, so they can fan out *)
+  Aladin_par.Pool.map ?pool
     (fun query_id ->
       match Kmer_index.sequence t.index query_id with
       | None -> []
@@ -64,3 +65,4 @@ let all_pairs t ~min_normalized =
           search t ~query_id q ~min_normalized
           |> List.filter (fun h -> h.query_id < h.subject_id))
     ids
+  |> List.concat

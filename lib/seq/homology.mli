@@ -26,6 +26,8 @@ val search : t -> query_id:string -> string -> min_normalized:float -> hit list
 (** Hits above the normalized-score threshold, best first. Self-hits
     (subject = query_id) are excluded. *)
 
-val all_pairs : t -> min_normalized:float -> hit list
+val all_pairs : ?pool:Aladin_par.Pool.t -> t -> min_normalized:float -> hit list
 (** Search every indexed sequence against the rest; each unordered pair is
-    reported once with query_id < subject_id. *)
+    reported once with query_id < subject_id. With a [pool] the per-query
+    searches fan out across domains (the index is only read); the result
+    is identical to the sequential run. *)

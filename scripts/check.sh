@@ -3,10 +3,15 @@
 #
 #   scripts/check.sh
 #
-# The grep-gate keeps Sys.time (CPU time, not wall-clock) out of shipped
-# code: every timing must go through Aladin_obs.Clock. Doc comments that
-# mention Sys.time are fine; call sites are not. Tests may use it when
-# they are specifically about the distinction.
+# The grep-gates keep low-level primitives out of shipped code:
+#   - Sys.time (CPU time, not wall-clock): every timing must go through
+#     Aladin_obs.Clock. Doc comments that mention Sys.time are fine; call
+#     sites are not. Tests may use it when they are specifically about
+#     the distinction.
+#   - Domain.spawn / Mutex.create / Condition.create: all parallelism
+#     must go through Aladin_par.Pool (lib/par/), which owns the only
+#     domain/lock lifecycle in the tree. Ad-hoc domains elsewhere would
+#     undermine the determinism and trace-buffer contracts.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,6 +22,26 @@ if grep -rnE 'Sys\.time[[:space:]]*\(' lib bin bench \
 fi
 echo "grep-gate ok: no Sys.time call sites in lib/ bin/ bench/"
 
+if grep -rnE 'Domain\.spawn|Mutex\.create|Condition\.create' lib bin bench \
+    --include='*.ml' --include='*.mli' --exclude-dir=par 2>/dev/null; then
+  echo "error: raw domain/lock primitive outside lib/par (use Aladin_par.Pool)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no Domain.spawn/Mutex.create/Condition.create outside lib/par/"
+
 dune build
 dune runtest
+
+# Pool-size determinism: the same pipeline must print byte-identical
+# output whether it runs sequentially or on a 2-domain pool.
+q1=$(mktemp) && q2=$(mktemp)
+trap 'rm -f "$q1" "$q2"' EXIT
+ALADIN_DOMAINS=1 ./_build/default/examples/quickstart.exe > "$q1"
+ALADIN_DOMAINS=2 ./_build/default/examples/quickstart.exe > "$q2"
+if ! diff -u "$q1" "$q2"; then
+  echo "error: quickstart output differs between 1 and 2 domains" >&2
+  exit 1
+fi
+echo "determinism ok: quickstart identical at ALADIN_DOMAINS=1 and 2"
+
 echo "check.sh: all green"

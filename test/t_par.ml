@@ -1,0 +1,184 @@
+(* The domain pool: deterministic fan-out plus the pipeline-level
+   guarantee that pool size never changes any discovery result. *)
+
+module Pool = Aladin_par.Pool
+module Obs = Aladin_obs
+module Dg = Aladin_datagen
+module Ds = Aladin_discovery
+module Lk = Aladin_links
+
+let check = Alcotest.check
+
+let with_pool n f =
+  let p = Pool.create ~domains:n () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let pool_tests =
+  [
+    Alcotest.test_case "parallel_map equals List.map at sizes 1/2/4" `Quick
+      (fun () ->
+        let xs = List.init 100 (fun i -> i - 50) in
+        let f x = (x * x) + x in
+        let expected = List.map f xs in
+        List.iter
+          (fun n ->
+            with_pool n (fun p ->
+                check
+                  Alcotest.(list int)
+                  (Printf.sprintf "size %d" n)
+                  expected (Pool.parallel_map p f xs)))
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "parallel_filter_map equals List.filter_map" `Quick
+      (fun () ->
+        let xs = List.init 60 Fun.id in
+        let f x = if x mod 3 = 0 then Some (x * 2) else None in
+        with_pool 4 (fun p ->
+            check
+              Alcotest.(list int)
+              "filtered" (List.filter_map f xs)
+              (Pool.parallel_filter_map p f xs)));
+    Alcotest.test_case "empty and singleton inputs" `Quick (fun () ->
+        with_pool 3 (fun p ->
+            check Alcotest.(list int) "empty" [] (Pool.parallel_map p succ []);
+            check Alcotest.(list int) "singleton" [ 8 ]
+              (Pool.parallel_map p succ [ 7 ])));
+    Alcotest.test_case "exception propagates and the pool stays usable" `Quick
+      (fun () ->
+        with_pool 4 (fun p ->
+            (match
+               Pool.parallel_map p
+                 (fun x -> if x = 37 then failwith "boom" else x)
+                 (List.init 80 Fun.id)
+             with
+            | _ -> Alcotest.fail "expected Failure"
+            | exception Failure m -> check Alcotest.string "msg" "boom" m);
+            check
+              Alcotest.(list int)
+              "pool still works"
+              (List.init 10 succ)
+              (Pool.parallel_map p succ (List.init 10 Fun.id))));
+    Alcotest.test_case "nested fan-out is rejected" `Quick (fun () ->
+        with_pool 2 (fun p ->
+            let inner_rejected =
+              Pool.parallel_map p
+                (fun _ ->
+                  match Pool.parallel_map p Fun.id [ 1; 2; 3 ] with
+                  | _ -> false
+                  | exception Invalid_argument _ -> true)
+                [ 1; 2; 3; 4 ]
+            in
+            check Alcotest.bool "all rejected" true
+              (List.for_all Fun.id inner_rejected)));
+    Alcotest.test_case "run_sequential is List.map; size reports domains"
+      `Quick (fun () ->
+        check Alcotest.(list int) "seq" [ 2; 3; 4 ]
+          (Pool.run_sequential succ [ 1; 2; 3 ]);
+        with_pool 3 (fun p -> check Alcotest.int "size" 3 (Pool.size p)));
+    Alcotest.test_case "shutdown is idempotent and falls back to sequential"
+      `Quick (fun () ->
+        let p = Pool.create ~domains:2 () in
+        Pool.shutdown p;
+        Pool.shutdown p;
+        check Alcotest.int "size after shutdown" 1 (Pool.size p);
+        check
+          Alcotest.(list int)
+          "still maps" [ 1; 2 ]
+          (Pool.parallel_map p succ [ 0; 1 ]));
+    Alcotest.test_case "ambient counters/histograms merge exactly" `Quick
+      (fun () ->
+        with_pool 4 (fun p ->
+            let tr = Obs.Trace.create ~name:"par" () in
+            let n = 57 in
+            Obs.Trace.with_ambient tr (fun () ->
+                Obs.Trace.with_span tr "fan" (fun () ->
+                    ignore
+                      (Pool.parallel_map p
+                         (fun i ->
+                           Obs.Trace.ambient_incr "par.items";
+                           Obs.Trace.ambient_observe "par.cost"
+                             (float_of_int i);
+                           i)
+                         (List.init n Fun.id))));
+            check Alcotest.int "counter" n
+              (Obs.Trace.counter_value tr "par.items");
+            (match List.assoc_opt "par.cost" (Obs.Trace.histograms tr) with
+            | Some h -> check Alcotest.int "histogram count" n (Obs.Histogram.count h)
+            | None -> Alcotest.fail "par.cost histogram missing");
+            match Obs.Trace.roots tr with
+            | [ fan ] ->
+                check Alcotest.(option string) "par.domains attr" (Some "4")
+                  (List.assoc_opt "par.domains" (Obs.Span.attrs fan));
+                check Alcotest.bool "has par.worker children" true
+                  (List.exists
+                     (fun sp -> Obs.Span.name sp = "par.worker")
+                     (Obs.Span.children fan))
+            | roots ->
+                Alcotest.fail (Printf.sprintf "%d roots" (List.length roots))));
+  ]
+
+(* --- pipeline determinism: pool size must never change any result --- *)
+
+let tiny_corpus_params =
+  {
+    Dg.Corpus.default_params with
+    universe =
+      {
+        Dg.Universe.default_params with
+        n_proteins = 20; n_genes = 8; n_structures = 8; n_diseases = 4;
+        n_terms = 8; n_families = 4;
+      };
+  }
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "warehouse results identical at domains 1/2/4" `Slow
+      (fun () ->
+        let corpus = Dg.Corpus.generate tiny_corpus_params in
+        let run domains =
+          let tr = Obs.Trace.create ~name:"det" () in
+          let w =
+            Aladin.Warehouse.integrate
+              ~config:{ Aladin.Config.default with domains }
+              ~trace:tr corpus.catalogs
+          in
+          let links =
+            List.map
+              (Format.asprintf "%a" Lk.Link.pp)
+              (Aladin.Warehouse.links w)
+          in
+          let fks =
+            List.concat_map
+              (fun (e : Lk.Profile_list.entry) ->
+                List.map
+                  (Format.asprintf "%a" Ds.Inclusion.pp_fk)
+                  e.sp.Ds.Source_profile.fks)
+              (Lk.Profile_list.entries (Aladin.Warehouse.profiles w))
+          in
+          let dups =
+            match Aladin.Warehouse.duplicates w with
+            | Some (r : Aladin_dup.Dup_detect.result) ->
+                ( r.clusters,
+                  List.map (Format.asprintf "%a" Lk.Link.pp) r.links )
+            | None -> ([], [])
+          in
+          (links, fks, dups, Obs.Trace.counters tr)
+        in
+        let links1, fks1, dups1, counters1 = run 1 in
+        check Alcotest.bool "baseline finds links" true (links1 <> []);
+        List.iter
+          (fun d ->
+            let links, fks, dups, counters = run d in
+            let lbl s = Printf.sprintf "%s at domains=%d" s d in
+            check Alcotest.(list string) (lbl "links") links1 links;
+            check Alcotest.(list string) (lbl "fks") fks1 fks;
+            check
+              Alcotest.(pair (list (list string)) (list string))
+              (lbl "dups") dups1 dups;
+            check
+              Alcotest.(list (pair string int))
+              (lbl "trace counters") counters1 counters)
+          [ 2; 4 ]);
+  ]
+
+let tests =
+  [ ("par.pool", pool_tests); ("par.pipeline", pipeline_tests) ]

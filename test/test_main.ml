@@ -2,5 +2,5 @@ let () =
   Alcotest.run "aladin"
     (T_relational.tests @ T_seq.tests @ T_textmine.tests @ T_formats.tests
    @ T_discovery.tests @ T_linkdisc.tests @ T_dupdetect.tests
-   @ T_metadata.tests @ T_obs.tests @ T_access.tests @ T_datagen.tests
+   @ T_metadata.tests @ T_obs.tests @ T_par.tests @ T_access.tests @ T_datagen.tests
    @ T_eval.tests @ T_core.tests @ T_fuzz.tests)
