@@ -142,20 +142,21 @@ let e2_pipeline () =
   let w = Warehouse.create () in
   List.iter
     (fun cat ->
-      let ts = Warehouse.add_source w cat in
+      let report = Warehouse.add_source w cat in
       let sec step =
-        match List.find_opt (fun (t : Warehouse.timing) -> t.step = step) ts with
-        | Some t -> Printf.sprintf "%.3f" t.seconds
+        match Warehouse.Run_report.find report step with
+        | Some (s : Warehouse.Run_report.step_report) ->
+            Printf.sprintf "%.3f" s.seconds
         | None -> "-"
       in
       Ev.Report.add_row r
         [ Rel.Catalog.name cat;
           string_of_int (Rel.Catalog.total_rows cat);
-          sec Warehouse.Import_step;
-          sec Warehouse.Primary_discovery;
-          sec Warehouse.Secondary_discovery;
-          sec Warehouse.Link_discovery;
-          sec Warehouse.Duplicate_detection ])
+          sec "import";
+          sec "primary discovery";
+          sec "secondary discovery";
+          sec "link discovery";
+          sec "duplicate detection" ])
     corpus.catalogs;
   Ev.Report.print r
 
@@ -874,6 +875,80 @@ let pipeline_bench () =
   Printf.printf "wrote BENCH_pipeline.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* resilience — error-boundary overhead on the clean path              *)
+(*   (BENCH_resilience.json)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let resilience_bench () =
+  let corpus = Dg.Corpus.generate default_corpus_params in
+  (* budgets generous enough to never fire: the cost measured is purely
+     the boundary + the per-item deadline polls in the pool *)
+  let generous =
+    { Config.no_budgets with
+      Config.primary = Some 3600.0; secondary = Some 3600.0;
+      links = Some 3600.0; xref_pass = Some 3600.0; seq_pass = Some 3600.0;
+      text_pass = Some 3600.0; onto_pass = Some 3600.0; dups = Some 3600.0 }
+  in
+  let run budgets =
+    let w, wall =
+      timed (fun () ->
+          Warehouse.integrate ~config:{ Config.default with budgets }
+            corpus.catalogs)
+    in
+    (wall, List.length (Warehouse.links w))
+  in
+  ignore (run Config.no_budgets) (* warm-up *);
+  let reps = 3 in
+  let sample budgets =
+    let measures = List.init reps (fun _ -> run budgets) in
+    ( List.fold_left (fun acc (w, _) -> min acc w) infinity measures,
+      fst (List.split measures),
+      snd (List.hd measures) )
+  in
+  let plain_wall, plain_all, plain_links = sample Config.no_budgets in
+  let budg_wall, budg_all, budg_links = sample generous in
+  let overhead_pct = (budg_wall -. plain_wall) /. plain_wall *. 100.0 in
+  let r =
+    Ev.Report.create
+      ~title:
+        "resilience: clean-path integration, unbudgeted vs fully budgeted \
+         (best of 3)"
+      ~columns:[ "variant"; "wall"; "links" ]
+  in
+  Ev.Report.add_row r
+    [ "no budgets"; Printf.sprintf "%.3f" plain_wall; string_of_int plain_links ];
+  Ev.Report.add_row r
+    [ "all budgeted"; Printf.sprintf "%.3f" budg_wall; string_of_int budg_links ];
+  Ev.Report.print r;
+  Printf.printf "boundary overhead: %+.2f%% (links identical: %s)\n"
+    overhead_pct
+    (if plain_links = budg_links then "yes" else "NO");
+  let floats l =
+    String.concat ", " (List.map (Printf.sprintf "%.6f") l)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"resilience\",\n\
+      \  \"corpus_seed\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"unbudgeted_wall_seconds\": [%s],\n\
+      \  \"budgeted_wall_seconds\": [%s],\n\
+      \  \"best_unbudgeted\": %.6f,\n\
+      \  \"best_budgeted\": %.6f,\n\
+      \  \"overhead_percent\": %.3f,\n\
+      \  \"links_identical\": %b\n\
+       }\n"
+      default_corpus_params.Dg.Corpus.seed reps (floats plain_all)
+      (floats budg_all) plain_wall budg_wall overhead_pct
+      (plain_links = budg_links)
+  in
+  let oc = open_out "BENCH_resilience.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_resilience.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel microbenchmarks of the hot kernels                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -953,6 +1028,7 @@ let experiments =
     ("access", ("E11: access engine", e11_access));
     ("changes", ("E12: change threshold", e12_changes));
     ("pipeline", ("pipeline: domain-pool speedup 1/2/4", pipeline_bench));
+    ("resilience", ("resilience: error-boundary overhead", resilience_bench));
   ]
 
 let () =

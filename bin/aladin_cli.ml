@@ -11,21 +11,57 @@
 
 open Cmdliner
 open Aladin
+module Run_report = Aladin_resilience.Run_report
+module Import_error = Aladin_resilience.Import_error
 
-let import_all paths =
-  List.map Aladin_system.import_file paths
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
 let config_arg =
   Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF"
          ~doc:"Load pipeline tunables from a key = value file (see Config).")
 
 let load_config = function
-  | Some path -> Config.of_file path
+  | Some path -> (
+      match Config.of_file path with
+      | Ok c -> c
+      | Error msg -> die "aladin: %s" msg)
   | None -> Config.default
+
+(* strict import for the single-source and access commands: any import
+   problem aborts, recovered record errors are only warned about *)
+let import_or_die path =
+  match Aladin_system.import_file path with
+  | Ok (im : Aladin_formats.Import.import) ->
+      List.iter
+        (fun e ->
+          Printf.eprintf "aladin: warning: %s: %s\n" path
+            (Import_error.record_error_to_string e))
+        im.record_errors;
+      im.catalog
+  | Error err -> die "aladin: %s" (Import_error.to_string err)
 
 let build_warehouse ?config ?trace paths =
   let config = load_config config in
-  Warehouse.integrate ~config ?trace (import_all paths)
+  Warehouse.integrate ~config ?trace (List.map import_or_die paths)
+
+(* resilient build for [integrate]: a source that cannot even be imported
+   is quarantined with a report and the rest still integrate *)
+let build_warehouse_resilient ?config ?trace paths =
+  let config = load_config config in
+  let w = Warehouse.create ~config () in
+  List.iter
+    (fun path ->
+      match Aladin_system.import_file path with
+      | Ok (im : Aladin_formats.Import.import) ->
+          ignore
+            (Warehouse.add_source ?trace ~import_errors:im.record_errors w
+               im.catalog)
+      | Error err ->
+          ignore
+            (Warehouse.report_import_failure w
+               ~source:(Aladin_system.source_name_of_path path) err))
+    paths;
+  w
 
 let trace_file_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -51,28 +87,39 @@ let integrate_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"META"
            ~doc:"Write the metadata repository to $(docv).")
   in
-  let run paths save config trace_file =
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Exit nonzero when any source was quarantined or any step \
+                 degraded (skipped a pass, dropped records, hit a budget).")
+  in
+  let run paths save config strict trace_file =
     with_trace_file trace_file (fun trace ->
-        let w = build_warehouse ?config ?trace paths in
+        let w = build_warehouse_resilient ?config ?trace paths in
         print_string (Aladin_system.summary w);
-        match save with
+        let reports = Warehouse.run_reports w in
+        List.iter (fun r -> print_string (Run_report.render r)) reports;
+        (match save with
         | Some path ->
             let oc = open_out path in
             output_string oc
               (Aladin_metadata.Repository.save (Warehouse.repository w));
             close_out oc;
             Printf.printf "metadata written to %s\n" path
-        | None -> ())
+        | None -> ());
+        if strict && not (List.for_all Run_report.is_clean reports) then begin
+          prerr_endline "aladin: integration degraded (--strict)";
+          exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
-    Term.(const run $ paths_arg $ save $ config_arg $ trace_file_arg)
+    Term.(const run $ paths_arg $ save $ config_arg $ strict $ trace_file_arg)
 
 (* --- discover --- *)
 
 let discover_cmd =
   let run path =
-    let cat = Aladin_system.import_file path in
+    let cat = import_or_die path in
     let sp = Aladin_discovery.Source_profile.analyze cat in
     Format.printf "%a@." Aladin_discovery.Source_profile.pp sp
   in
@@ -229,7 +276,7 @@ let trace_cmd =
 
 let profile_cmd =
   let run path =
-    let cat = Aladin_system.import_file path in
+    let cat = import_or_die path in
     let sp = Aladin_discovery.Source_profile.analyze cat in
     print_string (Aladin_discovery.Profile_report.render sp)
   in

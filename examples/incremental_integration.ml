@@ -24,13 +24,10 @@ let () =
   List.iter
     (fun catalog ->
       let name = Aladin_relational.Catalog.name catalog in
-      let timings = Warehouse.add_source w catalog in
-      let total =
-        List.fold_left (fun acc (t : Warehouse.timing) -> acc +. t.seconds) 0.0 timings
-      in
+      let report = Warehouse.add_source w catalog in
       Printf.printf "added %-10s -> %4d links in warehouse (%.3fs)\n" name
         (List.length (Warehouse.links w))
-        total)
+        (Warehouse.Run_report.total_seconds report))
     corpus.catalogs;
 
   (* change policy: a trickle of changes defers, a bulk change reanalyzes *)
@@ -42,9 +39,9 @@ let () =
   | Some cat -> (
       let bulk = Aladin_relational.Catalog.total_rows cat in
       match Warehouse.update_source w cat ~changed_rows:bulk with
-      | `Reanalyzed ts ->
+      | `Reanalyzed (report : Warehouse.Run_report.t) ->
           Printf.printf "  %d changed rows -> reanalyzed (%d steps)\n" bulk
-            (List.length ts)
+            (List.length report.steps)
       | `Deferred -> print_endline "  bulk change deferred (unexpected)")
   | None -> ());
 

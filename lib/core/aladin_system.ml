@@ -2,20 +2,34 @@ open Aladin_relational
 open Aladin_discovery
 open Aladin_links
 module Fm = Aladin_formats
+module Import_error = Aladin_resilience.Import_error
+
+let source_name_of_path path =
+  let base = Filename.basename path in
+  match String.rindex_opt base '.' with
+  | Some i when not (Sys.file_exists path && Sys.is_directory path) ->
+      String.sub base 0 i
+  | Some _ | None -> base
 
 let import_file path =
-  let base = Filename.basename path in
-  let name =
-    match String.rindex_opt base '.' with
-    | Some i when not (Sys.is_directory path) -> String.sub base 0 i
-    | Some _ | None -> base
-  in
-  Fm.Import.import_path ~name path
+  Fm.Import.import_path ~name:(source_name_of_path path) path
 
 let integrate_catalogs ?config catalogs = Warehouse.integrate ?config catalogs
 
 let integrate_paths ?config paths =
-  integrate_catalogs ?config (List.map import_file paths)
+  let t = Warehouse.create ?config () in
+  List.iter
+    (fun path ->
+      match import_file path with
+      | Ok (im : Fm.Import.import) ->
+          ignore
+            (Warehouse.add_source ~import_errors:im.record_errors t im.catalog)
+      | Error err ->
+          ignore
+            (Warehouse.report_import_failure t
+               ~source:(source_name_of_path path) err))
+    paths;
+  t
 
 let summary w =
   let buf = Buffer.create 1024 in
@@ -46,9 +60,3 @@ let summary w =
   | Some d -> add "duplicate clusters: %d\n" (List.length d.clusters)
   | None -> ());
   Buffer.contents buf
-
-let timings_to_string ts =
-  ts
-  |> List.map (fun (tm : Warehouse.timing) ->
-         Printf.sprintf "%-20s %.4fs" (Warehouse.step_name tm.step) tm.seconds)
-  |> String.concat "\n"

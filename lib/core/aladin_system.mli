@@ -4,17 +4,26 @@
     users wanting control work with {!Warehouse} directly. *)
 
 open Aladin_relational
+module Import_error = Aladin_resilience.Import_error
 
-val import_file : string -> Catalog.t
-(** Sniff the format and import (step 1). The source name is the file
-    basename without extension; a directory is loaded as a CSV dump. *)
+val source_name_of_path : string -> string
+(** The source name a path imports under: the file basename without
+    extension (a directory keeps its full basename). *)
+
+val import_file : string -> (Aladin_formats.Import.import, Import_error.t) result
+(** Sniff the format and import (step 1). The source name comes from
+    {!source_name_of_path}; a directory is loaded as a CSV dump. Never
+    raises on bad input: unrecognized or unparseable data comes back as
+    [Error], and recovered per-record failures ride along in the
+    [import]'s [record_errors]. *)
 
 val integrate_paths : ?config:Config.t -> string list -> Warehouse.t
+(** Import and integrate every path. A path that fails to import is
+    quarantined via {!Warehouse.report_import_failure} — the rest still
+    integrate; inspect {!Warehouse.run_reports}. *)
 
 val integrate_catalogs : ?config:Config.t -> Catalog.t list -> Warehouse.t
 
 val summary : Warehouse.t -> string
 (** Human-readable integration summary: per source the discovered primary
     relation and structure, then link and duplicate counts. *)
-
-val timings_to_string : Warehouse.timing list -> string

@@ -2,6 +2,31 @@ open Aladin_discovery
 open Aladin_links
 open Aladin_dup
 
+type budgets = {
+  import : float option;
+  primary : float option;
+  secondary : float option;
+  links : float option;
+  xref_pass : float option;
+  seq_pass : float option;
+  text_pass : float option;
+  onto_pass : float option;
+  dups : float option;
+}
+
+let no_budgets =
+  {
+    import = None;
+    primary = None;
+    secondary = None;
+    links = None;
+    xref_pass = None;
+    seq_pass = None;
+    text_pass = None;
+    onto_pass = None;
+    dups = None;
+  }
+
 type t = {
   accession : Accession.params;
   inclusion : Inclusion.params;
@@ -11,6 +36,7 @@ type t = {
   max_path_len : int;
   change_threshold : float;
   domains : int;
+  budgets : budgets;
 }
 
 let default =
@@ -23,84 +49,181 @@ let default =
     max_path_len = 6;
     change_threshold = 0.1;
     domains = 0;
+    budgets = no_budgets;
   }
 
 let parse_bool key v =
   match bool_of_string_opt (String.lowercase_ascii v) with
-  | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Config: %s expects a bool, got %S" key v)
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "%s expects a bool, got %S" key v)
 
 let parse_int key v =
   match int_of_string_opt v with
-  | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "Config: %s expects an int, got %S" key v)
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s expects an int, got %S" key v)
 
 let parse_float key v =
   match float_of_string_opt v with
-  | Some f -> f
-  | None -> invalid_arg (Printf.sprintf "Config: %s expects a float, got %S" key v)
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s expects a float, got %S" key v)
+
+(* a budget is seconds, or "none"/"off"/"unlimited" for no budget *)
+let parse_budget key v =
+  match String.lowercase_ascii v with
+  | "none" | "off" | "unlimited" -> Ok None
+  | _ -> (
+      match float_of_string_opt v with
+      | Some f -> Ok (Some f)
+      | None ->
+          Error
+            (Printf.sprintf "%s expects seconds or \"none\", got %S" key v))
+
+let ( let* ) = Result.bind
 
 let apply t key v =
   match key with
   | "accession.min_length" ->
-      { t with accession = { t.accession with min_length = parse_int key v } }
+      let* i = parse_int key v in
+      Ok { t with accession = { t.accession with min_length = i } }
   | "accession.max_length_spread" ->
-      { t with accession = { t.accession with max_length_spread = parse_float key v } }
+      let* f = parse_float key v in
+      Ok { t with accession = { t.accession with max_length_spread = f } }
   | "inclusion.min_containment" ->
-      { t with inclusion = { t.inclusion with min_containment = parse_float key v } }
+      let* f = parse_float key v in
+      Ok { t with inclusion = { t.inclusion with min_containment = f } }
   | "inclusion.require_name_affinity" ->
-      { t with
-        inclusion =
-          { t.inclusion with require_name_affinity_for_pk_pk = parse_bool key v } }
+      let* b = parse_bool key v in
+      Ok
+        { t with
+          inclusion = { t.inclusion with require_name_affinity_for_pk_pk = b } }
   | "links.seq.min_normalized" ->
-      { t with
-        linker =
-          { t.linker with seq = { t.linker.seq with min_normalized = parse_float key v } } }
+      let* f = parse_float key v in
+      Ok
+        { t with
+          linker = { t.linker with seq = { t.linker.seq with min_normalized = f } } }
   | "links.seq.min_seq_len" ->
-      { t with
-        linker =
-          { t.linker with seq = { t.linker.seq with min_seq_len = parse_int key v } } }
+      let* i = parse_int key v in
+      Ok
+        { t with
+          linker = { t.linker with seq = { t.linker.seq with min_seq_len = i } } }
   | "links.text.min_cosine" ->
-      { t with
-        linker =
-          { t.linker with text = { t.linker.text with min_cosine = parse_float key v } } }
+      let* f = parse_float key v in
+      Ok
+        { t with
+          linker = { t.linker with text = { t.linker.text with min_cosine = f } } }
   | "links.xref.min_matches" ->
-      { t with
-        linker =
-          { t.linker with xref = { t.linker.xref with min_matches = parse_int key v } } }
-  | "links.enable_seq" -> { t with linker = { t.linker with enable_seq = parse_bool key v } }
-  | "links.enable_text" -> { t with linker = { t.linker with enable_text = parse_bool key v } }
-  | "links.enable_onto" -> { t with linker = { t.linker with enable_onto = parse_bool key v } }
+      let* i = parse_int key v in
+      Ok
+        { t with
+          linker = { t.linker with xref = { t.linker.xref with min_matches = i } } }
+  | "links.enable_seq" ->
+      let* b = parse_bool key v in
+      Ok { t with linker = { t.linker with enable_seq = b } }
+  | "links.enable_text" ->
+      let* b = parse_bool key v in
+      Ok { t with linker = { t.linker with enable_text = b } }
+  | "links.enable_onto" ->
+      let* b = parse_bool key v in
+      Ok { t with linker = { t.linker with enable_onto = b } }
   | "dup.min_similarity" ->
-      { t with dup = { t.dup with min_similarity = parse_float key v } }
-  | "dup.all_pairs" -> { t with dup = { t.dup with all_pairs = parse_bool key v } }
-  | "incremental_seq" -> { t with incremental_seq = parse_bool key v }
-  | "max_path_len" -> { t with max_path_len = parse_int key v }
-  | "change_threshold" -> { t with change_threshold = parse_float key v }
-  | "domains" -> { t with domains = parse_int key v }
-  | _ -> invalid_arg (Printf.sprintf "Config: unknown key %S" key)
+      let* f = parse_float key v in
+      Ok { t with dup = { t.dup with min_similarity = f } }
+  | "dup.all_pairs" ->
+      let* b = parse_bool key v in
+      Ok { t with dup = { t.dup with all_pairs = b } }
+  | "incremental_seq" ->
+      let* b = parse_bool key v in
+      Ok { t with incremental_seq = b }
+  | "max_path_len" ->
+      let* i = parse_int key v in
+      Ok { t with max_path_len = i }
+  | "change_threshold" ->
+      let* f = parse_float key v in
+      Ok { t with change_threshold = f }
+  | "domains" ->
+      let* i = parse_int key v in
+      Ok { t with domains = i }
+  | "budget.import" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with import = b } }
+  | "budget.primary" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with primary = b } }
+  | "budget.secondary" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with secondary = b } }
+  | "budget.links" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with links = b } }
+  | "budget.links.xref" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with xref_pass = b } }
+  | "budget.links.seq" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with seq_pass = b } }
+  | "budget.links.text" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with text_pass = b } }
+  | "budget.links.onto" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with onto_pass = b } }
+  | "budget.dups" ->
+      let* b = parse_budget key v in
+      Ok { t with budgets = { t.budgets with dups = b } }
+  | _ -> Error (Printf.sprintf "unknown key %S" key)
+
+(* fold lines over [default], keeping the 1-based line number for errors *)
+let parse_lines doc =
+  let rec go t lineno = function
+    | [] -> Ok t
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go t (lineno + 1) rest
+        else
+          match String.index_opt line '=' with
+          | None ->
+              Error (lineno, Printf.sprintf "expected key = value, got %S" line)
+          | Some i -> (
+              let key = String.trim (String.sub line 0 i) in
+              let v =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              match apply t key v with
+              | Ok t -> go t (lineno + 1) rest
+              | Error msg -> Error (lineno, msg)))
+  in
+  go default 1 (String.split_on_char '\n' doc)
 
 let of_string doc =
-  String.split_on_char '\n' doc
-  |> List.fold_left
-       (fun t line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then t
-         else
-           match String.index_opt line '=' with
-           | None -> invalid_arg (Printf.sprintf "Config: expected key = value, got %S" line)
-           | Some i ->
-               let key = String.trim (String.sub line 0 i) in
-               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-               apply t key v)
-       default
+  match parse_lines doc with
+  | Ok t -> Ok t
+  | Error (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
 
 let of_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let doc = really_input_string ic len in
-  close_in ic;
-  of_string doc
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let doc = really_input_string ic len in
+    close_in ic;
+    doc
+  with
+  | doc -> (
+      match parse_lines doc with
+      | Ok t -> Ok t
+      | Error (lineno, msg) -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+  | exception Sys_error msg -> Error msg
+
+let raise_config_error msg =
+  (* legacy shims only; new code handles the result *)
+  raise (Invalid_argument ("Config: " ^ msg)) (* DEPRECATED-OK *)
+
+let of_string_exn doc =
+  match of_string doc with Ok t -> t | Error msg -> raise_config_error msg
+
+let of_file_exn path =
+  match of_file path with Ok t -> t | Error msg -> raise_config_error msg
+
+let budget_to_string = function None -> "none" | Some f -> Printf.sprintf "%g" f
 
 let to_string t =
   String.concat "\n"
@@ -123,5 +246,14 @@ let to_string t =
       Printf.sprintf "max_path_len = %d" t.max_path_len;
       Printf.sprintf "change_threshold = %g" t.change_threshold;
       Printf.sprintf "domains = %d" t.domains;
+      Printf.sprintf "budget.import = %s" (budget_to_string t.budgets.import);
+      Printf.sprintf "budget.primary = %s" (budget_to_string t.budgets.primary);
+      Printf.sprintf "budget.secondary = %s" (budget_to_string t.budgets.secondary);
+      Printf.sprintf "budget.links = %s" (budget_to_string t.budgets.links);
+      Printf.sprintf "budget.links.xref = %s" (budget_to_string t.budgets.xref_pass);
+      Printf.sprintf "budget.links.seq = %s" (budget_to_string t.budgets.seq_pass);
+      Printf.sprintf "budget.links.text = %s" (budget_to_string t.budgets.text_pass);
+      Printf.sprintf "budget.links.onto = %s" (budget_to_string t.budgets.onto_pass);
+      Printf.sprintf "budget.dups = %s" (budget_to_string t.budgets.dups);
     ]
   ^ "\n"

@@ -4,6 +4,25 @@ open Aladin_discovery
 open Aladin_links
 open Aladin_dup
 
+type budgets = {
+  import : float option;
+  primary : float option;
+  secondary : float option;
+  links : float option;  (** whole link-discovery step *)
+  xref_pass : float option;
+  seq_pass : float option;  (** the homology pass, the usual runaway *)
+  text_pass : float option;
+  onto_pass : float option;
+  dups : float option;
+}
+(** Per-step wall-clock budgets in seconds; [None] (the default
+    everywhere) means unlimited. A budget of [0] skips the step or pass
+    outright. A required step (primary discovery) that exceeds its
+    budget quarantines the source; an optional step or pass is skipped
+    with a recorded reason in the {!Aladin_resilience.Run_report}. *)
+
+val no_budgets : budgets
+
 type t = {
   accession : Accession.params;
   inclusion : Inclusion.params;
@@ -20,11 +39,12 @@ type t = {
       (** domain-pool size for the parallel discovery fan-outs; 0 (default)
           = auto: the [ALADIN_DOMAINS] environment variable when set, else
           [Domain.recommended_domain_count ()]. 1 forces sequential. *)
+  budgets : budgets;
 }
 
 val default : t
 
-val of_string : string -> t
+val of_string : string -> (t, string) result
 (** Parse a [key = value] configuration ([#] comments, blank lines ok) over
     {!default}. Keys:
     {v
@@ -43,10 +63,27 @@ val of_string : string -> t
     max_path_len                    int
     change_threshold                float
     domains                         int
+    budget.import                   seconds | none
+    budget.primary                  seconds | none
+    budget.secondary                seconds | none
+    budget.links                    seconds | none
+    budget.links.xref|seq|text|onto seconds | none
+    budget.dups                     seconds | none
     v}
-    @raise Invalid_argument on unknown keys or unparsable values. *)
+    [Error] messages carry the 1-based line number
+    (["line 3: unknown key ..."]); never raises. *)
 
-val of_file : string -> t
+val of_file : string -> (t, string) result
+(** Like {!of_string}; errors are prefixed ["<path>:<line>: ..."] and an
+    unreadable file is an [Error], not an exception. *)
+
+val of_string_exn : string -> t
+(** @deprecated Legacy raising shim over {!of_string}.
+    @raise Invalid_argument on any parse error. *)
+
+val of_file_exn : string -> t
+(** @deprecated Legacy raising shim over {!of_file}.
+    @raise Invalid_argument on any parse error. *)
 
 val to_string : t -> string
 (** Render every supported key with its current value ([of_string]-parsable). *)

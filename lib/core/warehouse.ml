@@ -6,22 +6,10 @@ open Aladin_access
 module Dup = Aladin_dup
 module Obs = Aladin_obs
 module Par = Aladin_par
-
-type step =
-  | Import_step
-  | Primary_discovery
-  | Secondary_discovery
-  | Link_discovery
-  | Duplicate_detection
-
-let step_name = function
-  | Import_step -> "import"
-  | Primary_discovery -> "primary discovery"
-  | Secondary_discovery -> "secondary discovery"
-  | Link_discovery -> "link discovery"
-  | Duplicate_detection -> "duplicate detection"
-
-type timing = { step : step; seconds : float }
+module Res = Aladin_resilience
+module Run_report = Aladin_resilience.Run_report
+module Import_error = Aladin_resilience.Import_error
+module Report = Run_report
 
 type t = {
   cfg : Config.t;
@@ -70,8 +58,57 @@ let invalidate t =
 
 let last_trace t = t.last_trace
 
-(* incremental homology: align only the new source's sequences against the
-   persistent index; a replaced source forces a rebuild *)
+let run_reports t = Repository.run_reports t.repo
+
+let run_report t source = Repository.run_report t.repo source
+
+(* --- resilience plumbing --- *)
+
+(* run one pipeline step inside its span and error boundary, stamping the
+   span with the resilience status so traces show what degraded *)
+let bounded ~name ?budget f =
+  Obs.Trace.ambient_span_timed name (fun () ->
+      let res = Res.Boundary.protect ~step:name ?budget f in
+      Obs.Trace.ambient_add_attr "status" (Res.Boundary.status_of res);
+      res)
+
+(* marker span for a step skipped before doing any work *)
+let skipped_span name =
+  Obs.Trace.ambient_span name ~attrs:[ ("status", "skipped") ] (fun () -> ())
+
+let pass_budgets (b : Config.budgets) =
+  {
+    Linker.xref_budget = b.xref_pass;
+    seq_budget = b.seq_pass;
+    text_budget = b.text_pass;
+    onto_budget = b.onto_pass;
+  }
+
+(* a step whose sub-passes degraded is itself Degraded, with one warning
+   per unclean child; children that are merely disabled stay clean *)
+let outcome_of_children children =
+  let warnings =
+    List.filter_map
+      (fun (s : Report.step_report) ->
+        if Report.outcome_clean s.outcome then None
+        else
+          Some
+            {
+              Report.code = s.step;
+              detail =
+                (match s.outcome with
+                | Report.Skipped r -> Report.reason_to_string r
+                | Report.Failed e -> Report.error_to_string e
+                | o -> Report.outcome_name o);
+            })
+      children
+  in
+  match warnings with [] -> Report.Ok | ws -> Report.Degraded ws
+
+(* --- incremental homology ---
+
+   Align only the new source's sequences against the persistent index; a
+   replaced source forces a rebuild. *)
 let seq_links_incremental t ~new_source =
   let ensure_fresh_state () =
     match t.seq_state with
@@ -96,89 +133,192 @@ let seq_links_incremental t ~new_source =
        ~source:new_source);
   Seq_links.state_links st
 
+(* the incremental stand-in for the linker's seq pass, with the same
+   budget key; a timeout discards the partial index so the next run
+   rebuilds deterministically instead of reusing half an index *)
+let incremental_seq_pass t ~source =
+  match t.cfg.budgets.seq_pass with
+  | Some b when b <= 0.0 ->
+      Obs.Trace.ambient_span "seq pass"
+        ~attrs:[ ("mode", "incremental"); ("status", "skipped") ]
+        (fun () -> ());
+      ([], Report.step "seq pass" (Report.Skipped Report.Budget_zero))
+  | seq_budget -> (
+      let res, secs =
+        Obs.Trace.ambient_span_timed "seq pass"
+          ~attrs:[ ("mode", "incremental"); ("source", source) ]
+          (fun () ->
+            let res =
+              Res.Boundary.protect ~step:"seq pass" ?budget:seq_budget
+                (fun () -> seq_links_incremental t ~new_source:source)
+            in
+            Obs.Trace.ambient_add_attr "status" (Res.Boundary.status_of res);
+            res)
+      in
+      match res with
+      | Ok links -> (links, Report.step ~seconds:secs "seq pass" Report.Ok)
+      | Error (Report.Timeout b) ->
+          t.seq_state <- None;
+          ( [],
+            Report.step ~seconds:secs "seq pass"
+              (Report.Skipped (Report.Budget_exhausted b)) )
+      | Error (Report.Crashed _ as e) ->
+          t.seq_state <- None;
+          ([], Report.step ~seconds:secs "seq pass" (Report.Failed e)))
+
 (* steps 4+5 are global: re-run link and duplicate discovery over every
-   analyzed source; statistics inside each Source_profile are reused *)
+   analyzed source; statistics inside each Source_profile are reused.
+   Each step runs inside its own boundary: a failed step contributes no
+   links (its partial results are discarded) and the run continues. *)
 let relink ?new_source t =
+  let budgets = t.cfg.budgets in
   let incremental =
     t.cfg.incremental_seq && t.cfg.linker.enable_seq && new_source <> None
   in
-  let report, link_secs =
-    Obs.Trace.ambient_span_timed "link discovery" (fun () ->
-        if incremental then begin
-          let params = { t.cfg.linker with enable_seq = false } in
-          let report = Linker.discover ~params ~pool:t.pool t.profile_list in
-          let seq_links =
-            match new_source with
-            | Some s ->
-                (* the linker skipped its seq pass; the incremental one is
-                   its stand-in, so it reports under the same span name *)
-                Obs.Trace.ambient_span "seq pass"
-                  ~attrs:[ ("mode", "incremental"); ("source", s) ]
-                  (fun () -> seq_links_incremental t ~new_source:s)
-            | None -> []
-          in
-          { report with
-            links = Link.dedup (seq_links @ report.links);
-            seq_result = None }
-        end
-        else begin
-          t.seq_state <- None;
-          Linker.discover ~params:t.cfg.linker ~pool:t.pool t.profile_list
-        end)
+  (* step 4 *)
+  let link_step =
+    match budgets.links with
+    | Some b when b <= 0.0 ->
+        skipped_span "link discovery";
+        t.last_report <- None;
+        Report.step "link discovery" (Report.Skipped Report.Budget_zero)
+    | link_budget -> (
+        let res, link_secs =
+          bounded ~name:"link discovery" ?budget:link_budget (fun () ->
+              if incremental then begin
+                let params = { t.cfg.linker with enable_seq = false } in
+                let report =
+                  Linker.discover ~params ~pool:t.pool
+                    ~budgets:(pass_budgets budgets) t.profile_list
+                in
+                let source = Option.get new_source in
+                (* the linker skipped its seq pass; the incremental one
+                   is its stand-in and replaces its pass record *)
+                let seq_links, seq_step = incremental_seq_pass t ~source in
+                {
+                  report with
+                  links = Link.dedup (seq_links @ report.links);
+                  seq_result = None;
+                  passes =
+                    List.map
+                      (fun (s : Report.step_report) ->
+                        if s.step = "seq pass" then seq_step else s)
+                      report.passes;
+                }
+              end
+              else begin
+                t.seq_state <- None;
+                Linker.discover ~params:t.cfg.linker ~pool:t.pool
+                  ~budgets:(pass_budgets budgets) t.profile_list
+              end)
+        in
+        match res with
+        | Ok report ->
+            t.last_report <- Some report;
+            Report.step ~seconds:link_secs ~children:report.passes
+              "link discovery"
+              (outcome_of_children report.passes)
+        | Error err ->
+            (* discard partial link results; links below come out empty *)
+            t.last_report <- None;
+            t.seq_state <- None;
+            Report.step ~seconds:link_secs "link discovery" (Report.Failed err))
   in
-  t.last_report <- Some report;
   (* step 5 knows the step-4 cross-reference attributes and keeps them out
      of the duplicate evidence *)
   let exclude_attributes =
-    match report.xref_result with
-    | Some r ->
+    match t.last_report with
+    | Some { xref_result = Some r; _ } ->
         List.map
           (fun (c : Xref_disc.correspondence) ->
             (c.src_source, c.src_relation, c.src_attribute))
           r.correspondences
-    | None -> []
+    | Some _ | None -> []
   in
-  let dups, dup_secs =
-    Obs.Trace.ambient_span_timed "duplicate detection" (fun () ->
-        let (dups : Dup.Dup_detect.result) =
-          Dup.Dup_detect.detect ~params:t.cfg.dup ~pool:t.pool
-            ~exclude_attributes t.profile_list
+  let dups_opt, dup_step =
+    match budgets.dups with
+    | Some b when b <= 0.0 ->
+        skipped_span "duplicate detection";
+        (None, Report.step "duplicate detection" (Report.Skipped Report.Budget_zero))
+    | dup_budget -> (
+        let res, dup_secs =
+          bounded ~name:"duplicate detection" ?budget:dup_budget (fun () ->
+              let (dups : Dup.Dup_detect.result) =
+                Dup.Dup_detect.detect ~params:t.cfg.dup ~pool:t.pool
+                  ~exclude_attributes t.profile_list
+              in
+              Obs.Trace.ambient_incr ~by:dups.candidates_checked
+                "dup.candidates_checked";
+              Obs.Trace.ambient_incr ~by:(List.length dups.links) "dup.links";
+              dups)
         in
-        Obs.Trace.ambient_incr ~by:dups.candidates_checked
-          "dup.candidates_checked";
-        Obs.Trace.ambient_incr ~by:(List.length dups.links) "dup.links";
-        dups)
+        match res with
+        | Ok dups ->
+            (Some dups, Report.step ~seconds:dup_secs "duplicate detection" Report.Ok)
+        | Error (Report.Timeout b) ->
+            ( None,
+              Report.step ~seconds:dup_secs "duplicate detection"
+                (Report.Skipped (Report.Budget_exhausted b)) )
+        | Error (Report.Crashed _ as e) ->
+            (None, Report.step ~seconds:dup_secs "duplicate detection" (Report.Failed e)))
   in
-  t.last_dups <- Some dups;
+  t.last_dups <- dups_opt;
+  let link_links = match t.last_report with Some r -> r.links | None -> [] in
+  let dup_links =
+    match dups_opt with Some (d : Dup.Dup_detect.result) -> d.links | None -> []
+  in
   Repository.set_links t.repo
-    (Feedback.filter_links t.feedback (Link.dedup (report.links @ dups.links)));
-  (match report.xref_result with
-  | Some r -> Repository.set_correspondences t.repo r.correspondences
-  | None -> ());
-  (link_secs, dup_secs)
+    (Feedback.filter_links t.feedback (Link.dedup (link_links @ dup_links)));
+  (match t.last_report with
+  | Some { xref_result = Some r; _ } ->
+      Repository.set_correspondences t.repo r.correspondences
+  | Some _ | None -> ());
+  (link_step, dup_step)
 
-let add_source ?trace t catalog =
+let import_step_report ~name ~catalog import_errors =
+  let outcome =
+    match import_errors with
+    | [] -> Report.Ok
+    | errs ->
+        Report.Degraded
+          (List.map
+             (fun (e : Res.Import_error.record_error) ->
+               {
+                 Report.code = "record_error";
+                 detail = Res.Import_error.record_error_to_string e;
+               })
+             errs)
+  in
+  (* step 1 ran when the caller produced the catalog; a marker span keeps
+     all five steps visible in every trace *)
+  Obs.Trace.ambient_span "import"
+    ~attrs:
+      [ ("source", name);
+        ("rows", string_of_int (Catalog.total_rows catalog));
+        ("status", Report.outcome_name outcome) ]
+    (fun () -> ());
+  Report.step "import" outcome
+
+let add_source ?trace ?(import_errors = []) t catalog =
   let name = Catalog.name catalog in
   let tr =
     match trace with
     | Some tr -> tr
     | None -> Obs.Trace.create ~name:(Printf.sprintf "add-source %s" name) ()
   in
-  let timings =
+  let report =
     Obs.Trace.with_ambient tr (fun () ->
+        let prev_catalogs = t.catalog_list in
         t.catalog_list <-
           List.filter (fun c -> Catalog.name c <> name) t.catalog_list
           @ [ catalog ];
-        (* step 1 ran when the caller produced the catalog; a marker span
-           keeps all five steps visible in every trace *)
-        Obs.Trace.ambient_span "import"
-          ~attrs:
-            [ ("source", name);
-              ("rows", string_of_int (Catalog.total_rows catalog)) ]
-          (fun () -> ());
-        (* step 2: profile + accession + FK inference + primary choice *)
-        let sp2, secs2 =
-          Obs.Trace.ambient_span_timed "primary discovery" (fun () ->
+        let import_step = import_step_report ~name ~catalog import_errors in
+        (* step 2: profile + accession + FK inference + primary choice.
+           Required: on failure the source is quarantined — rolled back
+           out of the warehouse — and the remaining steps are skipped. *)
+        let res2, secs2 =
+          bounded ~name:"primary discovery" ?budget:t.cfg.budgets.primary
+            (fun () ->
               let profile =
                 Obs.Trace.ambient_span "profile" (fun () ->
                     Profile.compute catalog)
@@ -203,37 +343,98 @@ let add_source ?trace t catalog =
               in
               (profile, cands, fks, graph, primary))
         in
-        let profile, cands, fks, graph, primary = sp2 in
-        (* step 3: secondary structure *)
-        let secondary, secs3 =
-          Obs.Trace.ambient_span_timed "secondary discovery" (fun () ->
-              Option.map
-                (fun (p : Primary.scored) ->
-                  Secondary.discover ~max_len:t.cfg.max_path_len graph
-                    ~primary:p.relation)
-                primary)
-        in
-        let sp =
-          { Source_profile.profile; accession_candidates = cands; fks; graph;
-            primary; secondary }
-        in
-        t.profile_list <- Profile_list.add t.profile_list sp;
-        Repository.add_source t.repo sp;
-        (* steps 4 + 5 *)
-        let link_secs, dup_secs = relink ~new_source:name t in
-        Hashtbl.remove t.pending_changes name;
-        invalidate t;
-        [
-          { step = Import_step; seconds = 0.0 };
-          { step = Primary_discovery; seconds = secs2 };
-          { step = Secondary_discovery; seconds = secs3 };
-          { step = Link_discovery; seconds = link_secs };
-          { step = Duplicate_detection; seconds = dup_secs };
-        ])
+        match res2 with
+        | Error err ->
+            t.catalog_list <- prev_catalogs;
+            invalidate t;
+            let dep n =
+              Report.step n
+                (Report.Skipped (Report.Dependency_failed "primary discovery"))
+            in
+            {
+              Report.source = name;
+              quarantined = true;
+              steps =
+                [ import_step;
+                  Report.step ~seconds:secs2 "primary discovery"
+                    (Report.Failed err);
+                  dep "secondary discovery"; dep "link discovery";
+                  dep "duplicate detection" ];
+            }
+        | Ok (profile, cands, fks, graph, primary) ->
+            (* step 3: secondary structure. Optional: a timeout or crash
+               just means no secondary relations for this source. *)
+            let secondary, step3 =
+              match t.cfg.budgets.secondary with
+              | Some b when b <= 0.0 ->
+                  skipped_span "secondary discovery";
+                  ( None,
+                    Report.step "secondary discovery"
+                      (Report.Skipped Report.Budget_zero) )
+              | budget -> (
+                  let res3, secs3 =
+                    bounded ~name:"secondary discovery" ?budget (fun () ->
+                        Option.map
+                          (fun (p : Primary.scored) ->
+                            Secondary.discover ~max_len:t.cfg.max_path_len
+                              graph ~primary:p.relation)
+                          primary)
+                  in
+                  match res3 with
+                  | Ok secondary ->
+                      ( secondary,
+                        Report.step ~seconds:secs3 "secondary discovery"
+                          Report.Ok )
+                  | Error (Report.Timeout b) ->
+                      ( None,
+                        Report.step ~seconds:secs3 "secondary discovery"
+                          (Report.Skipped (Report.Budget_exhausted b)) )
+                  | Error (Report.Crashed _ as e) ->
+                      ( None,
+                        Report.step ~seconds:secs3 "secondary discovery"
+                          (Report.Failed e) ))
+            in
+            let sp =
+              { Source_profile.profile; accession_candidates = cands; fks;
+                graph; primary; secondary }
+            in
+            t.profile_list <- Profile_list.add t.profile_list sp;
+            Repository.add_source t.repo sp;
+            (* steps 4 + 5 *)
+            let link_step, dup_step = relink ~new_source:name t in
+            Hashtbl.remove t.pending_changes name;
+            invalidate t;
+            {
+              Report.source = name;
+              quarantined = false;
+              steps =
+                [ import_step;
+                  Report.step ~seconds:secs2 "primary discovery" Report.Ok;
+                  step3; link_step; dup_step ];
+            })
   in
   t.last_trace <- Some tr;
   Repository.set_provenance t.repo (Obs.Sink.to_json tr);
-  timings
+  Repository.set_run_report t.repo report;
+  report
+
+let report_import_failure t ~source err =
+  let dep n =
+    Report.step n (Report.Skipped (Report.Dependency_failed "import"))
+  in
+  let report =
+    {
+      Report.source;
+      quarantined = true;
+      steps =
+        [ Report.step "import"
+            (Report.Failed (Report.Crashed (Res.Import_error.to_string err)));
+          dep "primary discovery"; dep "secondary discovery";
+          dep "link discovery"; dep "duplicate detection" ];
+    }
+  in
+  Repository.set_run_report t.repo report;
+  report
 
 let integrate ?config ?trace catalogs =
   let t = create ?config () in
@@ -371,7 +572,8 @@ let load_dir ?config ?(reanalyze = false) dir =
   in
   let catalogs =
     List.map
-      (fun name -> Aladin_formats.Dump.load_dir ~name (Filename.concat dir name))
+      (fun name ->
+        fst (Aladin_formats.Dump.load_dir ~name (Filename.concat dir name)))
       source_names
   in
   if reanalyze then begin
@@ -401,6 +603,7 @@ let load_dir ?config ?(reanalyze = false) dir =
     (match Repository.provenance meta with
     | Some p -> Repository.set_provenance t.repo p
     | None -> ());
+    List.iter (Repository.set_run_report t.repo) (Repository.run_reports meta);
     List.iter
       (fun catalog ->
         match Profile_list.find t.profile_list (Catalog.name catalog) with

@@ -3,24 +3,25 @@
 
     Sources are added incrementally; per-source statistics are computed
     once and reused, links and duplicates are recomputed against the
-    existing warehouse on every addition. *)
+    existing warehouse on every addition.
+
+    Every pipeline step runs inside an error boundary with an optional
+    wall-clock budget ({!Config.budgets}). A step that times out or
+    raises has its partial results discarded deterministically: a failed
+    {e primary discovery} quarantines the source (it is rolled back out
+    of the warehouse and the remaining steps are skipped), while failed
+    optional steps (secondary discovery, a link pass, duplicate
+    detection) just contribute nothing and the run continues. What
+    happened is returned — and persisted in the metadata repository —
+    as a typed {!Aladin_resilience.Run_report.t}. *)
 
 open Aladin_relational
 open Aladin_discovery
 open Aladin_links
 open Aladin_metadata
 open Aladin_access
-
-type step =
-  | Import_step
-  | Primary_discovery
-  | Secondary_discovery
-  | Link_discovery
-  | Duplicate_detection
-
-val step_name : step -> string
-
-type timing = { step : step; seconds : float }
+module Run_report = Aladin_resilience.Run_report
+module Import_error = Aladin_resilience.Import_error
 
 type t
 
@@ -28,23 +29,43 @@ val create : ?config:Config.t -> unit -> t
 
 val config : t -> Config.t
 
-val add_source : ?trace:Aladin_obs.Trace.t -> t -> Catalog.t -> timing list
-(** Steps 2-5 for the new source (step 1, import, happened when the caller
-    produced the catalog — its timing is reported as 0 here, but an
-    ["import"] marker span is still recorded). Replaces any source with the
-    same name.
+val add_source :
+  ?trace:Aladin_obs.Trace.t ->
+  ?import_errors:Import_error.record_error list ->
+  t ->
+  Catalog.t ->
+  Run_report.t
+(** Steps 2-5 for the new source (step 1, import, happened when the
+    caller produced the catalog — pass its recovered record errors as
+    [import_errors] so the report's import step shows [Degraded]).
+    Replaces any source with the same name. Never raises for pipeline
+    failures: they are captured in the returned report, which is also
+    stored in the metadata repository (see {!run_reports}).
 
-    Every run is traced: spans for the five pipeline steps (child spans for
-    profiling, FK inference, the link passes, ...), counters and latency
-    histograms from the discovery layers. Pass [trace] to accumulate into
-    your own collector; otherwise a fresh one is created. The trace is
-    retained (see {!last_trace}) and its JSON rendering stored as the
-    repository's provenance record. Timings in the returned list come from
+    Every run is traced: spans for the five pipeline steps (child spans
+    for profiling, FK inference, the link passes, ...) each carrying a
+    ["status"] attribute, counters and latency histograms from the
+    discovery layers. Pass [trace] to accumulate into your own
+    collector; otherwise a fresh one is created. The trace is retained
+    (see {!last_trace}) and its JSON rendering stored as the
+    repository's provenance record. Step timings in the report come from
     the same monotonic wall clock as the spans. *)
 
+val report_import_failure : t -> source:string -> Import_error.t -> Run_report.t
+(** Record that a source failed before reaching the pipeline (import
+    could not produce a catalog). The source is quarantined: the report
+    marks the import step [Failed] and steps 2-5 skipped, and is stored
+    in the repository; the warehouse itself is untouched. *)
+
 val integrate : ?config:Config.t -> ?trace:Aladin_obs.Trace.t -> Catalog.t list -> t
-(** Fresh warehouse with all sources added (all into the same [trace] when
-    given). *)
+(** Fresh warehouse with all sources added (all into the same [trace]
+    when given). A source whose pipeline fails is quarantined; the
+    others still integrate fully — inspect {!run_reports}. *)
+
+val run_reports : t -> Run_report.t list
+(** Latest report per source, in integration order. *)
+
+val run_report : t -> string -> Run_report.t option
 
 val last_trace : t -> Aladin_obs.Trace.t option
 (** Execution trace of the most recent {!add_source} run. *)
@@ -62,7 +83,8 @@ val profile : t -> string -> Source_profile.t option
 val links : t -> Link.t list
 
 val link_report : t -> Linker.report option
-(** The latest link-discovery report ([None] before any source). *)
+(** The latest link-discovery report ([None] before any source, and
+    [None] when step 4 as a whole failed or was skipped). *)
 
 val duplicates : t -> Aladin_dup.Dup_detect.result option
 
@@ -88,7 +110,8 @@ val notify_change : t -> source:string -> changed_rows:int -> [ `Reanalyze | `De
     [config.change_threshold]. Deferred changes accumulate until the
     threshold trips. *)
 
-val update_source : t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of timing list | `Deferred ]
+val update_source :
+  t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of Run_report.t | `Deferred ]
 (** Apply {!notify_change}; on [`Reanalyze] the source is replaced and
     re-integrated and the pending counter resets. *)
 
@@ -114,6 +137,7 @@ val save_dir : t -> string -> unit
 val load_dir : ?config:Config.t -> ?reanalyze:bool -> string -> t
 (** Restore a saved warehouse. With [reanalyze] (default false) the five
     steps re-run from the raw data; otherwise profiles are recomputed (they
-    are needed for browsing) but the saved links, correspondences and
-    feedback are trusted, so no link/duplicate discovery happens.
+    are needed for browsing) but the saved links, correspondences, run
+    reports and feedback are trusted, so no link/duplicate discovery
+    happens.
     @raise Invalid_argument / @raise Sys_error on malformed input. *)

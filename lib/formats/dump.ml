@@ -1,4 +1,5 @@
 open Aladin_relational
+module Import_error = Aladin_resilience.Import_error
 
 let load ~name pairs =
   let cat = Catalog.create ~name in
@@ -11,23 +12,26 @@ let load ~name pairs =
   cat
 
 let parse_constraints doc =
-  String.split_on_char '\n' doc
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else
-           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-           | [ "unique"; relation; attribute ] ->
-               Some (Constraint_def.Unique { relation; attribute })
-           | [ "pkey"; relation; attribute ] ->
-               Some (Constraint_def.Primary_key { relation; attribute })
-           | [ "fkey"; src_relation; src_attribute; dst_relation; dst_attribute ] ->
-               Some
-                 (Constraint_def.Foreign_key
-                    { src_relation; src_attribute; dst_relation; dst_attribute })
-           | _ ->
-               invalid_arg
-                 (Printf.sprintf "Dump.parse_constraints: bad line %S" line))
+  let constraints = ref [] in
+  let bad = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "unique"; relation; attribute ] ->
+            constraints := Constraint_def.Unique { relation; attribute } :: !constraints
+        | [ "pkey"; relation; attribute ] ->
+            constraints := Constraint_def.Primary_key { relation; attribute } :: !constraints
+        | [ "fkey"; src_relation; src_attribute; dst_relation; dst_attribute ] ->
+            constraints :=
+              Constraint_def.Foreign_key
+                { src_relation; src_attribute; dst_relation; dst_attribute }
+              :: !constraints
+        | _ -> bad := (i + 1, Printf.sprintf "bad constraint line %S" line) :: !bad)
+    (String.split_on_char '\n' doc);
+  (List.rev !constraints, List.rev !bad)
 
 let render_constraints cs =
   cs
@@ -51,19 +55,47 @@ let read_file path =
 
 let load_dir ~name dir =
   let entries = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
-  let csvs =
-    List.filter (fun f -> Filename.check_suffix f ".csv") entries
+  let csvs = List.filter (fun f -> Filename.check_suffix f ".csv") entries in
+  let cat = Catalog.create ~name in
+  let errs = ref [] in
+  let report file index reason =
+    errs := { Import_error.index; reason = Printf.sprintf "%s: %s" file reason } :: !errs
   in
-  let cat =
-    load ~name
-      (List.map
-         (fun f -> (Filename.chop_suffix f ".csv", read_file (Filename.concat dir f)))
-         csvs)
-  in
+  List.iter
+    (fun f ->
+      let rel_name = Filename.chop_suffix f ".csv" in
+      match Csv.read_string (read_file (Filename.concat dir f)) with
+      | [] | [ _ ] -> report f 0 "csv has no data rows"
+      | header :: rows -> (
+          let arity = List.length header in
+          let good = ref [] in
+          List.iteri
+            (fun i row ->
+              if List.length row = arity then good := row :: !good
+              else
+                report f (i + 1)
+                  (Printf.sprintf "ragged row: %d fields, expected %d"
+                     (List.length row) arity))
+            rows;
+          match
+            Csv.relation_of_records ~name:rel_name ~header:true
+              (header :: List.rev !good)
+          with
+          | rel -> Catalog.add cat rel
+          | exception e -> report f 0 (Printexc.to_string e)))
+    csvs;
   let manifest = Filename.concat dir "constraints.txt" in
-  if Sys.file_exists manifest then
-    List.iter (Catalog.declare cat) (parse_constraints (read_file manifest));
-  cat
+  if Sys.file_exists manifest then begin
+    let cs, bad = parse_constraints (read_file manifest) in
+    List.iter (fun (ln, msg) -> report "constraints.txt" ln msg) bad;
+    List.iter
+      (fun c ->
+        match Catalog.declare cat c with
+        | () -> ()
+        | exception e -> report "constraints.txt" 0 (Printexc.to_string e))
+      cs
+  end;
+  (cat, List.rev !errs)
 
 let save_dir cat dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

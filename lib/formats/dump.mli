@@ -3,23 +3,31 @@
     files" import path of §4.1 (Swiss-Prot, GeneOntology, EnsEmbl). *)
 
 open Aladin_relational
+module Import_error = Aladin_resilience.Import_error
 
 val load : name:string -> (string * string) list -> Catalog.t
-(** [(relation_name, csv_with_header)] pairs. *)
+(** [(relation_name, csv_with_header)] pairs. Strict: raises on malformed
+    CSV (library callers wanting tolerance go through {!load_dir} or
+    [Import.import_string]). *)
 
-val load_dir : name:string -> string -> Catalog.t
+val load_dir :
+  name:string -> string -> Catalog.t * Import_error.record_error list
 (** Every [*.csv] in the directory becomes a relation (file basename);
-    [constraints.txt], when present, is parsed with {!parse_constraints}. *)
+    [constraints.txt], when present, is parsed with {!parse_constraints}.
+    Tolerant: ragged rows, unloadable relation files, bad constraint
+    lines and constraints over unknown relations are dropped and
+    reported as record errors (the [index] is the row or line number
+    within its file; the [reason] names the file) instead of raising. *)
 
-val parse_constraints : string -> Constraint_def.t list
+val parse_constraints : string -> Constraint_def.t list * (int * string) list
 (** One constraint per line:
     {v
     unique <relation> <attribute>
     pkey <relation> <attribute>
     fkey <src_rel> <src_attr> <dst_rel> <dst_attr>
     v}
-    Blank lines and [#] comments are skipped.
-    @raise Invalid_argument on malformed lines. *)
+    Blank lines and [#] comments are skipped. Malformed lines are
+    returned as [(line_number, message)] diagnostics, not raised. *)
 
 val render_constraints : Constraint_def.t list -> string
 

@@ -2,9 +2,15 @@
 
     "A variety of known import procedures can be used" — this module picks
     the right parser from content, so a source directory can be ingested
-    without telling ALADIN what is inside. *)
+    without telling ALADIN what is inside.
+
+    Importers never raise: the result carries either a partial-but-usable
+    catalog (bad records collected as {!Aladin_resilience.Import_error}
+    record errors) or a typed whole-source error. The warehouse folds
+    record errors into the run report's import step as warnings. *)
 
 open Aladin_relational
+module Import_error = Aladin_resilience.Import_error
 
 type format = Swissprot_flat | Embl_flat | Genbank_flat | Fasta_format | Obo_format | Pdb_format | Xml_format | Csv_dump
 
@@ -13,9 +19,29 @@ val format_name : format -> string
 val sniff : string -> format option
 (** Guess the format of a document from its first lines. *)
 
-val import_string : name:string -> string -> Catalog.t
-(** Import a document of any recognizable format.
-    @raise Invalid_argument when the format cannot be sniffed. *)
+type import = {
+  catalog : Catalog.t;
+  record_errors : Import_error.record_error list;
+      (** records (or CSV rows) that could not be parsed and were dropped;
+          [index] counts records in document order (for CSV, the header
+          row is record 0) *)
+}
 
-val import_path : name:string -> string -> Catalog.t
-(** A directory is loaded as a CSV dump; a file is sniffed and parsed. *)
+val import_string : name:string -> string -> (import, Import_error.t) result
+(** Import a document of any recognizable format. [Error] when the format
+    cannot be sniffed ([Unrecognized]) or nothing at all parses
+    ([Parse]); otherwise a catalog plus the per-record errors recovered
+    along the way. Never raises. *)
+
+val import_path : name:string -> string -> (import, Import_error.t) result
+(** A directory is loaded as a CSV dump; a file is sniffed and parsed.
+    Unreadable paths yield [Error] with kind [Io]. Never raises. *)
+
+val import_string_exn : name:string -> string -> Catalog.t
+(** @deprecated Legacy raising shim over {!import_string}; record errors
+    are silently dropped.
+    @raise Invalid_argument on any import error. *)
+
+val import_path_exn : name:string -> string -> Catalog.t
+(** @deprecated Legacy raising shim over {!import_path}.
+    @raise Invalid_argument on any import error. *)

@@ -1,6 +1,7 @@
 open Aladin_relational
 open Aladin_discovery
 open Aladin_links
+module Run_report = Aladin_resilience.Run_report
 
 type source_record = {
   source : string;
@@ -16,10 +17,12 @@ type t = {
   mutable link_store : Link.t list;
   mutable corr_store : Xref_disc.correspondence list;
   mutable prov_store : string option;
+  mutable report_store : Run_report.t list; (* latest per source, reversed *)
 }
 
 let create () =
-  { source_records = []; link_store = []; corr_store = []; prov_store = None }
+  { source_records = []; link_store = []; corr_store = []; prov_store = None;
+    report_store = [] }
 
 let record_of_profile (sp : Source_profile.t) =
   let catalog = Profile.catalog sp.profile in
@@ -75,6 +78,18 @@ let correspondences t = t.corr_store
 let set_provenance t doc = t.prov_store <- Some doc
 
 let provenance t = t.prov_store
+
+let set_run_report t (r : Run_report.t) =
+  t.report_store <-
+    r
+    :: List.filter
+         (fun (r' : Run_report.t) -> r'.source <> r.source)
+         t.report_store
+
+let run_reports t = List.rev t.report_store
+
+let run_report t source =
+  List.find_opt (fun (r : Run_report.t) -> r.source = source) t.report_store
 
 (* --- serialization --- *)
 
@@ -155,6 +170,9 @@ let save t =
           c.dst_relation; c.dst_attribute; string_of_int c.matches;
           Serial.float_to_string c.match_frac; string_of_bool c.encoded ])
     t.corr_store;
+  List.iter
+    (fun r -> line [ "runreport"; Run_report.serialize r ])
+    (List.rev t.report_store);
   (match t.prov_store with
   | Some doc -> line [ "provenance"; doc ]
   | None -> ());
@@ -166,12 +184,13 @@ type loading = {
   mutable loaded_links : Link.t list;
   mutable loaded_corrs : Xref_disc.correspondence list;
   mutable loaded_prov : string option;
+  mutable loaded_reports : Run_report.t list;
 }
 
 let load doc =
   let st =
     { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [];
-      loaded_prov = None }
+      loaded_prov = None; loaded_reports = [] }
   in
   let flush () =
     match st.cur with
@@ -257,6 +276,11 @@ let load doc =
                 match_frac = Serial.float_of_string_exn frac;
                 encoded = bool_of_string encoded }
               :: st.loaded_corrs
+        | [ "runreport"; doc ] ->
+            flush ();
+            (match Run_report.deserialize doc with
+            | Some r -> st.loaded_reports <- r :: st.loaded_reports
+            | None -> invalid_arg "Repository.load: bad run report")
         | [ "provenance"; prov ] ->
             flush ();
             st.loaded_prov <- Some prov
@@ -271,6 +295,7 @@ let load doc =
     link_store = List.rev st.loaded_links;
     corr_store = List.rev st.loaded_corrs;
     prov_store = st.loaded_prov;
+    report_store = st.loaded_reports;
   }
 
 let stats_summary t =

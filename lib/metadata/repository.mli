@@ -62,6 +62,16 @@ val set_provenance : t -> string -> unit
 
 val provenance : t -> string option
 
+val set_run_report : t -> Aladin_resilience.Run_report.t -> unit
+(** Store the typed run report of a source's latest pipeline run next to
+    the trace (replacing any previous report for the same source);
+    persisted by {!save}/{!load}. *)
+
+val run_reports : t -> Aladin_resilience.Run_report.t list
+(** Latest report per source, most recent last. *)
+
+val run_report : t -> string -> Aladin_resilience.Run_report.t option
+
 val save : t -> string
 
 val load : string -> t

@@ -188,6 +188,12 @@ let ambient_span_timed ?attrs sname f =
       | Some t -> timed_span t ?attrs sname f
       | None -> Clock.timed f)
 
+let ambient_add_attr k v =
+  match Domain.DLS.get buffer_key with
+  | Some b -> (
+      match b.bstack with sp :: _ -> Span.add_attr sp k v | [] -> ())
+  | None -> ( match !current with Some t -> add_attr t k v | None -> ())
+
 let ambient_incr ?by cname =
   match Domain.DLS.get buffer_key with
   | Some b -> Counter.incr ?by (buf_counter b cname)

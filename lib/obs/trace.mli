@@ -77,6 +77,12 @@ val ambient_span_timed :
 (** Like {!ambient_span} but always returns the wall-clock duration, with
     or without an ambient trace. *)
 
+val ambient_add_attr : string -> string -> unit
+(** {!add_attr} on the innermost open span of the ambient trace (or the
+    active per-domain buffer); no-op when nothing is recording. Used to
+    stamp a span with its resilience [status] ("ok", "skipped",
+    "failed", ...) after the body ran. *)
+
 val ambient_incr : ?by:int -> string -> unit
 
 val ambient_observe : string -> float -> unit

@@ -1,6 +1,7 @@
 module Trace = Aladin_obs.Trace
 module Span = Aladin_obs.Span
 module Clock = Aladin_obs.Clock
+module Budget = Aladin_resilience.Budget
 
 (* One batch = one parallel_map call. Items are claimed with an atomic
    cursor (dynamic load balancing); [completed] counts items finished so
@@ -22,7 +23,15 @@ type t = {
    fan-out from inside a task would deadlock the fixed-size pool *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let run_sequential f xs = List.map f xs
+(* the per-item Budget.check is the cooperative-cancellation poll point:
+   an expired step budget stops the fan-out at the next item instead of
+   letting stragglers run to completion *)
+let run_sequential f xs =
+  List.map
+    (fun x ->
+      Budget.check ();
+      f x)
+    xs
 
 let size t = if t.stopped then 1 else t.domains
 
@@ -130,7 +139,10 @@ let run_parallel t f input =
   let completed = Atomic.make 0 in
   let run_item i =
     if Atomic.get error = None then
-      match f input.(i) with
+      match
+        Budget.check ();
+        f input.(i)
+      with
       | v -> out.(i) <- Some v
       | exception e -> ignore (Atomic.compare_and_set error None (Some e))
   in

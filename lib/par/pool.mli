@@ -49,6 +49,13 @@ val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
     input order. The first exception raised by [f] is re-raised in the
     caller (remaining items are drained without running [f]); the pool
     stays usable.
+
+    {b Cooperative cancellation.} Before each item, every participating
+    domain polls [Aladin_resilience.Budget.check]; when the enclosing
+    step's wall-clock budget has expired, the fan-out stops claiming
+    work and [Budget.Expired] is re-raised in the caller through the
+    normal first-exception path. The sequential fallback polls the same
+    way, so a budget behaves identically at any pool size.
     @raise Invalid_argument when called from inside a pool task (nested
     fan-out would deadlock the fixed-size pool). *)
 
@@ -56,8 +63,9 @@ val parallel_filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
 (** [List.filter_map f xs] with {!parallel_map}'s contract. *)
 
 val run_sequential : ('a -> 'b) -> 'a list -> 'b list
-(** The sequential fallback ([List.map]); what every [parallel_*] function
-    runs when [size t <= 1]. Exposed so callers can be explicit. *)
+(** The sequential fallback ([List.map] with the same per-item budget
+    poll); what every [parallel_*] function runs when [size t <= 1].
+    Exposed so callers can be explicit. *)
 
 val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!parallel_map} when a pool is given, {!run_sequential} otherwise —

@@ -1,0 +1,15 @@
+let protect ~step ?budget f =
+  let body () =
+    match budget with
+    | Some b -> Budget.with_budget ~step b f
+    | None -> f ()
+  in
+  match body () with
+  | v -> Ok v
+  | exception Budget.Expired (_, b) -> Error (Run_report.Timeout b)
+  | exception e -> Error (Run_report.Crashed (Printexc.to_string e))
+
+let status_of = function
+  | Ok _ -> "ok"
+  | Error (Run_report.Timeout _) -> "timeout"
+  | Error (Run_report.Crashed _) -> "failed"

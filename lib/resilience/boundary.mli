@@ -1,0 +1,25 @@
+(** Error boundaries around pipeline steps.
+
+    [protect] is how the warehouse keeps one failing step from killing
+    the whole run: every exception the step raises — including a
+    {!Budget.Expired} from the cooperative-cancellation machinery — is
+    captured as a typed {!Run_report.error} instead of propagating. The
+    caller decides what the error means (quarantine the source, skip the
+    pass, continue degraded) and records the decision in the run
+    report. *)
+
+val protect :
+  step:string ->
+  ?budget:float ->
+  (unit -> 'a) ->
+  ('a, Run_report.error) result
+(** Run the body inside an error boundary.
+
+    With [budget] (seconds), the body runs under
+    {!Budget.with_budget}; a budget [<= 0] expires before the body does
+    any work. Budget expiry maps to [Error (Timeout budget)]; any other
+    exception maps to [Error (Crashed msg)] with the printed
+    exception. The boundary never raises. *)
+
+val status_of : ('a, Run_report.error) result -> string
+(** Span-attribute value for the result: ["ok" | "timeout" | "failed"]. *)

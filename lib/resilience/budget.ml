@@ -1,0 +1,30 @@
+module Clock = Aladin_obs.Clock
+
+exception Expired of string * float
+
+type slot = { step : string; budget : float; deadline : float }
+
+(* one active budget, visible to every domain of a pool fan-out *)
+let current : slot option Atomic.t = Atomic.make None
+
+let active () = Option.map (fun s -> s.step) (Atomic.get current)
+
+let remaining () =
+  Option.map (fun s -> s.deadline -. Clock.now ()) (Atomic.get current)
+
+let check () =
+  match Atomic.get current with
+  | Some s when Clock.now () > s.deadline -> raise (Expired (s.step, s.budget))
+  | Some _ | None -> ()
+
+let with_budget ~step seconds f =
+  let deadline =
+    if seconds <= 0.0 then Float.neg_infinity else Clock.now () +. seconds
+  in
+  let prev = Atomic.get current in
+  Atomic.set current (Some { step; budget = seconds; deadline });
+  Fun.protect
+    ~finally:(fun () -> Atomic.set current prev)
+    (fun () ->
+      check ();
+      f ())

@@ -1,0 +1,36 @@
+(** Cooperative wall-clock budgets for pipeline steps.
+
+    A budget is a deadline installed for the dynamic extent of one step.
+    Long-running code — in particular every item of an
+    [Aladin_par.Pool] fan-out — polls {!check}; once the deadline has
+    passed, {!Expired} is raised and rides the normal exception path out
+    of the step, where an error boundary ({!Boundary.protect}) turns it
+    into a typed outcome.
+
+    The deadline lives in an [Atomic.t] so worker domains spawned by the
+    pool observe the same deadline as the domain that installed it.
+    Budgets do not nest: installing one while another is active shadows
+    the outer one until the inner step returns (the outer deadline is
+    restored afterwards). *)
+
+exception Expired of string * float
+(** [Expired (step, budget_seconds)]: the named step exceeded its
+    wall-clock budget. *)
+
+val with_budget : step:string -> float -> (unit -> 'a) -> 'a
+(** Run the body under a deadline of [seconds] from now on the
+    {!Aladin_obs.Clock} wall clock. A budget [<= 0] expires immediately
+    (before the body runs any work item). The previous budget, if any,
+    is restored when the body returns or raises.
+    @raise Expired when the budget is already exhausted on entry. *)
+
+val check : unit -> unit
+(** Poll the active budget; a cheap no-op when none is installed.
+    @raise Expired when the active deadline has passed. *)
+
+val active : unit -> string option
+(** Name of the step whose budget is installed, if any. *)
+
+val remaining : unit -> float option
+(** Seconds until the active deadline (negative once expired); [None]
+    when no budget is installed. *)

@@ -1,0 +1,18 @@
+type record_error = { index : int; reason : string }
+
+type kind = Unrecognized | Parse | Io
+
+type t = { source : string; kind : kind; detail : string }
+
+let make ~source ~kind detail = { source; kind; detail }
+
+let kind_name = function
+  | Unrecognized -> "unrecognized"
+  | Parse -> "parse"
+  | Io -> "io"
+
+let to_string e =
+  Printf.sprintf "%s: %s error: %s" e.source (kind_name e.kind) e.detail
+
+let record_error_to_string r =
+  Printf.sprintf "record %d: %s" r.index r.reason

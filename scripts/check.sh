@@ -12,6 +12,10 @@
 #     must go through Aladin_par.Pool (lib/par/), which owns the only
 #     domain/lock lifecycle in the tree. Ad-hoc domains elsewhere would
 #     undermine the determinism and trace-buffer contracts.
+#   - failwith / invalid_arg in the pipeline path (lib/formats importers,
+#     the warehouse/config/system layer): failures there must flow
+#     through the typed resilience API (results, Run_report), not
+#     exceptions. The deprecated raising shims are marked DEPRECATED-OK.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,6 +33,15 @@ if grep -rnE 'Domain\.spawn|Mutex\.create|Condition\.create' lib bin bench \
 fi
 echo "grep-gate ok: no Domain.spawn/Mutex.create/Condition.create outside lib/par/"
 
+if grep -rnE '\b(failwith|invalid_arg)\b' \
+    lib/formats/import.ml lib/formats/dump.ml \
+    lib/core/warehouse.ml lib/core/config.ml lib/core/aladin_system.ml \
+    2>/dev/null | grep -v 'DEPRECATED-OK'; then
+  echo "error: failwith/invalid_arg in a pipeline path (return a result or use Boundary.protect)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no raising error paths in importers/warehouse/config"
+
 dune build
 dune runtest
 
@@ -43,5 +56,20 @@ if ! diff -u "$q1" "$q2"; then
   exit 1
 fi
 echo "determinism ok: quickstart identical at ALADIN_DOMAINS=1 and 2"
+
+# Fault injection: a corrupted corpus must integrate with degradation
+# recorded (and exit 0), and --strict must turn that into a failure.
+f1=$(mktemp)
+trap 'rm -f "$q1" "$q2" "$f1"' EXIT
+./_build/default/examples/fault_injection.exe > "$f1"
+grep -q "degraded" "$f1" || {
+  echo "error: fault injection run reported no degradation" >&2; exit 1; }
+grep -q "quarantined" "$f1" || {
+  echo "error: fault injection run reported no quarantine" >&2; exit 1; }
+if ./_build/default/examples/fault_injection.exe --strict > /dev/null 2>&1; then
+  echo "error: fault injection with --strict should exit nonzero" >&2
+  exit 1
+fi
+echo "resilience ok: faults degrade gracefully, --strict fails the run"
 
 echo "check.sh: all green"

@@ -68,13 +68,25 @@ let warehouse_tests =
           (List.length (Aladin_metadata.Repository.sources repo));
         check Alcotest.bool "correspondences" true
           (Aladin_metadata.Repository.correspondences repo <> []));
-    Alcotest.test_case "timings cover five steps" `Quick (fun () ->
+    Alcotest.test_case "run report covers five steps" `Quick (fun () ->
         let c = Lazy.force small_corpus in
         let w = Warehouse.create () in
         match c.catalogs with
         | first :: _ ->
-            let ts = Warehouse.add_source w first in
-            check Alcotest.int "five" 5 (List.length ts)
+            let report = Warehouse.add_source w first in
+            check Alcotest.int "five" 5 (List.length report.steps);
+            check
+              Alcotest.(list string)
+              "step names"
+              [ "import"; "primary discovery"; "secondary discovery";
+                "link discovery"; "duplicate detection" ]
+              (List.map
+                 (fun (s : Warehouse.Run_report.step_report) -> s.step)
+                 report.steps);
+            check Alcotest.bool "clean" true
+              (Warehouse.Run_report.is_clean report);
+            check Alcotest.bool "stored in repository" true
+              (Warehouse.run_report w (Catalog.name first) <> None)
         | [] -> Alcotest.fail "no catalogs");
     Alcotest.test_case "incremental equals batch" `Quick (fun () ->
         let c = Lazy.force small_corpus in
@@ -212,7 +224,8 @@ let change_tests =
         | Some cat -> (
             let n = Catalog.total_rows cat in
             match Warehouse.update_source w cat ~changed_rows:n with
-            | `Reanalyzed ts -> check Alcotest.int "timings" 5 (List.length ts)
+            | `Reanalyzed (r : Warehouse.Run_report.t) ->
+                check Alcotest.int "steps" 5 (List.length r.steps)
             | `Deferred -> Alcotest.fail "should reanalyze"));
   ]
 
@@ -223,9 +236,14 @@ let system_tests =
         let oc = open_out path in
         output_string oc ">Q1 test\nACGTACGT\n";
         close_out oc;
-        let cat = Aladin_system.import_file path in
+        let im =
+          match Aladin_system.import_file path with
+          | Ok im -> im
+          | Error e -> Alcotest.fail (Aladin_system.Import_error.to_string e)
+        in
         Sys.remove path;
-        check Alcotest.bool "entry" true (Catalog.mem cat "entry"));
+        check Alcotest.bool "entry" true (Catalog.mem im.catalog "entry");
+        check Alcotest.int "no record errors" 0 (List.length im.record_errors));
     Alcotest.test_case "integrate_paths" `Quick (fun () ->
         let path = Filename.temp_file "aladin" ".fasta" in
         let oc = open_out path in
@@ -386,11 +404,16 @@ let link_query_warehouse_tests =
         | [] -> Alcotest.fail "no links");
   ]
 
+let config_ok doc =
+  match Config.of_string doc with
+  | Ok cfg -> cfg
+  | Error msg -> Alcotest.fail ("unexpected config error: " ^ msg)
+
 let config_tests =
   [
     Alcotest.test_case "of_string overrides" `Quick (fun () ->
         let cfg =
-          Config.of_string
+          config_ok
             "# comment\naccession.min_length = 6\ndup.min_similarity = 0.9\nlinks.enable_text = false\n"
         in
         check Alcotest.int "min_length" 6 cfg.accession.min_length;
@@ -400,19 +423,40 @@ let config_tests =
         check Alcotest.int "path len" Config.default.max_path_len cfg.max_path_len);
     Alcotest.test_case "unknown key rejected" `Quick (fun () ->
         match Config.of_string "nonsense.key = 1" with
-        | exception Invalid_argument _ -> ()
-        | _ -> Alcotest.fail "no error");
-    Alcotest.test_case "bad value rejected" `Quick (fun () ->
-        match Config.of_string "accession.min_length = soon" with
-        | exception Invalid_argument _ -> ()
-        | _ -> Alcotest.fail "no error");
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "no error");
+    Alcotest.test_case "bad value reported with line number" `Quick (fun () ->
+        match Config.of_string "domains = 2\naccession.min_length = soon" with
+        | Error msg ->
+            check Alcotest.bool "mentions line 2" true
+              (Aladin_text.Strdist.contains ~needle:"line 2" msg)
+        | Ok _ -> Alcotest.fail "no error");
     Alcotest.test_case "to_string/of_string roundtrip" `Quick (fun () ->
         let cfg =
           { Config.default with max_path_len = 9; change_threshold = 0.25 }
         in
-        let cfg2 = Config.of_string (Config.to_string cfg) in
+        let cfg2 = config_ok (Config.to_string cfg) in
         check Alcotest.int "path len" 9 cfg2.max_path_len;
         check (Alcotest.float 0.001) "threshold" 0.25 cfg2.change_threshold);
+    Alcotest.test_case "budget keys parse" `Quick (fun () ->
+        let cfg =
+          config_ok "budget.links.seq = 0\nbudget.links = 2.5\nbudget.dups = none"
+        in
+        check Alcotest.bool "seq zero" true (cfg.budgets.seq_pass = Some 0.0);
+        check Alcotest.bool "links set" true (cfg.budgets.links = Some 2.5);
+        check Alcotest.bool "dups off" true (cfg.budgets.dups = None));
+    Alcotest.test_case "budgets roundtrip" `Quick (fun () ->
+        let cfg =
+          { Config.default with
+            budgets = { Config.no_budgets with primary = Some 1.5 } }
+        in
+        let cfg2 = config_ok (Config.to_string cfg) in
+        check Alcotest.bool "primary" true (cfg2.budgets.primary = Some 1.5);
+        check Alcotest.bool "secondary" true (cfg2.budgets.secondary = None));
+    Alcotest.test_case "bad budget rejected" `Quick (fun () ->
+        match Config.of_string "budget.links = fast" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "no error");
   ]
 
 let shell_tests =

@@ -434,14 +434,16 @@ let dump_tests =
                 dst_attribute = "b" } ]
         in
         check Alcotest.bool "roundtrip" true
-          (Dump.parse_constraints (Dump.render_constraints cs) = cs));
+          (Dump.parse_constraints (Dump.render_constraints cs) = (cs, [])));
     Alcotest.test_case "comments skipped" `Quick (fun () ->
-        check Alcotest.int "none" 0
-          (List.length (Dump.parse_constraints "# a comment\n\n")));
-    Alcotest.test_case "bad line raises" `Quick (fun () ->
+        check Alcotest.bool "none" true
+          (Dump.parse_constraints "# a comment\n\n" = ([], [])));
+    Alcotest.test_case "bad line reported, not raised" `Quick (fun () ->
         match Dump.parse_constraints "nonsense line here extra tokens yes" with
-        | exception Invalid_argument _ -> ()
-        | _ -> Alcotest.fail "no error");
+        | [], [ (1, reason) ] ->
+            check Alcotest.bool "reason" true
+              (Aladin_text.Strdist.contains ~needle:"constraint" reason)
+        | _ -> Alcotest.fail "expected one reported bad line");
     Alcotest.test_case "load from strings" `Quick (fun () ->
         let cat = Dump.load ~name:"s" [ ("t", "a,b\n1,x\n2,y\n") ] in
         check Alcotest.int "rows" 2 (Relation.cardinality (Catalog.find_exn cat "t")));
@@ -451,7 +453,8 @@ let dump_tests =
         let cat = Dump.load ~name:"s" [ ("t", "a,b\n1,x\n") ] in
         Catalog.declare cat (Constraint_def.Unique { relation = "t"; attribute = "a" });
         Dump.save_dir cat dir;
-        let cat2 = Dump.load_dir ~name:"s2" dir in
+        let cat2, errs = Dump.load_dir ~name:"s2" dir in
+        check Alcotest.int "no report" 0 (List.length errs);
         check Alcotest.int "rows" 1 (Relation.cardinality (Catalog.find_exn cat2 "t"));
         check Alcotest.int "constraints" 1 (List.length (Catalog.constraints cat2)));
   ]
@@ -469,10 +472,20 @@ let import_tests =
         check Alcotest.bool "csv" true (fmt "a,b\n1,2\n" = Some Import.Csv_dump);
         check Alcotest.bool "unknown" true (fmt "" = None));
     Alcotest.test_case "import_string dispatches" `Quick (fun () ->
-        let cat = Import.import_string ~name:"x" ">A d\nACGT\n" in
-        check Alcotest.bool "entry table" true (Catalog.mem cat "entry"));
-    Alcotest.test_case "unsniffable raises" `Quick (fun () ->
+        match Import.import_string ~name:"x" ">A d\nACGT\n" with
+        | Ok im ->
+            check Alcotest.bool "entry table" true (Catalog.mem im.catalog "entry");
+            check Alcotest.int "no record errors" 0
+              (List.length im.record_errors)
+        | Error e -> Alcotest.fail (Import.Import_error.to_string e));
+    Alcotest.test_case "unsniffable is a typed error" `Quick (fun () ->
         match Import.import_string ~name:"x" "" with
+        | Error e ->
+            check Alcotest.bool "unrecognized" true
+              (e.kind = Import.Import_error.Unrecognized)
+        | Ok _ -> Alcotest.fail "no error");
+    Alcotest.test_case "deprecated exn shim still raises" `Quick (fun () ->
+        match Import.import_string_exn ~name:"x" "" with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "no error");
   ]

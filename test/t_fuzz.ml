@@ -52,6 +52,74 @@ let fuzz_tests =
     no_crash "dump constraints total" 300 textish (fun s -> Dump.parse_constraints s);
   ]
 
+(* --- the result-returning import API: NO exception is acceptable --- *)
+
+let never_raises name count gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count gen (fun input ->
+         match f input with Ok _ | Error _ -> true))
+
+let import_api_fuzz =
+  [
+    never_raises "import_string total on garbage" 500 textish (fun s ->
+        Import.import_string ~name:"fuzz" s);
+    never_raises "run report deserialize total" 300 textish (fun s ->
+        match Aladin_resilience.Run_report.deserialize s with
+        | Some r -> Ok r
+        | None -> Error ());
+  ]
+
+(* --- truncation and corruption of real documents, per importer ---
+
+   Each valid sample is cut at arbitrary byte offsets and fed through the
+   result-based importer: every outcome must be an [Ok] (possibly with
+   recovered record errors) or a typed [Error] — never an exception. *)
+
+let truncated name doc =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:(name ^ " truncated never raises") ~count:120
+       QCheck.(int_bound (String.length doc))
+       (fun cut ->
+         match Import.import_string ~name (String.sub doc 0 cut) with
+         | Ok _ | Error _ -> true))
+
+let check = Alcotest.check
+
+module Import_error = Aladin_resilience.Import_error
+
+let sample_csv = "id,name,organism\nP1,kinase,human\nP2,lyase,mouse\n"
+
+let ragged_csv = "id,name,organism\nP1,kinase,human\nP2,lyase\nP3,ligase,yeast\n"
+
+let importer_robustness =
+  [
+    truncated "swissprot" T_formats.sample_swissprot;
+    truncated "embl" T_formats.embl_sample;
+    truncated "genbank" T_formats.genbank_sample;
+    truncated "fasta" ">A1 first\nACGTACGT\n>B2 second\nTTTTCCCC\n";
+    truncated "obo" T_formats.obo_sample;
+    truncated "pdb" T_formats.pdb_sample;
+    truncated "csv" sample_csv;
+    Alcotest.test_case "csv ragged row becomes record error" `Quick (fun () ->
+        match Import.import_string ~name:"csv" ragged_csv with
+        | Ok im ->
+            check Alcotest.int "one record error" 1
+              (List.length im.record_errors);
+            check Alcotest.int "two rows kept" 2
+              (Aladin_relational.Catalog.total_rows im.catalog)
+        | Error e -> Alcotest.fail (Import_error.to_string e));
+    Alcotest.test_case "unrecognized input is a typed error" `Quick (fun () ->
+        match Import.import_string ~name:"junk" "\000\001\002 nothing" with
+        | Error e ->
+            check Alcotest.bool "unrecognized" true
+              (e.kind = Import_error.Unrecognized)
+        | Ok _ -> Alcotest.fail "garbage imported");
+    Alcotest.test_case "empty input is a typed error" `Quick (fun () ->
+        match Import.import_string ~name:"empty" "" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "empty imported");
+  ]
+
 (* structural property: render . parse = id on generated XML trees *)
 let xml_gen =
   let open QCheck.Gen in
@@ -111,4 +179,8 @@ let roundtrip_tests =
            normalize (Xml.parse (Xml.render tree)) = normalize tree));
   ]
 
-let tests = [ ("fuzz.parsers", fuzz_tests); ("fuzz.xml_roundtrip", roundtrip_tests) ]
+let tests =
+  [ ("fuzz.parsers", fuzz_tests);
+    ("fuzz.import_api", import_api_fuzz);
+    ("fuzz.importer_robustness", importer_robustness);
+    ("fuzz.xml_roundtrip", roundtrip_tests) ]

@@ -188,8 +188,8 @@ let pipeline_tests =
       (let w = Aladin.Warehouse.create () in
        match (Lazy.force corpus).catalogs with
        | first :: _ ->
-           let timings = Aladin.Warehouse.add_source w first in
-           (w, timings)
+           let report = Aladin.Warehouse.add_source w first in
+           (w, report)
        | [] -> Alcotest.fail "no catalogs")
   in
   [
@@ -211,15 +211,30 @@ let pipeline_tests =
                   true
                   (Span.duration sp >= 0.0))
               (Trace.roots tr));
-    Alcotest.test_case "timings mirror the spans" `Quick (fun () ->
-        let _, timings = Lazy.force traced in
-        check Alcotest.int "five" 5 (List.length timings);
+    Alcotest.test_case "run report mirrors the spans" `Quick (fun () ->
+        let _, report = Lazy.force traced in
+        check Alcotest.int "five" 5 (List.length report.steps);
         List.iter
-          (fun (t : Aladin.Warehouse.timing) ->
-            check Alcotest.bool
-              (Aladin.Warehouse.step_name t.step ^ " >= 0")
-              true (t.seconds >= 0.0))
-          timings);
+          (fun (s : Aladin.Warehouse.Run_report.step_report) ->
+            check Alcotest.bool (s.step ^ " >= 0") true (s.seconds >= 0.0);
+            check Alcotest.bool (s.step ^ " clean") true
+              (Aladin.Warehouse.Run_report.outcome_clean s.outcome))
+          report.steps);
+    Alcotest.test_case "spans carry a status attribute" `Quick (fun () ->
+        let w, _ = Lazy.force traced in
+        match Aladin.Warehouse.last_trace w with
+        | None -> Alcotest.fail "no trace"
+        | Some tr ->
+            List.iter
+              (fun sp ->
+                check
+                  Alcotest.(option string)
+                  (Span.name sp ^ " status")
+                  (Some "ok")
+                  (List.assoc_opt "status" (Span.attrs sp)))
+              (List.filter
+                 (fun sp -> Span.name sp <> "import")
+                 (Trace.roots tr)));
     Alcotest.test_case "link discovery has child pass spans" `Quick (fun () ->
         let w, _ = Lazy.force traced in
         match Aladin.Warehouse.last_trace w with

@@ -1,0 +1,333 @@
+(* The resilience subsystem and its integration into the pipeline:
+   budgets, error boundaries, typed run reports, quarantine. *)
+
+open Aladin
+open Aladin_resilience
+
+let check = Alcotest.check
+
+let small_corpus =
+  lazy
+    (Aladin_datagen.Corpus.generate
+       {
+         Aladin_datagen.Corpus.default_params with
+         universe =
+           { Aladin_datagen.Universe.default_params with n_proteins = 20;
+             n_genes = 8; n_structures = 6; n_diseases = 3; n_terms = 6;
+             n_families = 3 };
+       })
+
+let budget_tests =
+  [
+    Alcotest.test_case "active inside, cleared outside" `Quick (fun () ->
+        check Alcotest.(option string) "outside" None (Budget.active ());
+        let inside =
+          Budget.with_budget ~step:"s" 60.0 (fun () -> Budget.active ())
+        in
+        check Alcotest.(option string) "inside" (Some "s") inside;
+        check Alcotest.(option string) "restored" None (Budget.active ()));
+    Alcotest.test_case "zero budget expires on entry" `Quick (fun () ->
+        match Budget.with_budget ~step:"z" 0.0 (fun () -> ()) with
+        | () -> Alcotest.fail "no expiry"
+        | exception Budget.Expired (step, b) ->
+            check Alcotest.string "step" "z" step;
+            check (Alcotest.float 0.0) "budget" 0.0 b);
+    Alcotest.test_case "generous budget lets the body run" `Quick (fun () ->
+        check Alcotest.int "ran" 41
+          (Budget.with_budget ~step:"g" 3600.0 (fun () -> 41)));
+    Alcotest.test_case "remaining is positive under a fresh budget" `Quick
+      (fun () ->
+        Budget.with_budget ~step:"r" 3600.0 (fun () ->
+            match Budget.remaining () with
+            | Some r -> check Alcotest.bool "positive" true (r > 0.0)
+            | None -> Alcotest.fail "no budget"));
+    Alcotest.test_case "inner budget shadows, outer restored" `Quick (fun () ->
+        Budget.with_budget ~step:"outer" 3600.0 (fun () ->
+            (match
+               Boundary.protect ~step:"inner" ~budget:0.0 (fun () -> ())
+             with
+            | Error (Run_report.Timeout _) -> ()
+            | Ok () | Error _ -> Alcotest.fail "inner should time out");
+            check Alcotest.(option string) "outer back" (Some "outer")
+              (Budget.active ())));
+  ]
+
+let boundary_tests =
+  [
+    Alcotest.test_case "ok passes through" `Quick (fun () ->
+        match Boundary.protect ~step:"s" (fun () -> 7) with
+        | Ok 7 -> ()
+        | _ -> Alcotest.fail "not ok");
+    Alcotest.test_case "exception becomes Crashed" `Quick (fun () ->
+        match Boundary.protect ~step:"s" (fun () -> failwith "boom") with
+        | Error (Run_report.Crashed msg) ->
+            check Alcotest.bool "message kept" true
+              (Aladin_text.Strdist.contains ~needle:"boom" msg)
+        | _ -> Alcotest.fail "not crashed");
+    Alcotest.test_case "zero budget becomes Timeout" `Quick (fun () ->
+        match Boundary.protect ~step:"s" ~budget:0.0 (fun () -> ()) with
+        | Error (Run_report.Timeout b) -> check (Alcotest.float 0.0) "b" 0.0 b
+        | _ -> Alcotest.fail "not a timeout");
+    Alcotest.test_case "status names" `Quick (fun () ->
+        check Alcotest.string "ok" "ok" (Boundary.status_of (Ok ()));
+        check Alcotest.string "timeout" "timeout"
+          (Boundary.status_of (Error (Run_report.Timeout 1.0)));
+        check Alcotest.string "failed" "failed"
+          (Boundary.status_of (Error (Run_report.Crashed "x"))));
+  ]
+
+let sample_report =
+  {
+    Run_report.source = "src\twith\nodd chars";
+    quarantined = false;
+    steps =
+      [
+        Run_report.step "import"
+          (Run_report.Degraded
+             [ { code = "record_error"; detail = "record 3: bad\tfield" } ]);
+        Run_report.step ~seconds:1.25 "primary discovery" Run_report.Ok;
+        Run_report.step "secondary discovery"
+          (Run_report.Skipped (Run_report.Budget_exhausted 0.5));
+        Run_report.step ~seconds:0.5
+          ~children:
+            [
+              Run_report.step "xref pass" Run_report.Ok;
+              Run_report.step "seq pass"
+                (Run_report.Skipped Run_report.Budget_zero);
+              Run_report.step "text pass"
+                (Run_report.Skipped Run_report.Disabled);
+              Run_report.step "onto pass"
+                (Run_report.Failed (Run_report.Crashed "onto: bad term"));
+            ]
+          "link discovery"
+          (Run_report.Degraded [ { code = "seq pass"; detail = "budget" } ]);
+        Run_report.step "duplicate detection"
+          (Run_report.Failed (Run_report.Timeout 2.0));
+      ];
+  }
+
+let report_tests =
+  [
+    Alcotest.test_case "serialize roundtrip" `Quick (fun () ->
+        match Run_report.deserialize (Run_report.serialize sample_report) with
+        | Some r -> check Alcotest.bool "equal" true (r = sample_report)
+        | None -> Alcotest.fail "did not deserialize");
+    Alcotest.test_case "quarantined roundtrip" `Quick (fun () ->
+        let q = { sample_report with Run_report.quarantined = true } in
+        match Run_report.deserialize (Run_report.serialize q) with
+        | Some r -> check Alcotest.bool "flag kept" true r.quarantined
+        | None -> Alcotest.fail "did not deserialize");
+    Alcotest.test_case "deserialize rejects garbage" `Quick (fun () ->
+        check Alcotest.bool "none" true (Run_report.deserialize "junk" = None));
+    Alcotest.test_case "clean predicate" `Quick (fun () ->
+        check Alcotest.bool "sample not clean" false
+          (Run_report.is_clean sample_report);
+        let clean =
+          {
+            Run_report.source = "s";
+            quarantined = false;
+            steps =
+              [ Run_report.step "a" Run_report.Ok;
+                Run_report.step "b" (Run_report.Skipped Run_report.Disabled) ];
+          }
+        in
+        check Alcotest.bool "ok+disabled clean" true (Run_report.is_clean clean));
+    Alcotest.test_case "find descends into children" `Quick (fun () ->
+        match Run_report.find sample_report "seq pass" with
+        | Some s ->
+            check Alcotest.bool "skipped" true
+              (s.outcome = Run_report.Skipped Run_report.Budget_zero)
+        | None -> Alcotest.fail "not found");
+    Alcotest.test_case "render mentions every outcome" `Quick (fun () ->
+        let doc = Run_report.render sample_report in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool needle true
+              (Aladin_text.Strdist.contains ~needle doc))
+          [ "degraded"; "skipped"; "failed"; "record_error" ]);
+    Alcotest.test_case "repository persists reports" `Quick (fun () ->
+        let repo = Aladin_metadata.Repository.create () in
+        Aladin_metadata.Repository.set_run_report repo sample_report;
+        let reloaded =
+          Aladin_metadata.Repository.load (Aladin_metadata.Repository.save repo)
+        in
+        match Aladin_metadata.Repository.run_reports reloaded with
+        | [ r ] -> check Alcotest.bool "roundtrip" true (r = sample_report)
+        | rs -> Alcotest.fail (Printf.sprintf "%d reports" (List.length rs)));
+    Alcotest.test_case "latest report per source wins" `Quick (fun () ->
+        let repo = Aladin_metadata.Repository.create () in
+        Aladin_metadata.Repository.set_run_report repo sample_report;
+        Aladin_metadata.Repository.set_run_report repo
+          { sample_report with quarantined = true };
+        check Alcotest.int "one" 1
+          (List.length (Aladin_metadata.Repository.run_reports repo)));
+  ]
+
+(* acceptance: a corrupted source in a multi-source integrate is
+   quarantined while every other source integrates fully *)
+let quarantine_tests =
+  [
+    Alcotest.test_case "unimportable source quarantined, rest integrate" `Quick
+      (fun () ->
+        let c = Lazy.force small_corpus in
+        let w = Warehouse.create () in
+        (match
+           Aladin_formats.Import.import_string ~name:"garbage"
+             "\000\001 not a biological format"
+         with
+        | Error err ->
+            ignore (Warehouse.report_import_failure w ~source:"garbage" err)
+        | Ok _ -> Alcotest.fail "garbage imported");
+        List.iter (fun cat -> ignore (Warehouse.add_source w cat)) c.catalogs;
+        (* the bad source is reported but not in the warehouse *)
+        check Alcotest.bool "not a source" false
+          (List.mem "garbage" (Warehouse.sources w));
+        (match Warehouse.run_report w "garbage" with
+        | Some r ->
+            check Alcotest.bool "quarantined" true r.quarantined;
+            check Alcotest.bool "import failed" true
+              (match (List.hd r.steps).outcome with
+              | Run_report.Failed _ -> true
+              | _ -> false)
+        | None -> Alcotest.fail "no report for garbage");
+        (* everything else is fully integrated and clean *)
+        check Alcotest.int "all sources in" (List.length c.catalogs)
+          (List.length (Warehouse.sources w));
+        check Alcotest.bool "links found" true (Warehouse.links w <> []);
+        List.iter
+          (fun cat ->
+            let name = Aladin_relational.Catalog.name cat in
+            match Warehouse.run_report w name with
+            | Some r ->
+                check Alcotest.bool (name ^ " clean") true
+                  (Run_report.is_clean r)
+            | None -> Alcotest.fail ("no report for " ^ name))
+          c.catalogs);
+    Alcotest.test_case "failed required step rolls the source back" `Quick
+      (fun () ->
+        let c = Lazy.force small_corpus in
+        let config =
+          { Config.default with
+            budgets = { Config.no_budgets with primary = Some 0.0 } }
+        in
+        let w = Warehouse.create ~config () in
+        let report = Warehouse.add_source w (List.hd c.catalogs) in
+        check Alcotest.bool "quarantined" true report.quarantined;
+        (match Run_report.find report "primary discovery" with
+        | Some s ->
+            check Alcotest.bool "timed out" true
+              (s.outcome = Run_report.Failed (Run_report.Timeout 0.0))
+        | None -> Alcotest.fail "no primary step");
+        (match Run_report.find report "link discovery" with
+        | Some s ->
+            check Alcotest.bool "skipped as dependency" true
+              (match s.outcome with
+              | Run_report.Skipped (Run_report.Dependency_failed _) -> true
+              | _ -> false)
+        | None -> Alcotest.fail "no link step");
+        (* rolled back: the warehouse is untouched *)
+        check Alcotest.int "no sources" 0 (List.length (Warehouse.sources w));
+        check Alcotest.bool "no profile" true
+          (Warehouse.profile w (Aladin_relational.Catalog.name (List.hd c.catalogs))
+          = None));
+  ]
+
+(* acceptance: a zero budget on the homology pass skips exactly that
+   pass; every other pass produces byte-identical output *)
+let budget_zero_tests =
+  [
+    Alcotest.test_case "seq budget 0 skips the pass, rest identical" `Quick
+      (fun () ->
+        let c = Lazy.force small_corpus in
+        let normal = Warehouse.integrate c.catalogs in
+        let throttled =
+          Warehouse.integrate
+            ~config:
+              { Config.default with
+                budgets = { Config.no_budgets with seq_pass = Some 0.0 } }
+            c.catalogs
+        in
+        let keys ~keep_seq w =
+          Warehouse.links w
+          |> List.filter (fun (l : Aladin_links.Link.t) ->
+                 keep_seq || l.kind <> Aladin_links.Link.Seq_similarity)
+          |> List.map (fun (l : Aladin_links.Link.t) ->
+                 Printf.sprintf "%s|%s|%s"
+                   (Aladin_links.Objref.to_string l.src)
+                   (Aladin_links.Objref.to_string l.dst)
+                   (Aladin_links.Link.kind_name l.kind))
+          |> List.sort String.compare
+        in
+        (* the homology pass found something in the normal run ... *)
+        check Alcotest.bool "normal run has seq links" true
+          (List.exists
+             (fun (l : Aladin_links.Link.t) ->
+               l.kind = Aladin_links.Link.Seq_similarity)
+             (Warehouse.links normal));
+        (* ... the throttled run has none ... *)
+        check Alcotest.int "throttled run has no seq links" 0
+          (List.length
+             (List.filter
+                (fun (l : Aladin_links.Link.t) ->
+                  l.kind = Aladin_links.Link.Seq_similarity)
+                (Warehouse.links throttled)));
+        (* ... and everything else is byte-identical *)
+        check
+          Alcotest.(list string)
+          "other links identical"
+          (keys ~keep_seq:false normal)
+          (keys ~keep_seq:true throttled);
+        (* the skip is recorded on every source's report *)
+        List.iter
+          (fun (r : Run_report.t) ->
+            match Run_report.find r "seq pass" with
+            | Some s ->
+                check Alcotest.bool (r.source ^ " seq skipped") true
+                  (s.outcome = Run_report.Skipped Run_report.Budget_zero)
+            | None -> Alcotest.fail ("no seq pass in " ^ r.source))
+          (Warehouse.run_reports throttled));
+    Alcotest.test_case "disabled pass is clean, budget-zero degrades" `Quick
+      (fun () ->
+        let c = Lazy.force small_corpus in
+        let disabled =
+          Warehouse.integrate
+            ~config:
+              { Config.default with
+                linker = { Config.default.linker with enable_seq = false } }
+            c.catalogs
+        in
+        List.iter
+          (fun (r : Run_report.t) ->
+            check Alcotest.bool (r.source ^ " clean") true
+              (Run_report.is_clean r))
+          (Warehouse.run_reports disabled));
+  ]
+
+let import_error_tests =
+  [
+    Alcotest.test_case "to_string carries source and kind" `Quick (fun () ->
+        let e =
+          Import_error.make ~source:"src" ~kind:Import_error.Parse "went wrong"
+        in
+        let s = Import_error.to_string e in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool needle true
+              (Aladin_text.Strdist.contains ~needle s))
+          [ "src"; "parse"; "went wrong" ]);
+    Alcotest.test_case "record error rendering" `Quick (fun () ->
+        let r = { Import_error.index = 4; reason = "short row" } in
+        check Alcotest.bool "index" true
+          (Aladin_text.Strdist.contains ~needle:"4"
+             (Import_error.record_error_to_string r)));
+  ]
+
+let tests =
+  [
+    ("resilience.budget", budget_tests);
+    ("resilience.boundary", boundary_tests);
+    ("resilience.report", report_tests);
+    ("resilience.quarantine", quarantine_tests);
+    ("resilience.budget_zero", budget_zero_tests);
+    ("resilience.import_error", import_error_tests);
+  ]
