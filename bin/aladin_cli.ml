@@ -7,12 +7,16 @@
    aladin query FILE... -s SQL  run SQL over the warehouse
    aladin links FILE...         list discovered links
    aladin trace FILE...         integrate and report the execution trace
-   aladin demo                  integrate a generated synthetic corpus *)
+   aladin demo                  integrate a generated synthetic corpus
+   aladin load DIR              restore a saved warehouse store
+   aladin fsck DIR              verify (or --repair) a warehouse store *)
 
 open Cmdliner
 open Aladin
 module Run_report = Aladin_resilience.Run_report
 module Import_error = Aladin_resilience.Import_error
+module Snapshot = Aladin_store.Snapshot
+module Load_report = Aladin_store.Load_report
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
@@ -100,10 +104,8 @@ let integrate_cmd =
         List.iter (fun r -> print_string (Run_report.render r)) reports;
         (match save with
         | Some path ->
-            let oc = open_out path in
-            output_string oc
+            Aladin_store.Atomic_file.write path
               (Aladin_metadata.Repository.save (Warehouse.repository w));
-            close_out oc;
             Printf.printf "metadata written to %s\n" path
         | None -> ());
         if strict && not (List.for_all Run_report.is_clean reports) then begin
@@ -359,24 +361,104 @@ let shell_cmd =
        ~doc:"Integrate sources and browse them in an interactive shell.")
     Term.(const run $ paths_arg)
 
+(* --- load --- *)
+
+let load_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Warehouse store directory written by 'save' (or demo --save).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Exit nonzero when any store member was salvaged, quarantined \
+                 or missing.")
+  in
+  let reanalyze =
+    Arg.(value & flag & info [ "reanalyze" ]
+           ~doc:"Re-run the five pipeline steps on the restored data instead \
+                 of trusting the saved links and reports.")
+  in
+  let run dir config strict reanalyze =
+    match Warehouse.load_dir ~config:(load_config config) ~reanalyze dir with
+    | w, report ->
+        print_string (Aladin_system.summary w);
+        print_string (Load_report.render report);
+        if strict && not (Load_report.is_clean report) then begin
+          prerr_endline "aladin: load degraded (--strict)";
+          exit 1
+        end
+    | exception Sys_error msg -> die "aladin: %s" msg
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Restore a saved warehouse store, salvaging around any damage;          prints the load report.")
+    Term.(const run $ dir $ config_arg $ strict $ reanalyze)
+
+(* --- fsck --- *)
+
+let fsck_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Warehouse or dump store directory to verify.")
+  in
+  let repair =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"Salvage damaged members record-by-record, quarantine the \
+                 unrecoverable, and commit the result as a fresh consistent \
+                 snapshot.")
+  in
+  let run dir repair =
+    if repair then
+      match Snapshot.repair dir with
+      | Ok report ->
+          print_string (Load_report.render report);
+          if Load_report.is_clean report then
+            print_endline "store is clean, nothing to repair"
+          else print_endline "store repaired"
+      | Error msg -> die "aladin: fsck: %s" msg
+    else
+      match Snapshot.verify dir with
+      | Ok report ->
+          print_string (Load_report.render report);
+          if not (Load_report.is_clean report) then begin
+            prerr_endline "aladin: fsck: store is damaged (--repair to salvage)";
+            exit 1
+          end
+      | Error msg -> die "aladin: fsck: %s" msg
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify a store offline against its manifest checksums: exit            nonzero on damage; --repair salvages and recommits.")
+    Term.(const run $ dir $ repair)
+
 (* --- demo --- *)
 
 let demo_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Corpus seed.")
   in
-  let run seed trace_file =
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
+           ~doc:"Also save the integrated warehouse as a store under $(docv).")
+  in
+  let run seed save trace_file =
     with_trace_file trace_file (fun trace ->
         let corpus =
           Aladin_datagen.Corpus.generate
             { Aladin_datagen.Corpus.default_params with seed }
         in
         let w = Warehouse.integrate ?trace corpus.catalogs in
-        print_string (Aladin_system.summary w))
+        print_string (Aladin_system.summary w);
+        match save with
+        | None -> ()
+        | Some dir -> (
+            match Warehouse.save_dir w dir with
+            | Ok () -> Printf.printf "warehouse saved to %s\n" dir
+            | Error msg -> die "aladin: save: %s" msg))
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Generate a synthetic life-science corpus and integrate it.")
-    Term.(const run $ seed $ trace_file_arg)
+    Term.(const run $ seed $ save $ trace_file_arg)
 
 let () =
   let info =
@@ -388,4 +470,4 @@ let () =
        (Cmd.group info
           [ integrate_cmd; discover_cmd; browse_cmd; search_cmd; query_cmd;
             links_cmd; trace_cmd; profile_cmd; dups_cmd; export_cmd;
-            shell_cmd; demo_cmd ]))
+            shell_cmd; demo_cmd; load_cmd; fsck_cmd ]))

@@ -38,37 +38,61 @@ let filter_links t links =
 let filter_fks t ~source fks =
   List.filter (fun fk -> not (is_fk_rejected t ~source fk)) fks
 
+let sorted_keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare
+
 let save t =
+  (* sorted, so the rendering is a pure function of the rejection set and
+     snapshot re-saves of an unchanged warehouse are byte-identical *)
   let buf = Buffer.create 256 in
   Buffer.add_string buf "aladin-feedback\t1\n";
-  Hashtbl.iter
-    (fun key () ->
+  List.iter
+    (fun key ->
       Buffer.add_string buf
         (Serial.record ("link" :: String.split_on_char '\x00' key));
       Buffer.add_char buf '\n')
-    t.links;
-  Hashtbl.iter
-    (fun key () ->
+    (sorted_keys t.links);
+  List.iter
+    (fun key ->
       Buffer.add_string buf
         (Serial.record ("fk" :: String.split_on_char '\x00' key));
       Buffer.add_char buf '\n')
-    t.fks;
+    (sorted_keys t.fks);
   Buffer.contents buf
+
+let apply_line t line =
+  match Serial.fields line with
+  | "link" :: rest when List.length rest = 3 ->
+      Hashtbl.replace t.links (String.concat "\x00" rest) ()
+  | "fk" :: rest when List.length rest = 5 ->
+      Hashtbl.replace t.fks (String.concat "\x00" rest) ()
+  | _ -> invalid_arg (Printf.sprintf "Feedback.load: bad line %S" line)
+
+let header_fields = [ "aladin-feedback"; "1" ]
 
 let load doc =
   let t = create () in
   let lines = String.split_on_char '\n' doc |> List.filter (( <> ) "") in
   (match lines with
-  | first :: _ when Serial.fields first = [ "aladin-feedback"; "1" ] -> ()
+  | first :: _ when Serial.fields first = header_fields -> ()
   | _ -> invalid_arg "Feedback.load: bad header");
-  List.iteri
-    (fun i line ->
-      if i > 0 then
-        match Serial.fields line with
-        | "link" :: rest when List.length rest = 3 ->
-            Hashtbl.replace t.links (String.concat "\x00" rest) ()
-        | "fk" :: rest when List.length rest = 5 ->
-            Hashtbl.replace t.fks (String.concat "\x00" rest) ()
-        | _ -> invalid_arg (Printf.sprintf "Feedback.load: bad line %S" line))
-    lines;
+  List.iteri (fun i line -> if i > 0 then apply_line t line) lines;
   t
+
+let load_salvaging doc =
+  let t = create () in
+  let dropped = ref 0 in
+  let lines = String.split_on_char '\n' doc |> List.filter (( <> ) "") in
+  let body =
+    match lines with
+    | first :: rest when Serial.fields first = header_fields -> rest
+    | [] -> []
+    | _ :: _ ->
+        incr dropped;
+        lines
+  in
+  List.iter
+    (fun line ->
+      try apply_line t line with Invalid_argument _ -> incr dropped)
+    body;
+  (t, !dropped)

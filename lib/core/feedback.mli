@@ -36,6 +36,12 @@ val filter_links : t -> Link.t list -> Link.t list
 val filter_fks : t -> source:string -> Inclusion.fk list -> Inclusion.fk list
 
 val save : t -> string
+(** Deterministic (sorted) rendering — a pure function of the rejection
+    set, so snapshot re-saves are byte-identical. *)
 
 val load : string -> t
 (** @raise Invalid_argument on malformed input. *)
+
+val load_salvaging : string -> t * int
+(** Tolerant {!load} for storage-salvaged documents: malformed lines are
+    skipped and counted instead of raised on. *)

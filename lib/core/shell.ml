@@ -95,7 +95,8 @@ let reject t n =
 
 let save t dir =
   match Warehouse.save_dir t.w dir with
-  | () -> Printf.sprintf "warehouse saved to %s\n" dir
+  | Ok () -> Printf.sprintf "warehouse saved to %s\n" dir
+  | Error msg -> Printf.sprintf "save failed: %s\n" msg
   | exception Sys_error msg -> Printf.sprintf "save failed: %s\n" msg
 
 let execute t line =

@@ -10,6 +10,8 @@ module Res = Aladin_resilience
 module Run_report = Aladin_resilience.Run_report
 module Import_error = Aladin_resilience.Import_error
 module Report = Run_report
+module Snapshot = Aladin_store.Snapshot
+module Load_report = Aladin_store.Load_report
 
 type t = {
   cfg : Config.t;
@@ -541,74 +543,125 @@ let reject_fk t ~source fk =
   | Some cat -> ignore (add_source t cat)
   | None -> ()
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let read_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let doc = really_input_string ic len in
-  close_in ic;
-  doc
-
 let save_dir t dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  List.iter
-    (fun cat ->
-      Aladin_formats.Dump.save_dir cat (Filename.concat dir (Catalog.name cat)))
-    t.catalog_list;
-  write_file (Filename.concat dir "sources.txt")
-    (String.concat "\n" (sources t) ^ "\n");
-  write_file (Filename.concat dir "metadata.txt") (Repository.save t.repo);
-  write_file (Filename.concat dir "feedback.txt") (Feedback.save t.feedback)
+  let members =
+    List.concat_map
+      (fun cat ->
+        let prefix = Catalog.name cat ^ "/" in
+        List.map
+          (fun (m : Snapshot.member) -> { m with path = prefix ^ m.path })
+          (Aladin_formats.Dump.members_of_catalog cat))
+      t.catalog_list
+    @ [
+        { Snapshot.path = "sources.txt"; kind = Snapshot.Records;
+          content =
+            (match sources t with
+            | [] -> ""
+            | ss -> String.concat "\n" ss ^ "\n") };
+        { Snapshot.path = "metadata.txt"; kind = Snapshot.Records;
+          content = Repository.save t.repo };
+        { Snapshot.path = "feedback.txt"; kind = Snapshot.Records;
+          content = Feedback.save t.feedback };
+      ]
+  in
+  Snapshot.save dir members
+
+(* the source directories present among the member paths, in first-seen
+   (save) order — the fallback when sources.txt itself was lost *)
+let sources_of_members members =
+  List.fold_left
+    (fun acc (m : Snapshot.member) ->
+      match String.index_opt m.path '/' with
+      | Some i ->
+          let s = String.sub m.path 0 i in
+          if List.mem s acc then acc else s :: acc
+      | None -> acc)
+    [] members
+  |> List.rev
 
 let load_dir ?config ?(reanalyze = false) dir =
-  let source_names =
-    read_file (Filename.concat dir "sources.txt")
-    |> String.split_on_char '\n'
-    |> List.filter (( <> ) "")
-  in
-  let catalogs =
-    List.map
-      (fun name ->
-        fst (Aladin_formats.Dump.load_dir ~name (Filename.concat dir name)))
-      source_names
-  in
-  if reanalyze then begin
-    let t = integrate ?config catalogs in
-    let fb_path = Filename.concat dir "feedback.txt" in
-    if Sys.file_exists fb_path then begin
-      let saved = Feedback.load (read_file fb_path) in
-      (* replay persisted rejections into the fresh warehouse *)
-      Repository.set_links t.repo (Feedback.filter_links saved (links t));
-      ignore saved
-    end;
-    t
-  end
-  else begin
-    let t = create ?config () in
-    t.catalog_list <- catalogs;
-    (* profiles are needed for browsing/search; links come from the saved
-       repository, so steps 4-5 are skipped *)
-    List.iter
-      (fun catalog ->
-        let sp = Source_profile.analyze ~inclusion_params:t.cfg.inclusion catalog in
-        t.profile_list <- Profile_list.add t.profile_list sp)
-      catalogs;
-    let meta = Repository.load (read_file (Filename.concat dir "metadata.txt")) in
-    Repository.set_links t.repo (Repository.links meta);
-    Repository.set_correspondences t.repo (Repository.correspondences meta);
-    (match Repository.provenance meta with
-    | Some p -> Repository.set_provenance t.repo p
-    | None -> ());
-    List.iter (Repository.set_run_report t.repo) (Repository.run_reports meta);
-    List.iter
-      (fun catalog ->
-        match Profile_list.find t.profile_list (Catalog.name catalog) with
-        | Some e -> Repository.add_source t.repo e.sp
-        | None -> ())
-      catalogs;
-    t
-  end
+  match Snapshot.load dir with
+  | Error msg -> raise (Sys_error msg)
+  | Ok (members, report) ->
+      let report = ref report in
+      let bump path n = report := Load_report.bump_salvaged !report path n in
+      let source_names =
+        match Snapshot.find members "sources.txt" with
+        | Some doc -> String.split_on_char '\n' doc |> List.filter (( <> ) "")
+        | None -> sources_of_members members
+      in
+      let catalogs =
+        List.filter_map
+          (fun name ->
+            let prefix = name ^ "/" in
+            let plen = String.length prefix in
+            let local =
+              List.filter_map
+                (fun (m : Snapshot.member) ->
+                  if
+                    String.length m.path > plen
+                    && String.sub m.path 0 plen = prefix
+                  then
+                    Some
+                      ( String.sub m.path plen (String.length m.path - plen),
+                        m.content )
+                  else None)
+                members
+            in
+            let cat, errs =
+              Aladin_formats.Dump.catalog_of_members ~name local
+            in
+            (* decode-layer drops (e.g. rows a salvaged CSV lost to raggedness)
+               surface on the member that caused them *)
+            List.iter
+              (fun (e : Import_error.record_error) ->
+                match String.index_opt e.reason ':' with
+                | Some i -> bump (prefix ^ String.sub e.reason 0 i) 1
+                | None -> ())
+              errs;
+            if Catalog.relations cat = [] then None else Some cat)
+          source_names
+      in
+      let feedback_doc = Snapshot.find members "feedback.txt" in
+      if reanalyze then begin
+        let t = integrate ?config catalogs in
+        (match feedback_doc with
+        | Some doc ->
+            let saved, dropped = Feedback.load_salvaging doc in
+            bump "feedback.txt" dropped;
+            (* replay persisted rejections into the fresh warehouse *)
+            Repository.set_links t.repo (Feedback.filter_links saved (links t))
+        | None -> ());
+        (t, !report)
+      end
+      else begin
+        let t = create ?config () in
+        t.catalog_list <- catalogs;
+        (* profiles are needed for browsing/search; links come from the saved
+           repository, so steps 4-5 are skipped *)
+        List.iter
+          (fun catalog ->
+            let sp =
+              Source_profile.analyze ~inclusion_params:t.cfg.inclusion catalog
+            in
+            t.profile_list <- Profile_list.add t.profile_list sp)
+          catalogs;
+        (match Snapshot.find members "metadata.txt" with
+        | Some doc ->
+            let meta, dropped = Repository.load_salvaging doc in
+            bump "metadata.txt" dropped;
+            Repository.set_links t.repo (Repository.links meta);
+            Repository.set_correspondences t.repo (Repository.correspondences meta);
+            (match Repository.provenance meta with
+            | Some p -> Repository.set_provenance t.repo p
+            | None -> ());
+            List.iter (Repository.set_run_report t.repo) (Repository.run_reports meta)
+        | None -> ());
+        List.iter
+          (fun catalog ->
+            match Profile_list.find t.profile_list (Catalog.name catalog) with
+            | Some e -> Repository.add_source t.repo e.sp
+            | None -> ())
+          catalogs;
+        (t, !report)
+      end

@@ -129,15 +129,33 @@ val reject_fk : t -> source:string -> Aladin_discovery.Inclusion.fk -> unit
     without it ("especially false links between relations can be removed
     quickly"). *)
 
-val save_dir : t -> string -> unit
-(** Materialize the warehouse: each source as a CSV dump directory (with
-    its declared constraints), plus [metadata.txt] (the repository) and
-    [feedback.txt]. Creates the directory. *)
+val save_dir : t -> string -> (unit, string) result
+(** Materialize the warehouse as a crash-safe [Aladin_store] snapshot:
+    each source's relations as checksummed CSVs under
+    [<source>/<relation>.csv] (with its declared constraints), plus
+    [sources.txt], [metadata.txt] (the repository) and [feedback.txt] as
+    per-record-checksummed record files — all committed atomically by
+    the manifest rename, so a crash mid-save leaves the previous
+    snapshot fully intact. Creates the directory; refuses ([Error]) to
+    clobber an existing non-empty directory that is not an ALADIN
+    store. *)
 
-val load_dir : ?config:Config.t -> ?reanalyze:bool -> string -> t
-(** Restore a saved warehouse. With [reanalyze] (default false) the five
-    steps re-run from the raw data; otherwise profiles are recomputed (they
-    are needed for browsing) but the saved links, correspondences, run
-    reports and feedback are trusted, so no link/duplicate discovery
-    happens.
-    @raise Invalid_argument / @raise Sys_error on malformed input. *)
+val load_dir :
+  ?config:Config.t ->
+  ?reanalyze:bool ->
+  string ->
+  t * Aladin_store.Load_report.t
+(** Restore a saved warehouse, salvaging around damage instead of
+    aborting: members are verified against the manifest, corrupt
+    repository/feedback records and CSV rows are dropped and counted,
+    unreadable members are quarantined into [<dir>/.quarantine/], and
+    everything that happened comes back as the
+    {!Aladin_store.Load_report.t} (rendered by [aladin load], which
+    exits nonzero under [--strict] when any member degraded).
+
+    With [reanalyze] (default false) the five steps re-run from the raw
+    data; otherwise profiles are recomputed (they are needed for
+    browsing) but the saved links, correspondences, run reports and
+    feedback are trusted, so no link/duplicate discovery happens.
+    @raise Sys_error when the store itself is unusable (no directory,
+    no manifest, or a manifest failing its own checksum). *)

@@ -37,3 +37,21 @@ let recase rng s =
   | 0 -> String.lowercase_ascii s
   | 1 -> String.uppercase_ascii s
   | _ -> s
+
+let flip_bit_at s ~byte ~bit =
+  let n = String.length s in
+  if n = 0 || byte < 0 || byte >= n then s
+  else begin
+    let b = Bytes.of_string s in
+    let c = Char.code (Bytes.get b byte) in
+    Bytes.set b byte (Char.chr (c lxor (1 lsl (bit land 7))));
+    Bytes.to_string b
+  end
+
+let bit_flip rng s =
+  if s = "" then s
+  else flip_bit_at s ~byte:(Rng.int rng (String.length s)) ~bit:(Rng.int rng 8)
+
+let truncate_at s n =
+  let n = max 0 n in
+  if n >= String.length s then s else String.sub s 0 n

@@ -12,12 +12,30 @@ val load : name:string -> (string * string) list -> Catalog.t
 
 val load_dir :
   name:string -> string -> Catalog.t * Import_error.record_error list
-(** Every [*.csv] in the directory becomes a relation (file basename);
-    [constraints.txt], when present, is parsed with {!parse_constraints}.
+(** Every [*.csv] becomes a relation (file basename); [constraints.txt],
+    when present, is parsed with {!parse_constraints}. A directory with a
+    [MANIFEST] is read as a crash-safe [Aladin_store] snapshot: members
+    are checksum-verified, damaged ones salvaged or quarantined, and any
+    degradation reported as record errors alongside the usual ones.
+    A plain directory of CSVs (no manifest) loads as before.
     Tolerant: ragged rows, unloadable relation files, bad constraint
     lines and constraints over unknown relations are dropped and
     reported as record errors (the [index] is the row or line number
-    within its file; the [reason] names the file) instead of raising. *)
+    within its file; the [reason] names the file) instead of raising.
+    @raise Sys_error on an unreadable directory or a store whose
+    manifest is itself damaged. *)
+
+val catalog_of_members :
+  name:string ->
+  (string * string) list ->
+  Catalog.t * Import_error.record_error list
+(** The tolerant core of {!load_dir} over in-memory [(file, content)]
+    members ([*.csv] relations plus optional [constraints.txt]). *)
+
+val members_of_catalog : Catalog.t -> Aladin_store.Snapshot.member list
+(** The snapshot members {!save_dir} writes: one checksummed CSV per
+    relation plus [constraints.txt] (per-record checksums) when any
+    constraint is declared. *)
 
 val parse_constraints : string -> Constraint_def.t list * (int * string) list
 (** One constraint per line:
@@ -31,6 +49,9 @@ val parse_constraints : string -> Constraint_def.t list * (int * string) list
 
 val render_constraints : Constraint_def.t list -> string
 
-val save_dir : Catalog.t -> string -> unit
-(** Write each relation as [<dir>/<relation>.csv] and the declared
-    constraints as [constraints.txt]. Creates the directory. *)
+val save_dir : Catalog.t -> string -> (unit, string) result
+(** Write the catalog as a crash-safe [Aladin_store] snapshot: each
+    relation under [<relation>.csv] plus [constraints.txt], committed
+    atomically via the manifest. Creates the directory. Refuses
+    ([Error]) to clobber an existing non-empty directory that is not an
+    ALADIN store. *)

@@ -187,109 +187,105 @@ type loading = {
   mutable loaded_reports : Run_report.t list;
 }
 
-let load doc =
-  let st =
-    { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [];
-      loaded_prov = None; loaded_reports = [] }
-  in
-  let flush () =
-    match st.cur with
-    | Some r ->
-        st.done_sources <-
+let init_loading () =
+  { cur = None; done_sources = []; loaded_links = []; loaded_corrs = [];
+    loaded_prov = None; loaded_reports = [] }
+
+let flush st =
+  match st.cur with
+  | Some r ->
+      st.done_sources <-
+        { r with
+          relations = List.rev r.relations;
+          fks = List.rev r.fks;
+          stats = List.rev r.stats;
+          sample = List.rev r.sample }
+        :: st.done_sources;
+      st.cur <- None
+  | None -> ()
+
+let with_cur st f =
+  match st.cur with
+  | Some r -> st.cur <- Some (f r)
+  | None -> invalid_arg "Repository.load: record outside source block"
+
+(* One record line into the accumulator. @raise Invalid_argument on any
+   malformed line — strict [load] propagates, [load_salvaging] counts
+   and drops. *)
+let apply_line st line =
+  match Serial.fields line with
+  | [ "source"; name ] ->
+      flush st;
+      st.cur <-
+        Some
+          { source = name; relations = []; primary = None; fks = [];
+            stats = []; sample = [] }
+  | [ "relation"; rel; n ] ->
+      with_cur st (fun r ->
+          { r with relations = (rel, Serial.int_of_string_exn n) :: r.relations })
+  | [ "primary"; rel; attr ] ->
+      with_cur st (fun r -> { r with primary = Some (rel, attr) })
+  | [ "fk"; sr; sa; dr; da; card; origin ] ->
+      with_cur st (fun r ->
           { r with
-            relations = List.rev r.relations;
-            fks = List.rev r.fks;
-            stats = List.rev r.stats;
-            sample = List.rev r.sample }
-          :: st.done_sources;
-        st.cur <- None
-    | None -> ()
-  in
-  let with_cur f =
-    match st.cur with
-    | Some r -> st.cur <- Some (f r)
-    | None -> invalid_arg "Repository.load: record outside source block"
-  in
-  let lines = String.split_on_char '\n' doc |> List.filter (fun l -> l <> "") in
-  (match lines with
-  | first :: _ when Serial.fields first = [ "aladin-metadata"; "1" ] -> ()
-  | _ -> invalid_arg "Repository.load: bad header");
-  List.iteri
-    (fun i line ->
-      if i > 0 then
-        match Serial.fields line with
-        | [ "source"; name ] ->
-            flush ();
-            st.cur <-
-              Some
-                { source = name; relations = []; primary = None; fks = [];
-                  stats = []; sample = [] }
-        | [ "relation"; rel; n ] ->
-            with_cur (fun r ->
-                { r with relations = (rel, Serial.int_of_string_exn n) :: r.relations })
-        | [ "primary"; rel; attr ] ->
-            with_cur (fun r -> { r with primary = Some (rel, attr) })
-        | [ "fk"; sr; sa; dr; da; card; origin ] ->
-            with_cur (fun r ->
-                { r with
-                  fks =
-                    { Inclusion.src_relation = sr; src_attribute = sa;
-                      dst_relation = dr; dst_attribute = da;
-                      cardinality = card_of_string card;
-                      origin = origin_of_string origin }
-                    :: r.fks })
-        | [ "stats"; rel; attr; rows; nulls; distinct; min_len; max_len;
-            avg_len; numeric_frac; alpha_frac; all_unique ] ->
-            with_cur (fun r ->
-                { r with
-                  stats =
-                    { Col_stats.relation = rel; attribute = attr;
-                      rows = Serial.int_of_string_exn rows;
-                      nulls = Serial.int_of_string_exn nulls;
-                      distinct = Serial.int_of_string_exn distinct;
-                      min_len = Serial.int_of_string_exn min_len;
-                      max_len = Serial.int_of_string_exn max_len;
-                      avg_len = Serial.float_of_string_exn avg_len;
-                      numeric_frac = Serial.float_of_string_exn numeric_frac;
-                      alpha_frac = Serial.float_of_string_exn alpha_frac;
-                      all_unique = bool_of_string all_unique;
-                      sample = [] }
-                    :: r.stats })
-        | "sample" :: rel :: attr :: vals ->
-            with_cur (fun r -> { r with sample = (rel, attr, vals) :: r.sample })
-        | [ "link"; ss; sr; sa; ds; dr; da; kind; conf; evidence ] ->
-            flush ();
-            st.loaded_links <-
-              Link.make
-                ~src:(Objref.make ~source:ss ~relation:sr ~accession:sa)
-                ~dst:(Objref.make ~source:ds ~relation:dr ~accession:da)
-                ~kind:(kind_of_string kind)
-                ~confidence:(Serial.float_of_string_exn conf)
-                ~evidence
-              :: st.loaded_links
-        | [ "corr"; ss; sr; sa; ds; dr; da; matches; frac; encoded ] ->
-            flush ();
-            st.loaded_corrs <-
-              { Xref_disc.src_source = ss; src_relation = sr; src_attribute = sa;
-                dst_source = ds; dst_relation = dr; dst_attribute = da;
-                matches = Serial.int_of_string_exn matches;
-                match_frac = Serial.float_of_string_exn frac;
-                encoded = bool_of_string encoded }
-              :: st.loaded_corrs
-        | [ "runreport"; doc ] ->
-            flush ();
-            (match Run_report.deserialize doc with
-            | Some r -> st.loaded_reports <- r :: st.loaded_reports
-            | None -> invalid_arg "Repository.load: bad run report")
-        | [ "provenance"; prov ] ->
-            flush ();
-            st.loaded_prov <- Some prov
-        | fs ->
-            invalid_arg
-              (Printf.sprintf "Repository.load: bad line %S"
-                 (String.concat "|" fs)))
-    lines;
-  flush ();
+            fks =
+              { Inclusion.src_relation = sr; src_attribute = sa;
+                dst_relation = dr; dst_attribute = da;
+                cardinality = card_of_string card;
+                origin = origin_of_string origin }
+              :: r.fks })
+  | [ "stats"; rel; attr; rows; nulls; distinct; min_len; max_len;
+      avg_len; numeric_frac; alpha_frac; all_unique ] ->
+      with_cur st (fun r ->
+          { r with
+            stats =
+              { Col_stats.relation = rel; attribute = attr;
+                rows = Serial.int_of_string_exn rows;
+                nulls = Serial.int_of_string_exn nulls;
+                distinct = Serial.int_of_string_exn distinct;
+                min_len = Serial.int_of_string_exn min_len;
+                max_len = Serial.int_of_string_exn max_len;
+                avg_len = Serial.float_of_string_exn avg_len;
+                numeric_frac = Serial.float_of_string_exn numeric_frac;
+                alpha_frac = Serial.float_of_string_exn alpha_frac;
+                all_unique = bool_of_string all_unique;
+                sample = [] }
+              :: r.stats })
+  | "sample" :: rel :: attr :: vals ->
+      with_cur st (fun r -> { r with sample = (rel, attr, vals) :: r.sample })
+  | [ "link"; ss; sr; sa; ds; dr; da; kind; conf; evidence ] ->
+      flush st;
+      st.loaded_links <-
+        Link.make
+          ~src:(Objref.make ~source:ss ~relation:sr ~accession:sa)
+          ~dst:(Objref.make ~source:ds ~relation:dr ~accession:da)
+          ~kind:(kind_of_string kind)
+          ~confidence:(Serial.float_of_string_exn conf)
+          ~evidence
+        :: st.loaded_links
+  | [ "corr"; ss; sr; sa; ds; dr; da; matches; frac; encoded ] ->
+      flush st;
+      st.loaded_corrs <-
+        { Xref_disc.src_source = ss; src_relation = sr; src_attribute = sa;
+          dst_source = ds; dst_relation = dr; dst_attribute = da;
+          matches = Serial.int_of_string_exn matches;
+          match_frac = Serial.float_of_string_exn frac;
+          encoded = bool_of_string encoded }
+        :: st.loaded_corrs
+  | [ "runreport"; doc ] ->
+      flush st;
+      (match Run_report.deserialize doc with
+      | Some r -> st.loaded_reports <- r :: st.loaded_reports
+      | None -> invalid_arg "Repository.load: bad run report")
+  | [ "provenance"; prov ] ->
+      flush st;
+      st.loaded_prov <- Some prov
+  | fs ->
+      invalid_arg
+        (Printf.sprintf "Repository.load: bad line %S" (String.concat "|" fs))
+
+let finish st =
+  flush st;
   {
     source_records = st.done_sources;
     link_store = List.rev st.loaded_links;
@@ -297,6 +293,36 @@ let load doc =
     prov_store = st.loaded_prov;
     report_store = st.loaded_reports;
   }
+
+let header_fields = [ "aladin-metadata"; "1" ]
+
+let load doc =
+  let st = init_loading () in
+  let lines = String.split_on_char '\n' doc |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | first :: _ when Serial.fields first = header_fields -> ()
+  | _ -> invalid_arg "Repository.load: bad header");
+  List.iteri (fun i line -> if i > 0 then apply_line st line) lines;
+  finish st
+
+let load_salvaging doc =
+  let st = init_loading () in
+  let dropped = ref 0 in
+  let lines = String.split_on_char '\n' doc |> List.filter (fun l -> l <> "") in
+  let body =
+    match lines with
+    | first :: rest when Serial.fields first = header_fields -> rest
+    | [] -> []
+    | _ :: _ ->
+        (* header lost to corruption; the remaining lines may still parse *)
+        incr dropped;
+        lines
+  in
+  List.iter
+    (fun line ->
+      try apply_line st line with Invalid_argument _ -> incr dropped)
+    body;
+  (finish st, !dropped)
 
 let stats_summary t =
   List.map

@@ -77,5 +77,11 @@ val save : t -> string
 val load : string -> t
 (** @raise Invalid_argument on malformed input. *)
 
+val load_salvaging : string -> t * int
+(** Tolerant {!load} for documents that survived storage-level salvage
+    (see [Aladin_store]): unparseable lines and records orphaned by a
+    dropped parent ([source]) line are skipped instead of raised on.
+    Returns the repository plus the number of lines dropped. *)
+
 val stats_summary : t -> (string * int * int * int) list
 (** Per source: (name, #relations, #rows, #links touching it). *)

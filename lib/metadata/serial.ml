@@ -39,12 +39,25 @@ let record fs = String.concat "\t" (List.map escape fs)
 
 let fields line = List.map unescape (String.split_on_char '\t' line)
 
-let float_to_string f = Printf.sprintf "%h" f
+(* %h hex floats round-trip exactly and are locale-independent, but the
+   non-finite renderings are platform/libc prose ("infinity", "-nan", ...)
+   — pin them to fixed tokens so checksummed records never embed
+   surprising float text. *)
+let float_to_string f =
+  match classify_float f with
+  | FP_nan -> "nan"
+  | FP_infinite -> if f > 0.0 then "inf" else "-inf"
+  | FP_normal | FP_subnormal | FP_zero -> Printf.sprintf "%h" f
 
 let float_of_string_exn s =
-  match float_of_string_opt s with
-  | Some f -> f
-  | None -> invalid_arg (Printf.sprintf "Serial.float_of_string_exn: %S" s)
+  match s with
+  | "nan" -> Float.nan
+  | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "Serial.float_of_string_exn: %S" s))
 
 let int_of_string_exn s =
   match int_of_string_opt s with

@@ -14,10 +14,13 @@ val fields : string -> string list
 (** Inverse of {!record}. *)
 
 val float_to_string : float -> string
-(** Round-trippable float rendering. *)
+(** Round-trippable float rendering: [%h] hex floats for finite values,
+    with nan/±infinity pinned to the fixed tokens ["nan"], ["inf"] and
+    ["-inf"] regardless of platform or locale. *)
 
 val float_of_string_exn : string -> float
-(** @raise Invalid_argument *)
+(** Inverse of {!float_to_string} (also accepts anything
+    [float_of_string] does). @raise Invalid_argument *)
 
 val int_of_string_exn : string -> int
 (** @raise Invalid_argument *)

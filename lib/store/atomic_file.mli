@@ -1,0 +1,30 @@
+(** Durable single-file writes: the only place in the tree allowed to
+    call [open_out] / [Sys.rename] on a persistence path (enforced by a
+    [scripts/check.sh] grep-gate).
+
+    {!write} is the atomic primitive: write [path ^ ".aladin-tmp"],
+    fsync, rename over [path], fsync the directory. A crash at any point
+    leaves either the old file or the new one, never a torn mix — the
+    temp file a crash may leave behind is swept by the snapshot layer.
+    All writes are {!Fault}-aware. *)
+
+val temp_suffix : string
+(** [".aladin-tmp"] — what interrupted writes leave behind and sweeps
+    look for. *)
+
+val write : string -> string -> unit
+(** Atomic: temp → fsync → rename → directory fsync.
+    @raise Sys_error on I/O failure, @raise Fault.Killed under an armed
+    fault. *)
+
+val write_raw : string -> string -> unit
+(** Non-atomic fsynced write straight to [path] — only safe for files
+    that are invisible until a later {!write} commits a reference to
+    them (snapshot members inside an uncommitted generation
+    directory). *)
+
+val read : string -> string
+(** Whole file. @raise Sys_error *)
+
+val fsync_dir : string -> unit
+(** Best-effort directory fsync (ignored on filesystems that refuse). *)

@@ -1,0 +1,40 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s
+
+let to_hex crc = Printf.sprintf "%08x" (crc land 0xFFFFFFFF)
+
+(* exactly what to_hex produces: 8 lowercase hex digits. Not
+   [int_of_string], which would also admit uppercase and underscores —
+   bytes a single bit flip away from a valid stored checksum. *)
+let of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+  in
+  if String.length s <> 8 then None
+  else
+    String.fold_left
+      (fun acc c ->
+        match (acc, digit c) with
+        | Some v, Some d -> Some ((v lsl 4) lor d)
+        | _, _ -> None)
+      (Some 0) s

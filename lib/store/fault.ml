@@ -1,0 +1,25 @@
+exception Killed
+
+let budget = ref None
+
+let arm ~bytes = budget := Some (max 0 bytes)
+
+let disarm () = budget := None
+
+let armed () = Option.is_some !budget
+
+let request n =
+  match !budget with
+  | None -> n
+  | Some b when n <= b ->
+      budget := Some (b - n);
+      n
+  | Some b ->
+      budget := Some 0;
+      b
+
+let check_op () =
+  match !budget with
+  | None -> ()
+  | Some b when b >= 1 -> budget := Some (b - 1)
+  | Some _ -> raise Killed

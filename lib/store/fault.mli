@@ -1,0 +1,34 @@
+(** Crash fault injection for the storage layer.
+
+    When armed, every byte the store writes — and every commit rename,
+    which costs one unit — draws down a budget; the write that crosses
+    it is truncated at the exact byte and {!Killed} is raised, simulating
+    a process killed mid-save with a torn file on disk. The snapshot
+    protocol must keep the previous snapshot loadable byte-identically
+    no matter where the kill lands; the [t_store] harness sweeps the
+    budget over every offset of a save to prove it.
+
+    Disarmed (the default), the hooks cost a few branches and nothing
+    else. Single-process, single-writer: the budget is plain state, like
+    the crash it models. *)
+
+exception Killed
+(** The simulated crash. Escapes [Snapshot.save] / [Atomic_file] calls;
+    never raised when disarmed. *)
+
+val arm : bytes:int -> unit
+(** Kill the next save after [bytes] budget units. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val request : int -> int
+(** [request n] asks to write [n] bytes; returns how many are permitted
+    (always [n] when disarmed). The caller must write exactly that many
+    and raise {!Killed} itself if short — letting it flush the torn
+    prefix to disk first, like a real partial write. *)
+
+val check_op : unit -> unit
+(** Charge one unit for a non-byte operation (the commit rename);
+    raises {!Killed} when the budget is exhausted. *)

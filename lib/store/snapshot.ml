@@ -1,0 +1,404 @@
+type kind = Records | Csv | Opaque
+
+type member = { path : string; kind : kind; content : string }
+
+let format_version = 1
+
+let magic = "aladin-store"
+
+let manifest_name = "MANIFEST"
+
+let quarantine_name = ".quarantine"
+
+let snap_prefix = "snap-"
+
+let gen_name gen = Printf.sprintf "%s%08d" snap_prefix gen
+
+let kind_name = function Records -> "records" | Csv -> "csv" | Opaque -> "opaque"
+
+let kind_of_name = function
+  | "records" -> Some Records
+  | "csv" -> Some Csv
+  | "opaque" -> Some Opaque
+  | _ -> None
+
+let is_store dir =
+  Sys.file_exists (Filename.concat dir manifest_name)
+
+(* --- manifest field escaping (paths may in principle contain anything) --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '\\' && i + 1 < n then begin
+      (match s.[i + 1] with
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | c -> Buffer.add_char buf c);
+      loop (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+(* --- small fs helpers --- *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+(* files the store itself maintains; anything else makes a directory
+   "foreign" and save refuses to touch it *)
+let store_entry name =
+  name = manifest_name || name = quarantine_name
+  || starts_with snap_prefix name
+  || ends_with Atomic_file.temp_suffix name
+
+let parse_gen name =
+  if starts_with snap_prefix name then
+    int_of_string_opt
+      (String.sub name (String.length snap_prefix)
+         (String.length name - String.length snap_prefix))
+  else None
+
+let next_generation dir =
+  Array.fold_left
+    (fun acc e -> match parse_gen e with Some g -> max acc g | None -> acc)
+    0 (Sys.readdir dir)
+  + 1
+
+(* drop temp files and every generation except [keep] *)
+let sweep dir ~keep =
+  Array.iter
+    (fun e ->
+      let path = Filename.concat dir e in
+      if ends_with Atomic_file.temp_suffix e then
+        try Sys.remove path with Sys_error _ -> ()
+      else
+        match parse_gen e with
+        | Some g when g <> keep -> ( try rm_rf path with Sys_error _ -> ())
+        | Some _ | None -> ())
+    (Sys.readdir dir)
+
+(* --- per-kind on-disk encoding and salvage --- *)
+
+let encode m =
+  match m.kind with Records -> Records.encode m.content | Csv | Opaque -> m.content
+
+let decode_strict kind stored =
+  match kind with
+  | Records -> Records.decode stored
+  | Csv | Opaque -> Some stored
+
+let csv_salvage stored =
+  match Aladin_relational.Csv.read_string stored with
+  | [] -> None
+  | header :: rows -> (
+      let arity = List.length header in
+      let good, bad = List.partition (fun r -> List.length r = arity) rows in
+      match (good, rows) with
+      | [], _ :: _ -> None (* header itself unusable: nothing fits it *)
+      | _ ->
+          let buf = Buffer.create (String.length stored) in
+          List.iter
+            (fun r ->
+              Buffer.add_string buf (Aladin_relational.Csv.render_line r);
+              Buffer.add_char buf '\n')
+            (header :: good);
+          Some (Buffer.contents buf, List.length bad))
+  | exception _ -> None
+
+let salvage kind stored =
+  match kind with
+  | Records -> Records.decode_salvage stored
+  | Csv -> csv_salvage stored
+  | Opaque -> None
+
+(* --- manifest --- *)
+
+type entry = { e_path : string; e_kind : kind; e_len : int; e_crc : int }
+
+let render_manifest gen entries =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%s\t%d\n" magic format_version;
+  Printf.bprintf buf "snapshot\t%d\n" gen;
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "member\t%s\t%s\t%d\t%s\n" (escape e.e_path)
+        (kind_name e.e_kind) e.e_len (Crc32.to_hex e.e_crc))
+    entries;
+  (* trailing self-checksum over everything above *)
+  Printf.bprintf buf "crc\t%s\n" (Crc32.to_hex (Crc32.string (Buffer.contents buf)));
+  Buffer.contents buf
+
+let parse_manifest doc =
+  let lines = String.split_on_char '\n' doc |> List.filter (fun l -> l <> "") in
+  match List.rev lines with
+  | last :: body_rev -> (
+      let body =
+        String.concat "" (List.rev_map (fun l -> l ^ "\n") body_rev)
+      in
+      match String.split_on_char '\t' last with
+      | [ "crc"; hex ] when Crc32.of_hex hex = Some (Crc32.string body) -> (
+          match List.rev body_rev with
+          | header :: rest -> (
+              match String.split_on_char '\t' header with
+              | [ m; v ] when m = magic -> (
+                  match int_of_string_opt v with
+                  | Some v when v > format_version ->
+                      Error
+                        (Printf.sprintf
+                           "manifest format version %d is newer than supported %d"
+                           v format_version)
+                  | Some _ -> (
+                      match rest with
+                      | gen_line :: members -> (
+                          match String.split_on_char '\t' gen_line with
+                          | [ "snapshot"; g ] -> (
+                              match int_of_string_opt g with
+                              | Some gen ->
+                                  let parse_member line =
+                                    match String.split_on_char '\t' line with
+                                    | [ "member"; path; kind; len; crc ] -> (
+                                        match
+                                          ( kind_of_name kind,
+                                            int_of_string_opt len,
+                                            Crc32.of_hex crc )
+                                        with
+                                        | Some k, Some l, Some c ->
+                                            Some
+                                              {
+                                                e_path = unescape path;
+                                                e_kind = k;
+                                                e_len = l;
+                                                e_crc = c;
+                                              }
+                                        | _ -> None)
+                                    | _ -> None
+                                  in
+                                  let entries = List.map parse_member members in
+                                  if List.for_all Option.is_some entries then
+                                    Ok (gen, List.filter_map Fun.id entries)
+                                  else Error "manifest has an unparseable member line"
+                              | None -> Error "manifest has a bad snapshot line")
+                          | _ -> Error "manifest has a bad snapshot line")
+                      | [] -> Error "manifest has no snapshot line")
+                  | None -> Error "manifest has a bad version")
+              | _ -> Error "not an ALADIN store manifest")
+          | [] -> Error "empty manifest")
+      | _ -> Error "manifest failed its own checksum")
+  | [] -> Error "empty manifest"
+
+let read_manifest dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
+  else if not (Sys.file_exists path) then
+    Error (dir ^ ": no MANIFEST (not an ALADIN store)")
+  else
+    match Atomic_file.read path with
+    | doc -> (
+        match parse_manifest doc with
+        | Ok v -> Ok v
+        | Error msg -> Error (Printf.sprintf "%s: %s" dir msg))
+    | exception Sys_error msg -> Error msg
+
+(* --- save --- *)
+
+let valid_path p =
+  p <> ""
+  && Filename.is_relative p
+  && List.for_all
+       (fun seg -> seg <> "" && seg <> "." && seg <> "..")
+       (String.split_on_char '/' p)
+
+let validate_members members =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          if not (valid_path m.path) then
+            Error (Printf.sprintf "invalid member path %S" m.path)
+          else if Hashtbl.mem seen m.path then
+            Error (Printf.sprintf "duplicate member path %S" m.path)
+          else begin
+            Hashtbl.add seen m.path ();
+            Ok ()
+          end)
+    (Ok ()) members
+
+let save dir members =
+  match validate_members members with
+  | Error _ as e -> e
+  | Ok () -> (
+      let proceed () =
+        mkdir_p dir;
+        let gen = next_generation dir in
+        let sdir = Filename.concat dir (gen_name gen) in
+        Sys.mkdir sdir 0o755;
+        let entries =
+          List.map
+            (fun m ->
+              let stored = encode m in
+              let path = Filename.concat sdir m.path in
+              mkdir_p (Filename.dirname path);
+              Atomic_file.write_raw path stored;
+              {
+                e_path = m.path;
+                e_kind = m.kind;
+                e_len = String.length stored;
+                e_crc = Crc32.string stored;
+              })
+            members
+        in
+        Atomic_file.write (Filename.concat dir manifest_name)
+          (render_manifest gen entries);
+        sweep dir ~keep:gen;
+        Ok ()
+      in
+      if Sys.file_exists dir && not (Sys.is_directory dir) then
+        Error (dir ^ ": not a directory")
+      else if
+        Sys.file_exists dir
+        && (not (is_store dir))
+        && Array.exists (fun e -> not (store_entry e)) (Sys.readdir dir)
+      then
+        Error
+          (dir
+         ^ ": refusing to overwrite: non-empty directory is not an ALADIN \
+            store (no MANIFEST)")
+      else
+        try proceed () with
+        | Sys_error msg -> Error msg
+        | Unix.Unix_error (e, fn, arg) ->
+            Error (Printf.sprintf "%s: %s %s" fn (Unix.error_message e) arg))
+
+(* --- load / verify --- *)
+
+let quarantine dir relpath abs reason =
+  let qdir = Filename.concat dir quarantine_name in
+  mkdir_p qdir;
+  let flat = String.map (fun c -> if c = '/' then '_' else c) relpath in
+  (try Sys.rename abs (Filename.concat qdir flat) with Sys_error _ -> ());
+  try Atomic_file.write_raw (Filename.concat qdir (flat ^ ".reason")) (reason ^ "\n")
+  with Sys_error _ -> ()
+
+(* [mutate]: quarantine damaged files and sweep stale ones (load) vs. a
+   pure read-only classification (verify/fsck) *)
+let load_gen ~mutate dir =
+  match read_manifest dir with
+  | Error _ as e -> e
+  | Ok (gen, entries) ->
+      let sdir = Filename.concat dir (gen_name gen) in
+      let results =
+        List.map
+          (fun e ->
+            let abs = Filename.concat sdir e.e_path in
+            if not (Sys.file_exists abs) then (None, Load_report.Missing)
+            else
+              match Atomic_file.read abs with
+              | exception Sys_error msg ->
+                  if mutate then quarantine dir e.e_path abs ("unreadable: " ^ msg);
+                  (None, Load_report.Quarantined ("unreadable: " ^ msg))
+              | stored -> (
+                  if
+                    String.length stored = e.e_len
+                    && Crc32.string stored = e.e_crc
+                  then
+                    match decode_strict e.e_kind stored with
+                    | Some content ->
+                        ( Some { path = e.e_path; kind = e.e_kind; content },
+                          Load_report.Ok )
+                    | None ->
+                        let reason = "checksum ok but undecodable" in
+                        if mutate then quarantine dir e.e_path abs reason;
+                        (None, Load_report.Quarantined reason)
+                  else
+                    match salvage e.e_kind stored with
+                    | Some (content, dropped) ->
+                        ( Some { path = e.e_path; kind = e.e_kind; content },
+                          Load_report.Salvaged dropped )
+                    | None ->
+                        let reason =
+                          Printf.sprintf
+                            "checksum mismatch (%d bytes, expected %d), \
+                             unsalvageable %s"
+                            (String.length stored) e.e_len (kind_name e.e_kind)
+                        in
+                        if mutate then quarantine dir e.e_path abs reason;
+                        (None, Load_report.Quarantined reason)))
+          entries
+      in
+      if mutate then sweep dir ~keep:gen;
+      let report =
+        {
+          Load_report.dir;
+          generation = gen;
+          members =
+            List.map2
+              (fun e (_, status) -> { Load_report.path = e.e_path; status })
+              entries results;
+        }
+      in
+      Ok (List.filter_map fst results, report)
+
+let load dir = load_gen ~mutate:true dir
+
+let verify dir =
+  match load_gen ~mutate:false dir with
+  | Ok (_, report) -> Ok report
+  | Error _ as e -> e
+
+let repair dir =
+  match load dir with
+  | Error _ as e -> e
+  | Ok (members, report) ->
+      if Load_report.is_clean report then Ok report
+      else (
+        match save dir members with
+        | Ok () -> Ok report
+        | Error _ as e -> e)
+
+let find members path =
+  List.find_map
+    (fun m -> if m.path = path then Some m.content else None)
+    members

@@ -42,6 +42,20 @@ if grep -rnE '\b(failwith|invalid_arg)\b' \
 fi
 echo "grep-gate ok: no raising error paths in importers/warehouse/config"
 
+# open_out / Sys.rename on a persistence path bypasses the crash-safety
+# contract (write-temp -> fsync -> rename, manifest commit, fault hooks).
+# Everything the warehouse persists must go through lib/store
+# (Aladin_store.Atomic_file / Snapshot); only lib/store itself may touch
+# the primitives. Non-persistence writers (trace export, HTML export)
+# live outside the gated directories.
+if grep -rnE '\bopen_out|Sys\.rename' \
+    lib/formats lib/core lib/metadata bin \
+    --include='*.ml' --include='*.mli' 2>/dev/null; then
+  echo "error: raw open_out/Sys.rename on a persistence path (use Aladin_store)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no raw open_out/Sys.rename outside lib/store"
+
 dune build
 dune runtest
 
@@ -71,5 +85,23 @@ if ./_build/default/examples/fault_injection.exe --strict > /dev/null 2>&1; then
   exit 1
 fi
 echo "resilience ok: faults degrade gracefully, --strict fails the run"
+
+# Durability: a saved store passes fsck; damage makes fsck exit nonzero;
+# --repair salvages and the store verifies clean again.
+sdir=$(mktemp -d)
+trap 'rm -f "$q1" "$q2" "$f1"; rm -rf "$sdir"' EXIT
+rmdir "$sdir"
+./_build/default/bin/aladin_cli.exe demo --save "$sdir" > /dev/null
+./_build/default/bin/aladin_cli.exe fsck "$sdir" > /dev/null
+member=$(find "$sdir"/snap-* -name '*.csv' | head -n 1)
+printf 'torn,garbage' >> "$member"
+if ./_build/default/bin/aladin_cli.exe fsck "$sdir" > /dev/null 2>&1; then
+  echo "error: fsck should exit nonzero on a damaged store" >&2
+  exit 1
+fi
+./_build/default/bin/aladin_cli.exe fsck --repair "$sdir" > /dev/null
+./_build/default/bin/aladin_cli.exe fsck "$sdir" > /dev/null
+./_build/default/bin/aladin_cli.exe load --strict "$sdir" > /dev/null
+echo "durability ok: fsck detects damage, --repair restores a clean store"
 
 echo "check.sh: all green"

@@ -345,14 +345,21 @@ let feedback_tests =
             | [] -> Alcotest.fail "no fks"));
   ]
 
+let save_dir_exn w dir =
+  match Warehouse.save_dir w dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("save_dir: " ^ msg)
+
 let persistence_tests =
   [
     Alcotest.test_case "save/load roundtrip (trusted)" `Quick (fun () ->
         let w = Lazy.force warehouse in
         let dir = Filename.temp_file "aladin" "wh" in
         Sys.remove dir;
-        Warehouse.save_dir w dir;
-        let w2 = Warehouse.load_dir dir in
+        save_dir_exn w dir;
+        let w2, report = Warehouse.load_dir dir in
+        check Alcotest.bool "clean load" true
+          (Aladin_store.Load_report.is_clean report);
         check Alcotest.(list string) "sources" (Warehouse.sources w)
           (Warehouse.sources w2);
         check Alcotest.int "links preserved"
@@ -369,8 +376,8 @@ let persistence_tests =
         let w = Lazy.force warehouse in
         let dir = Filename.temp_file "aladin" "wh2" in
         Sys.remove dir;
-        Warehouse.save_dir w dir;
-        let w2 = Warehouse.load_dir ~reanalyze:true dir in
+        save_dir_exn w dir;
+        let w2, _report = Warehouse.load_dir ~reanalyze:true dir in
         (* re-discovery on the round-tripped data finds the same links *)
         check Alcotest.int "same link count"
           (List.length (Warehouse.links w))
@@ -379,10 +386,24 @@ let persistence_tests =
         let w = Lazy.force warehouse in
         let dir = Filename.temp_file "aladin" "wh3" in
         Sys.remove dir;
-        Warehouse.save_dir w dir;
-        let w2 = Warehouse.load_dir dir in
+        save_dir_exn w dir;
+        let w2, _report = Warehouse.load_dir dir in
         let n w = Relation.cardinality (Warehouse.sql w "SELECT * FROM uniprot.entry") in
         check Alcotest.int "same rows" (n w) (n w2));
+    Alcotest.test_case "save refuses to clobber a non-store directory" `Quick
+      (fun () ->
+        let w = Lazy.force warehouse in
+        let dir = Filename.temp_file "aladin" "wh4" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let oc = open_out (Filename.concat dir "precious.txt") in
+        output_string oc "user data\n";
+        close_out oc;
+        (match Warehouse.save_dir w dir with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "clobbered a non-store directory");
+        check Alcotest.bool "user file untouched" true
+          (Sys.file_exists (Filename.concat dir "precious.txt")));
   ]
 
 let link_query_warehouse_tests =

@@ -452,7 +452,9 @@ let dump_tests =
         Sys.remove dir;
         let cat = Dump.load ~name:"s" [ ("t", "a,b\n1,x\n") ] in
         Catalog.declare cat (Constraint_def.Unique { relation = "t"; attribute = "a" });
-        Dump.save_dir cat dir;
+        (match Dump.save_dir cat dir with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail ("save_dir: " ^ msg));
         let cat2, errs = Dump.load_dir ~name:"s2" dir in
         check Alcotest.int "no report" 0 (List.length errs);
         check Alcotest.int "rows" 1 (Relation.cardinality (Catalog.find_exn cat2 "t"));

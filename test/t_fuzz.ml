@@ -179,8 +179,63 @@ let roundtrip_tests =
            normalize (Xml.parse (Xml.render tree)) = normalize tree));
   ]
 
+(* --- the storage layer's decoders must be total ---
+
+   A store member read off disk can contain literally anything (torn
+   writes, bit rot); the codecs classify, they never throw. *)
+
+module Records = Aladin_store.Records
+module Corrupt = Aladin_datagen.Corrupt
+
+let bytes_ish =
+  QCheck.string_gen_of_size
+    (QCheck.Gen.int_range 0 300)
+    (QCheck.Gen.map Char.chr (QCheck.Gen.int_range 0 255))
+
+let store_codec_fuzz =
+  [
+    no_crash "records strict decode total" 500 bytes_ish (fun s ->
+        Records.decode s);
+    no_crash "records salvage total" 500 bytes_ish (fun s ->
+        Records.decode_salvage s);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"records salvage of intact encode is lossless"
+         ~count:300 textish (fun doc ->
+           match Records.decode_salvage (Records.encode doc) with
+           | Some (_, 0) -> true
+           | Some (_, _) | None -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"records bit flip never crashes, strict decode refuses"
+         ~count:300
+         QCheck.(pair textish (pair small_nat small_nat))
+         (fun (doc, (byte, bit)) ->
+           let stored = Records.encode doc in
+           let torn =
+             Corrupt.flip_bit_at stored ~byte:(byte mod String.length stored)
+               ~bit
+           in
+           (* a flip either lands where it changes bytes (strict decode
+              must refuse) or the codec still classifies it — salvage
+              must stay total either way *)
+           let _ = Records.decode_salvage torn in
+           torn = stored || Records.decode torn = None));
+    no_crash "repository salvaging load total" 300 textish (fun s ->
+        Aladin_metadata.Repository.load_salvaging s);
+    no_crash "feedback salvaging load total" 300 textish (fun s ->
+        Aladin.Feedback.load_salvaging s);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"truncate_at is a prefix" ~count:200
+         QCheck.(pair textish small_nat)
+         (fun (s, n) ->
+           let t = Corrupt.truncate_at s n in
+           String.length t <= String.length s
+           && t = String.sub s 0 (String.length t)));
+  ]
+
 let tests =
   [ ("fuzz.parsers", fuzz_tests);
     ("fuzz.import_api", import_api_fuzz);
     ("fuzz.importer_robustness", importer_robustness);
+    ("fuzz.store_codecs", store_codec_fuzz);
     ("fuzz.xml_roundtrip", roundtrip_tests) ]

@@ -18,6 +18,24 @@ let serial_tests =
         let f = 0.123456789 in
         check (Alcotest.float 1e-12) "exact" f
           (Serial.float_of_string_exn (Serial.float_to_string f)));
+    Alcotest.test_case "non-finite floats roundtrip" `Quick (fun () ->
+        check Alcotest.string "nan spelling" "nan"
+          (Serial.float_to_string Float.nan);
+        check Alcotest.string "inf spelling" "inf"
+          (Serial.float_to_string Float.infinity);
+        check Alcotest.string "-inf spelling" "-inf"
+          (Serial.float_to_string Float.neg_infinity);
+        check Alcotest.bool "nan roundtrip" true
+          (Float.is_nan (Serial.float_of_string_exn "nan"));
+        check (Alcotest.float 0.) "inf roundtrip" Float.infinity
+          (Serial.float_of_string_exn (Serial.float_to_string Float.infinity));
+        check (Alcotest.float 0.) "-inf roundtrip" Float.neg_infinity
+          (Serial.float_of_string_exn
+             (Serial.float_to_string Float.neg_infinity));
+        (* negative zero keeps its sign through the hex path *)
+        check Alcotest.bool "-0. sign" true
+          (1. /. Serial.float_of_string_exn (Serial.float_to_string (-0.))
+          = Float.neg_infinity));
     Alcotest.test_case "bad int raises" `Quick (fun () ->
         match Serial.int_of_string_exn "xyz" with
         | exception Invalid_argument _ -> ()

@@ -1,0 +1,557 @@
+(* Crash-safety acceptance tests for the snapshot store (ISSUE 4):
+   CRC vectors, record-level salvage, quarantine/repair, and the
+   torn-write property — a save killed at ANY byte offset must leave
+   the previous snapshot loadable byte-identically. *)
+
+open Aladin_store
+module Corrupt = Aladin_datagen.Corrupt
+
+let check = Alcotest.check
+
+let fresh_dir tag =
+  let d = Filename.temp_file "aladin" tag in
+  Sys.remove d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let committed_report dir =
+  match Snapshot.verify dir with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail ("verify: " ^ msg)
+
+let gen_dir dir gen = Filename.concat dir (Printf.sprintf "snap-%08d" gen)
+
+let stored_path dir gen member = Filename.concat (gen_dir dir gen) member
+
+let save_exn dir members =
+  match Snapshot.save dir members with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("save: " ^ msg)
+
+let load_exn dir =
+  match Snapshot.load dir with
+  | Ok (members, report) -> (members, report)
+  | Error msg -> Alcotest.fail ("load: " ^ msg)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let sorted_members ms =
+  List.sort
+    (fun (a : Snapshot.member) (b : Snapshot.member) ->
+      String.compare a.path b.path)
+    ms
+
+(* every committed byte of the store: the manifest plus the committed
+   generation's files. Partial generations from killed saves are
+   deliberately excluded — they are invisible until a manifest commits
+   them, and get swept by the next successful save/load. *)
+let committed_bytes dir =
+  let report = committed_report dir in
+  let sdir = gen_dir dir report.generation in
+  let rec walk acc path rel =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc e ->
+          walk acc (Filename.concat path e)
+            (if rel = "" then e else rel ^ "/" ^ e))
+        acc (Sys.readdir path)
+    else (rel, read_file path) :: acc
+  in
+  let files = if Sys.file_exists sdir then walk [] sdir "" else [] in
+  ( read_file (Filename.concat dir "MANIFEST"),
+    List.sort compare files )
+
+let test_members : Snapshot.member list =
+  [
+    { path = "a/recs.txt"; kind = Records;
+      content = "alpha\nbeta\twith tab\ngamma\n" };
+    { path = "a/table.csv"; kind = Csv;
+      content = "id,name\n1,aardvark\n2,badger\n3,civet\n" };
+    { path = "blob.bin"; kind = Opaque; content = "\x00\x01binary\xffpayload" };
+  ]
+
+let crc_tests =
+  [
+    Alcotest.test_case "crc32 check vector" `Quick (fun () ->
+        (* the canonical IEEE 802.3 test vector *)
+        check Alcotest.int "123456789" 0xCBF43926 (Crc32.string "123456789");
+        check Alcotest.int "empty" 0 (Crc32.string ""));
+    Alcotest.test_case "crc32 update composes" `Quick (fun () ->
+        let a = "aladin" and b = "\tstore\nbytes" in
+        check Alcotest.int "concat"
+          (Crc32.string (a ^ b))
+          (Crc32.update (Crc32.update 0 a) b));
+    Alcotest.test_case "crc32 hex roundtrip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            check Alcotest.(option int) "roundtrip" (Some v)
+              (Crc32.of_hex (Crc32.to_hex v)))
+          [ 0; 1; 0xCBF43926; 0xFFFFFFFF ];
+        check Alcotest.(option int) "too short" None (Crc32.of_hex "abc");
+        check Alcotest.(option int) "not hex" None (Crc32.of_hex "xyzwxyzw"));
+  ]
+
+let records_tests =
+  [
+    Alcotest.test_case "records encode/decode roundtrip" `Quick (fun () ->
+        let doc = "one\ntwo\tkeeps tabs\n\nfour\n" in
+        check Alcotest.(option string) "roundtrip" (Some doc)
+          (Records.decode (Records.encode doc));
+        (* a missing final newline is normalized, not lost *)
+        check Alcotest.(option string) "normalized" (Some "a\nb\n")
+          (Records.decode (Records.encode "a\nb")));
+    Alcotest.test_case "records bit flip drops exactly one record" `Quick
+      (fun () ->
+        let doc = "alpha\nbeta\ngamma\n" in
+        let stored = Records.encode doc in
+        (* flip a bit inside beta's payload: each stored line is
+           "<8 hex>\t<payload>\n", so beta's 't' sits 4 bytes before the
+           gamma line *)
+        let byte = String.length stored - (8 + 1 + 5 + 1) - 4 in
+        let torn = Corrupt.flip_bit_at stored ~byte ~bit:2 in
+        check Alcotest.(option string) "strict decode refuses" None
+          (Records.decode torn);
+        match Records.decode_salvage torn with
+        | None -> Alcotest.fail "salvage gave up"
+        | Some (kept, dropped) ->
+            check Alcotest.int "one dropped" 1 dropped;
+            check Alcotest.string "others survive" "alpha\ngamma\n" kept);
+    Alcotest.test_case "records truncation keeps the prefix" `Quick (fun () ->
+        let doc = "alpha\nbeta\ngamma\ndelta\n" in
+        let stored = Records.encode doc in
+        (* each stored line is "<8 hex>\t<payload>\n"; cut midway through
+           the gamma line so it is torn and delta is gone entirely *)
+        let line len = 8 + 1 + len + 1 in
+        let cut = String.length stored - line 5 - (line 5 - 4) in
+        match Records.decode_salvage (Corrupt.truncate_at stored cut) with
+        | None -> Alcotest.fail "salvage gave up"
+        | Some (kept, dropped) ->
+            check Alcotest.string "prefix" "alpha\nbeta\n" kept;
+            check Alcotest.int "shortfall counted" 2 dropped);
+    Alcotest.test_case "records salvage without header" `Quick (fun () ->
+        let stored = Records.encode "alpha\nbeta\n" in
+        (* strip the header line entirely: records can still verify *)
+        let body =
+          String.sub stored
+            (String.index stored '\n' + 1)
+            (String.length stored - String.index stored '\n' - 1)
+        in
+        match Records.decode_salvage body with
+        | None -> Alcotest.fail "salvage gave up"
+        | Some (kept, _dropped) ->
+            check Alcotest.string "lines recovered" "alpha\nbeta\n" kept);
+  ]
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "snapshot save/load roundtrip" `Quick (fun () ->
+        let dir = fresh_dir "st1" in
+        save_exn dir test_members;
+        let members, report = load_exn dir in
+        check Alcotest.bool "clean" true (Load_report.is_clean report);
+        check Alcotest.int "generation" 1 report.generation;
+        List.iter2
+          (fun (a : Snapshot.member) (b : Snapshot.member) ->
+            check Alcotest.string "path" a.path b.path;
+            check Alcotest.string ("content of " ^ a.path) a.content b.content)
+          (sorted_members test_members)
+          (sorted_members members));
+    Alcotest.test_case "re-save advances generation and sweeps the old one"
+      `Quick (fun () ->
+        let dir = fresh_dir "st2" in
+        save_exn dir test_members;
+        save_exn dir test_members;
+        let report = committed_report dir in
+        check Alcotest.int "generation" 2 report.generation;
+        check Alcotest.bool "old generation swept" false
+          (Sys.file_exists (gen_dir dir 1)));
+    Alcotest.test_case "save refuses foreign non-empty directories" `Quick
+      (fun () ->
+        let dir = fresh_dir "st3" in
+        Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir "precious.txt") "user data\n";
+        (match Snapshot.save dir test_members with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "clobbered a user directory");
+        check Alcotest.string "file untouched" "user data\n"
+          (read_file (Filename.concat dir "precious.txt")));
+    Alcotest.test_case "stale temps and orphan generations are swept" `Quick
+      (fun () ->
+        let dir = fresh_dir "st4" in
+        save_exn dir test_members;
+        let orphan = gen_dir dir 999 in
+        Sys.mkdir orphan 0o755;
+        write_file (Filename.concat orphan "junk") "torn";
+        write_file (Filename.concat dir "MANIFEST.aladin-tmp") "torn";
+        let _ = load_exn dir in
+        check Alcotest.bool "orphan gone" false (Sys.file_exists orphan);
+        check Alcotest.bool "temp gone" false
+          (Sys.file_exists (Filename.concat dir "MANIFEST.aladin-tmp")));
+    Alcotest.test_case "verify is read-only" `Quick (fun () ->
+        let dir = fresh_dir "st5" in
+        save_exn dir test_members;
+        let path = stored_path dir 1 "blob.bin" in
+        let torn = Corrupt.flip_bit_at (read_file path) ~byte:3 ~bit:0 in
+        write_file path torn;
+        let report = committed_report dir in
+        check Alcotest.bool "damage seen" false (Load_report.is_clean report);
+        check Alcotest.string "file untouched" torn (read_file path);
+        check Alcotest.bool "no quarantine" false
+          (Sys.file_exists (Filename.concat dir ".quarantine")));
+    Alcotest.test_case "bit flip in a records member salvages" `Quick (fun () ->
+        let dir = fresh_dir "st6" in
+        save_exn dir test_members;
+        let path = stored_path dir 1 "a/recs.txt" in
+        let stored = read_file path in
+        (* flip a payload bit in the last record's line *)
+        write_file path
+          (Corrupt.flip_bit_at stored ~byte:(String.length stored - 3) ~bit:1);
+        let members, report = load_exn dir in
+        (match Load_report.find report "a/recs.txt" with
+        | Some (Load_report.Salvaged n) -> check Alcotest.int "dropped" 1 n
+        | other ->
+            Alcotest.failf "expected Salvaged, got %s"
+              (match other with
+              | Some s -> Load_report.status_name s
+              | None -> "absent"));
+        check Alcotest.(option string) "good records kept"
+          (Some "alpha\nbeta\twith tab\n")
+          (Snapshot.find members "a/recs.txt"));
+    Alcotest.test_case "arity-breaking damage in a csv drops the row" `Quick
+      (fun () ->
+        let dir = fresh_dir "st7" in
+        save_exn dir test_members;
+        let path = stored_path dir 1 "a/table.csv" in
+        let stored = read_file path in
+        (* corrupt the comma of the "2,badger" row: the row no longer
+           fits the header arity and must be dropped, not parsed *)
+        let comma =
+          let i = ref (-1) in
+          String.iteri
+            (fun j c ->
+              if !i < 0 && c = ',' && j > 0 && stored.[j - 1] = '2' then i := j)
+            stored;
+          !i
+        in
+        check Alcotest.bool "found the comma" true (comma > 0);
+        write_file path (Corrupt.flip_bit_at stored ~byte:comma ~bit:0);
+        let members, report = load_exn dir in
+        (match Load_report.find report "a/table.csv" with
+        | Some (Load_report.Salvaged n) ->
+            check Alcotest.bool "rows dropped" true (n >= 1)
+        | _ -> Alcotest.fail "expected Salvaged");
+        match Snapshot.find members "a/table.csv" with
+        | None -> Alcotest.fail "csv lost entirely"
+        | Some csv ->
+            check Alcotest.bool "bad row gone" false (contains csv "badger");
+            check Alcotest.bool "good row kept" true (contains csv "civet"));
+    Alcotest.test_case "unrecoverable members are quarantined with a reason"
+      `Quick (fun () ->
+        let dir = fresh_dir "st8" in
+        save_exn dir test_members;
+        let path = stored_path dir 1 "blob.bin" in
+        write_file path (Corrupt.flip_bit_at (read_file path) ~byte:5 ~bit:4);
+        let members, report = load_exn dir in
+        (match Load_report.find report "blob.bin" with
+        | Some (Load_report.Quarantined _) -> ()
+        | _ -> Alcotest.fail "expected Quarantined");
+        check Alcotest.(option string) "member absent" None
+          (Snapshot.find members "blob.bin");
+        let qdir = Filename.concat dir ".quarantine" in
+        check Alcotest.bool "quarantine dir" true (Sys.file_exists qdir);
+        check Alcotest.bool "reason recorded" true
+          (Array.exists
+             (fun e -> Filename.check_suffix e ".reason")
+             (Sys.readdir qdir)));
+    Alcotest.test_case "missing members are reported, not fatal" `Quick
+      (fun () ->
+        let dir = fresh_dir "st9" in
+        save_exn dir test_members;
+        Sys.remove (stored_path dir 1 "blob.bin");
+        let _, report = load_exn dir in
+        match Load_report.find report "blob.bin" with
+        | Some Load_report.Missing -> ()
+        | _ -> Alcotest.fail "expected Missing");
+    Alcotest.test_case "repair commits the salvage as a clean snapshot" `Quick
+      (fun () ->
+        let dir = fresh_dir "st10" in
+        save_exn dir test_members;
+        let rpath = stored_path dir 1 "a/recs.txt" in
+        let stored = read_file rpath in
+        write_file rpath
+          (Corrupt.flip_bit_at stored ~byte:(String.length stored - 3) ~bit:1);
+        Sys.remove (stored_path dir 1 "blob.bin");
+        (match Snapshot.repair dir with
+        | Ok report ->
+            check Alcotest.bool "repair reports damage" false
+              (Load_report.is_clean report)
+        | Error msg -> Alcotest.fail ("repair: " ^ msg));
+        let report = committed_report dir in
+        check Alcotest.bool "clean after repair" true
+          (Load_report.is_clean report);
+        let members, report2 = load_exn dir in
+        check Alcotest.bool "clean load after repair" true
+          (Load_report.is_clean report2);
+        check Alcotest.(option string) "salvaged content committed"
+          (Some "alpha\nbeta\twith tab\n")
+          (Snapshot.find members "a/recs.txt"));
+    Alcotest.test_case "repair of a clean store is a no-op" `Quick (fun () ->
+        let dir = fresh_dir "st11" in
+        save_exn dir test_members;
+        let before = committed_bytes dir in
+        (match Snapshot.repair dir with
+        | Ok report ->
+            check Alcotest.bool "clean" true (Load_report.is_clean report)
+        | Error msg -> Alcotest.fail ("repair: " ^ msg));
+        check Alcotest.bool "nothing rewritten" true
+          (before = committed_bytes dir));
+  ]
+
+(* --- the tentpole acceptance property ------------------------------- *)
+
+let altered_members : Snapshot.member list =
+  List.map
+    (fun (m : Snapshot.member) ->
+      { m with content = m.content ^ "appended-by-second-save\n" })
+    test_members
+
+let torn_write_tests =
+  [
+    Alcotest.test_case "kill at every byte keeps snapshot 1 byte-identical"
+      `Slow (fun () ->
+        let dir = fresh_dir "torn" in
+        save_exn dir test_members;
+        let baseline = committed_bytes dir in
+        let kills = ref 0 in
+        let rec attempt budget =
+          Fault.arm ~bytes:budget;
+          match Snapshot.save dir altered_members with
+          | exception Fault.Killed ->
+              Fault.disarm ();
+              incr kills;
+              let report = committed_report dir in
+              check Alcotest.bool
+                (Printf.sprintf "clean after kill at %d" budget)
+                true
+                (Load_report.is_clean report);
+              if committed_bytes dir <> baseline then
+                Alcotest.failf "snapshot bytes changed after kill at %d" budget;
+              attempt (budget + 1)
+          | Ok () -> Fault.disarm ()
+          | Error msg ->
+              Fault.disarm ();
+              Alcotest.fail ("save: " ^ msg)
+        in
+        attempt 0;
+        check Alcotest.bool "swept the whole save" true (!kills > 100);
+        (* once the save finally commits, the NEW snapshot loads clean *)
+        let members, report = load_exn dir in
+        check Alcotest.bool "new snapshot clean" true
+          (Load_report.is_clean report);
+        check Alcotest.(option string) "new content in force"
+          (Some "\x00\x01binary\xffpayloadappended-by-second-save\n")
+          (Snapshot.find members "blob.bin"));
+    Alcotest.test_case "kill between member writes and the manifest rename"
+      `Quick (fun () ->
+        let dir = fresh_dir "torn2" in
+        save_exn dir test_members;
+        save_exn dir altered_members;
+        let baseline = committed_bytes dir in
+        (* re-saving the same members costs exactly the committed bytes
+           (stored members + manifest, whose generation field keeps its
+           digit count) plus one unit for the commit rename. A budget
+           one short of that means every member byte and every manifest
+           byte is on disk; the commit rename itself is what dies. *)
+        let manifest, files = baseline in
+        let cost =
+          String.length manifest
+          + List.fold_left (fun a (_, c) -> a + String.length c) 0 files
+          + 1
+        in
+        Fault.arm ~bytes:(cost - 1);
+        (match Snapshot.save dir altered_members with
+        | exception Fault.Killed -> Fault.disarm ()
+        | Ok () ->
+            Fault.disarm ();
+            Alcotest.fail "save should have been killed at the commit"
+        | Error msg ->
+            Fault.disarm ();
+            Alcotest.fail ("save: " ^ msg));
+        check Alcotest.bool "manifest temp written in full" true
+          (Sys.file_exists (Filename.concat dir "MANIFEST.aladin-tmp"));
+        check Alcotest.bool "previous snapshot byte-identical" true
+          (committed_bytes dir = baseline);
+        (* the interrupted commit is cleaned up by the next save *)
+        save_exn dir altered_members;
+        check Alcotest.bool "temp swept" false
+          (Sys.file_exists (Filename.concat dir "MANIFEST.aladin-tmp")));
+    Alcotest.test_case "truncation at every offset of every member" `Slow
+      (fun () ->
+        let dir = fresh_dir "torn3" in
+        save_exn dir test_members;
+        let report = committed_report dir in
+        List.iter
+          (fun (m : Load_report.member) ->
+            let path = stored_path dir report.generation m.path in
+            let orig = read_file path in
+            for cut = 0 to String.length orig - 1 do
+              write_file path (Corrupt.truncate_at orig cut);
+              match Snapshot.verify dir with
+              | Ok r ->
+                  if Load_report.is_clean r then
+                    Alcotest.failf "%s truncated at %d passed verify" m.path
+                      cut
+              | Error msg ->
+                  Alcotest.failf "%s truncated at %d: store-level error %s"
+                    m.path cut msg
+            done;
+            write_file path orig)
+          report.members;
+        let report = committed_report dir in
+        check Alcotest.bool "restored store verifies clean" true
+          (Load_report.is_clean report));
+  ]
+
+(* --- warehouse-level durability ------------------------------------- *)
+
+open Aladin
+module Dump = Aladin_formats.Dump
+
+let mini_catalogs () =
+  [
+    Dump.load ~name:"uniprot"
+      [ ("entry", "acc,name\nP10001,alpha\nP10002,beta\nP10003,gamma\n") ];
+    Dump.load ~name:"pdb"
+      [ ("item", "id,acc,score\n1,P10001,0.5\n2,P10003,1.5\n") ];
+  ]
+
+let mini_warehouse () = Warehouse.integrate (mini_catalogs ())
+
+let save_wh_exn w dir =
+  match Warehouse.save_dir w dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("save_dir: " ^ msg)
+
+let warehouse_store_tests =
+  [
+    Alcotest.test_case "save/load/save is byte-identical" `Quick (fun () ->
+        let w = mini_warehouse () in
+        let dir1 = fresh_dir "wbi1" and dir2 = fresh_dir "wbi2" in
+        save_wh_exn w dir1;
+        let w2, report = Warehouse.load_dir dir1 in
+        check Alcotest.bool "clean" true (Load_report.is_clean report);
+        save_wh_exn w2 dir2;
+        let _, files1 = committed_bytes dir1 and _, files2 = committed_bytes dir2 in
+        check Alcotest.int "same member count" (List.length files1)
+          (List.length files2);
+        List.iter2
+          (fun (p1, c1) (p2, c2) ->
+            check Alcotest.string "member path" p1 p2;
+            check Alcotest.string ("bytes of " ^ p1) c1 c2)
+          files1 files2);
+    Alcotest.test_case "warehouse save killed mid-flight keeps snapshot 1"
+      `Slow (fun () ->
+        let w = mini_warehouse () in
+        let dir = fresh_dir "wtorn" in
+        save_wh_exn w dir;
+        let baseline = committed_bytes dir in
+        let kills = ref 0 in
+        (* stride through the save's byte offsets; every kill must leave
+           the first snapshot loadable byte-identically *)
+        let rec attempt budget =
+          Fault.arm ~bytes:budget;
+          match Warehouse.save_dir w dir with
+          | exception Fault.Killed ->
+              Fault.disarm ();
+              incr kills;
+              if committed_bytes dir <> baseline then
+                Alcotest.failf "snapshot changed after kill at %d" budget;
+              let w2, report = Warehouse.load_dir dir in
+              check Alcotest.bool
+                (Printf.sprintf "clean load after kill at %d" budget)
+                true
+                (Load_report.is_clean report);
+              check Alcotest.(list string) "sources intact"
+                (Warehouse.sources w) (Warehouse.sources w2);
+              attempt (budget + 61)
+          | Ok () -> Fault.disarm ()
+          | Error msg ->
+              Fault.disarm ();
+              Alcotest.fail ("save_dir: " ^ msg)
+        in
+        attempt 0;
+        check Alcotest.bool "killed at least a few offsets" true (!kills >= 5));
+    Alcotest.test_case "bit flip in the metadata member salvages on load"
+      `Quick (fun () ->
+        let w = mini_warehouse () in
+        let dir = fresh_dir "wflip" in
+        save_wh_exn w dir;
+        let report = committed_report dir in
+        let path = stored_path dir report.generation "metadata.txt" in
+        let stored = read_file path in
+        write_file path
+          (Corrupt.flip_bit_at stored ~byte:(String.length stored - 4) ~bit:3);
+        let w2, lreport = Warehouse.load_dir dir in
+        check Alcotest.bool "load degraded" false
+          (Load_report.is_clean lreport);
+        (match Load_report.find lreport "metadata.txt" with
+        | Some (Load_report.Salvaged n) ->
+            check Alcotest.bool "records dropped" true (n >= 1)
+        | _ -> Alcotest.fail "expected metadata.txt Salvaged");
+        check Alcotest.(list string) "sources survive" (Warehouse.sources w)
+          (Warehouse.sources w2));
+    Alcotest.test_case "bit flip in a csv member drops only the torn row"
+      `Quick (fun () ->
+        let w = mini_warehouse () in
+        let dir = fresh_dir "wcsv" in
+        save_wh_exn w dir;
+        let report = committed_report dir in
+        let path = stored_path dir report.generation "uniprot/entry.csv" in
+        let stored = read_file path in
+        (* break the arity of the beta row by corrupting its comma *)
+        let comma =
+          let i = ref (-1) in
+          String.iteri
+            (fun j c ->
+              if !i < 0 && c = ',' && j >= 6
+                 && String.sub stored (j - 6) 6 = "P10002"
+              then i := j)
+            stored;
+          !i
+        in
+        check Alcotest.bool "found the comma" true (comma > 0);
+        write_file path (Corrupt.flip_bit_at stored ~byte:comma ~bit:0);
+        let w2, lreport = Warehouse.load_dir dir in
+        check Alcotest.bool "load degraded" false
+          (Load_report.is_clean lreport);
+        let n w =
+          Aladin_relational.Relation.cardinality
+            (Warehouse.sql w "SELECT * FROM uniprot.entry")
+        in
+        check Alcotest.int "one row lost" 2 (n w2);
+        check Alcotest.(list string) "sources survive" (Warehouse.sources w)
+          (Warehouse.sources w2));
+  ]
+
+let tests =
+  [
+    ("store.crc32", crc_tests);
+    ("store.records", records_tests);
+    ("store.snapshot", snapshot_tests);
+    ("store.torn-write", torn_write_tests);
+    ("store.warehouse", warehouse_store_tests);
+  ]
