@@ -620,18 +620,17 @@ let e10_scale () =
 let e11_access () =
   let corpus = Dg.Corpus.generate default_corpus_params in
   let w = Warehouse.integrate corpus.catalogs in
-  let search = Warehouse.search w in
-  let browser = Warehouse.browser w in
+  let eng = Engine.create w in
   let r =
     Ev.Report.create ~title:"E11: access engine (search, SQL, browsing)"
       ~columns:[ "metric"; "value" ]
   in
   (* known-item search: query an object by its name, find its rank *)
   let probes =
-    Aladin_access.Browser.objects browser
+    Engine.objects eng
     |> List.filteri (fun i _ -> i mod 7 = 0)
     |> List.filter_map (fun obj ->
-           match Aladin_access.Browser.view browser obj with
+           match Engine.view eng obj with
            | Some v -> (
                match List.assoc_opt "name" v.fields with
                | Some name when name <> "" -> Some (obj, name)
@@ -641,7 +640,7 @@ let e11_access () =
   let rr =
     probes
     |> List.map (fun (obj, name) ->
-           let hits = Aladin_access.Search.search search ~limit:20 name in
+           let hits = Engine.search eng ~limit:20 name in
            let rec rank i = function
              | [] -> 0.0
              | (h : Aladin_access.Search.hit) :: rest ->
@@ -654,9 +653,10 @@ let e11_access () =
     [ "known-item search MRR (by name)";
       Printf.sprintf "%.3f over %d probes" (Ev.Metrics.mean rr) (List.length rr) ];
   (* SQL correctness: count via SQL = count via the relation *)
-  let sql_count =
-    Rel.Relation.cardinality (Warehouse.sql w "SELECT * FROM uniprot.entry")
+  let sql_exn q =
+    match Engine.query eng q with Ok r -> r | Error m -> invalid_arg m
   in
+  let sql_count = Rel.Relation.cardinality (sql_exn "SELECT * FROM uniprot.entry") in
   let direct =
     match Warehouse.resolve_table w "uniprot.entry" with
     | Some rel -> Rel.Relation.cardinality rel
@@ -668,16 +668,16 @@ let e11_access () =
         (if sql_count = direct then "ok" else "MISMATCH") ];
   let joined =
     Rel.Relation.cardinality
-      (Warehouse.sql w
+      (sql_exn
          "SELECT accession FROM uniprot.entry JOIN uniprot.sequence_data ON \
           uniprot.entry.entry_id = uniprot.sequence_data.entry_id")
   in
   Ev.Report.add_row r
     [ "SQL join entry x sequence rows"; string_of_int joined ];
   (* path ranking: linked objects outrank unlinked ones *)
-  let paths = Warehouse.path_index w in
+  let paths = Engine.paths eng in
   let linked_scores, unlinked_scores =
-    match Warehouse.links w with
+    match Engine.links eng with
     | [] -> ([], [])
     | links ->
         let linked =
@@ -686,7 +686,7 @@ let e11_access () =
           |> List.map (fun (l : Lk.Link.t) ->
                  Aladin_access.Path_rank.relatedness paths l.src l.dst)
         in
-        let objs = Aladin_access.Browser.objects browser in
+        let objs = Engine.objects eng in
         let unlinked =
           match objs with
           | a :: rest ->

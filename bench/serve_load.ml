@@ -1,0 +1,284 @@
+(* Load generator for [aladin serve] (BENCH_serve.json).
+
+   Two phases:
+
+   - socket: the server is forked with its own domain pool, then C client
+     processes hammer it concurrently over a fixed target mix; we report
+     throughput, per-request latency percentiles and the failure count
+     (which must be zero below the admission limit).
+
+   - in-process: the same target mix is run straight through
+     Service.handle twice — a cold pass (empty cache) and a cached pass —
+     isolating the response cache's effect on the hot path from socket
+     overhead. The headline number is cold p50 / cached p50.
+
+   Forks happen before any domain is spawned in the parent (integration
+   runs with domains = 1; the server and the in-process phase create
+   their pools after forking), so no process ever inherits dead worker
+   domains.
+
+     dune exec bench/serve_load.exe *)
+
+open Aladin
+module Dg = Aladin_datagen
+module Serve = Aladin_serve
+module Pool = Aladin_par.Pool
+module Clock = Aladin_obs.Clock
+
+let clients = 4
+let passes = 3
+
+(* --- percentiles --- *)
+
+let percentile xs q =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      let i = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) i))
+
+(* --- the target mix --- *)
+
+let req_of_target target =
+  match Serve.Http.parse_request (Printf.sprintf "GET %s HTTP/1.1\r\n" target) with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let targets_of eng =
+  let objs = Engine.objects eng in
+  let searches =
+    objs
+    |> List.filteri (fun i _ -> i mod 5 = 0)
+    |> take 50
+    |> List.filter_map (fun o ->
+           match Engine.view eng o with
+           | Some v -> (
+               match List.assoc_opt "name" v.fields with
+               | Some name when name <> "" ->
+                   Some ("/search?q=" ^ Serve.Http.pct_encode name)
+               | Some _ | None -> None)
+           | None -> None)
+  in
+  let pages =
+    objs
+    |> List.filteri (fun i _ -> i mod 11 = 0)
+    |> take 25
+    |> List.map (fun (o : Aladin_links.Objref.t) ->
+           Printf.sprintf "/object/%s/%s" o.source (Serve.Http.pct_encode o.accession))
+  in
+  let resolves =
+    objs
+    |> List.filteri (fun i _ -> i mod 31 = 0)
+    |> take 10
+    |> List.map (fun (o : Aladin_links.Objref.t) ->
+           "/resolve?accession=" ^ Serve.Http.pct_encode o.accession)
+  in
+  let queries =
+    List.map
+      (fun sql -> "/query?sql=" ^ Serve.Http.pct_encode sql)
+      [
+        "SELECT * FROM uniprot.entry";
+        "SELECT accession FROM uniprot.entry JOIN uniprot.sequence_data ON \
+         uniprot.entry.entry_id = uniprot.sequence_data.entry_id";
+        "SELECT organism_name, COUNT(*) FROM genedb.gene JOIN genedb.organism \
+         ON genedb.gene.organism_id = genedb.organism.organism_id GROUP BY \
+         organism_name";
+      ]
+  in
+  searches @ pages @ resolves @ queries @ [ "/links?kind=xref" ]
+
+(* --- socket phase --- *)
+
+let fork_server eng =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      let pool = Pool.create ~domains:4 () in
+      let service =
+        Serve.Service.create ~pool
+          ~config:{ Serve.Service.default_config with cache_capacity = 2048 }
+          eng
+      in
+      let cfg = { Serve.Server.default_config with port = 0; max_queue = 256 } in
+      let on_ready port =
+        let line = string_of_int port ^ "\n" in
+        ignore (Unix.write_substring w line 0 (String.length line));
+        Unix.close w
+      in
+      let (_ : Serve.Server.stats) = Serve.Server.run ~config:cfg ~on_ready service in
+      exit 0
+  | pid ->
+      Unix.close w;
+      let buf = Bytes.create 16 in
+      let n = Unix.read r buf 0 16 in
+      Unix.close r;
+      let port = int_of_string (String.trim (Bytes.sub_string buf 0 n)) in
+      (pid, port)
+
+let client_worker ~port ~out targets =
+  let oc = open_out out in
+  for _ = 1 to passes do
+    List.iter
+      (fun target ->
+        let t0 = Clock.now () in
+        let status =
+          match Serve.Client.request ~port target with
+          | Ok resp -> resp.Serve.Http.status
+          | Error _ -> 0
+        in
+        Printf.fprintf oc "%d %.6f\n" status (Clock.now () -. t0))
+      targets
+  done;
+  close_out oc
+
+let socket_phase eng targets =
+  let server_pid, port = fork_server eng in
+  let outs =
+    List.init clients (fun i ->
+        Filename.temp_file (Printf.sprintf "serve_load_%d_" i) ".txt")
+  in
+  let t0 = Clock.now () in
+  let pids =
+    List.map
+      (fun out ->
+        match Unix.fork () with
+        | 0 ->
+            client_worker ~port ~out targets;
+            exit 0
+        | pid -> pid)
+      outs
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  let wall = Clock.now () -. t0 in
+  Unix.kill server_pid Sys.sigterm;
+  ignore (Unix.waitpid [] server_pid);
+  let latencies = ref [] and failures = ref 0 and total = ref 0 in
+  List.iter
+    (fun out ->
+      let ic = open_in out in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ status; secs ] ->
+               incr total;
+               if int_of_string status <> 200 then incr failures;
+               latencies := float_of_string secs :: !latencies
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Sys.remove out)
+    outs;
+  (!total, !failures, wall, !latencies)
+
+(* --- in-process phase --- *)
+
+let in_process_phase eng targets =
+  let pool = Pool.create ~domains:4 () in
+  let service =
+    Serve.Service.create ~pool
+      ~config:{ Serve.Service.default_config with cache_capacity = 2048 }
+      eng
+  in
+  let reqs = List.map req_of_target targets in
+  let pass () =
+    List.map
+      (fun req ->
+        let resp, secs = Clock.timed (fun () -> Serve.Service.handle service req) in
+        assert (resp.Serve.Http.status = 200);
+        secs)
+      reqs
+  in
+  let cold = pass () in
+  let cached = pass () in
+  let stats = Serve.Service.cache_stats service in
+  (cold, cached, stats)
+
+(* --- driver --- *)
+
+let () =
+  Printf.printf "integrating corpus (sequential, pre-fork)...\n%!";
+  let corpus = Dg.Corpus.generate Dg.Corpus.default_params in
+  let w =
+    Warehouse.integrate ~config:{ Config.default with domains = 1 } corpus.catalogs
+  in
+  let eng = Engine.create w in
+  let targets = targets_of eng in
+  Printf.printf "%d targets, %d clients x %d passes over the socket\n%!"
+    (List.length targets) clients passes;
+
+  let total, failures, wall, latencies = socket_phase eng targets in
+  Printf.printf
+    "socket: %d requests in %.2fs (%.0f req/s), %d failures, p50 %.6fs p99 %.6fs\n%!"
+    total wall
+    (float_of_int total /. wall)
+    failures
+    (percentile latencies 0.5)
+    (percentile latencies 0.99);
+
+  let cold, cached, cstats = in_process_phase eng targets in
+  let eps = 1e-7 in
+  let cold_p50 = percentile cold 0.5 in
+  let cached_p50 = percentile cached 0.5 in
+  let speedup = cold_p50 /. Float.max eps cached_p50 in
+  Printf.printf
+    "in-process: cold p50 %.6fs p95 %.6fs p99 %.6fs | cached p50 %.6fs p95 \
+     %.6fs p99 %.6fs | p50 speedup %.1fx (cache: %d hits / %d misses)\n%!"
+    cold_p50
+    (percentile cold 0.95)
+    (percentile cold 0.99)
+    cached_p50
+    (percentile cached 0.95)
+    (percentile cached 0.99)
+    speedup cstats.hits cstats.misses;
+
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"serve\",\n\
+      \  \"targets\": %d,\n\
+      \  \"socket\": {\n\
+      \    \"clients\": %d,\n\
+      \    \"passes\": %d,\n\
+      \    \"requests\": %d,\n\
+      \    \"failures\": %d,\n\
+      \    \"wall_seconds\": %.6f,\n\
+      \    \"requests_per_second\": %.1f,\n\
+      \    \"p50_seconds\": %.6f,\n\
+      \    \"p95_seconds\": %.6f,\n\
+      \    \"p99_seconds\": %.6f\n\
+      \  },\n\
+      \  \"in_process\": {\n\
+      \    \"cold\": { \"p50_seconds\": %.6f, \"p95_seconds\": %.6f, \
+       \"p99_seconds\": %.6f },\n\
+      \    \"cached\": { \"p50_seconds\": %.6f, \"p95_seconds\": %.6f, \
+       \"p99_seconds\": %.6f },\n\
+      \    \"cached_speedup_p50\": %.1f,\n\
+      \    \"cache_hits\": %d,\n\
+      \    \"cache_misses\": %d\n\
+      \  }\n\
+       }\n"
+      (List.length targets) clients passes total failures wall
+      (float_of_int total /. wall)
+      (percentile latencies 0.5)
+      (percentile latencies 0.95)
+      (percentile latencies 0.99)
+      cold_p50
+      (percentile cold 0.95)
+      (percentile cold 0.99)
+      cached_p50
+      (percentile cached 0.95)
+      (percentile cached 0.99)
+      speedup cstats.hits cstats.misses
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n"

@@ -7,82 +7,24 @@
    aladin query FILE... -s SQL  run SQL over the warehouse
    aladin links FILE...         list discovered links
    aladin trace FILE...         integrate and report the execution trace
+   aladin serve FILE...         long-lived cached query-serving daemon
+   aladin fetch TARGET          one HTTP request against a running server
    aladin demo                  integrate a generated synthetic corpus
    aladin load DIR              restore a saved warehouse store
-   aladin fsck DIR              verify (or --repair) a warehouse store *)
+   aladin fsck DIR              verify (or --repair) a warehouse store
+
+   Access commands (browse, search, query, links, export, serve) all go
+   through the Aladin.Engine facade: the warehouse and its access
+   structures are built once per invocation and shared. Flag specs and
+   exit codes (0 ok / 1 degraded under --strict / 2 error) live in
+   Cli_common. *)
 
 open Cmdliner
 open Aladin
+open Cli_common
 module Run_report = Aladin_resilience.Run_report
-module Import_error = Aladin_resilience.Import_error
 module Snapshot = Aladin_store.Snapshot
 module Load_report = Aladin_store.Load_report
-
-let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
-
-let config_arg =
-  Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF"
-         ~doc:"Load pipeline tunables from a key = value file (see Config).")
-
-let load_config = function
-  | Some path -> (
-      match Config.of_file path with
-      | Ok c -> c
-      | Error msg -> die "aladin: %s" msg)
-  | None -> Config.default
-
-(* strict import for the single-source and access commands: any import
-   problem aborts, recovered record errors are only warned about *)
-let import_or_die path =
-  match Aladin_system.import_file path with
-  | Ok (im : Aladin_formats.Import.import) ->
-      List.iter
-        (fun e ->
-          Printf.eprintf "aladin: warning: %s: %s\n" path
-            (Import_error.record_error_to_string e))
-        im.record_errors;
-      im.catalog
-  | Error err -> die "aladin: %s" (Import_error.to_string err)
-
-let build_warehouse ?config ?trace paths =
-  let config = load_config config in
-  Warehouse.integrate ~config ?trace (List.map import_or_die paths)
-
-(* resilient build for [integrate]: a source that cannot even be imported
-   is quarantined with a report and the rest still integrate *)
-let build_warehouse_resilient ?config ?trace paths =
-  let config = load_config config in
-  let w = Warehouse.create ~config () in
-  List.iter
-    (fun path ->
-      match Aladin_system.import_file path with
-      | Ok (im : Aladin_formats.Import.import) ->
-          ignore
-            (Warehouse.add_source ?trace ~import_errors:im.record_errors w
-               im.catalog)
-      | Error err ->
-          ignore
-            (Warehouse.report_import_failure w
-               ~source:(Aladin_system.source_name_of_path path) err))
-    paths;
-  w
-
-let trace_file_arg =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write the pipeline execution trace to $(docv) as JSON.")
-
-let with_trace_file file f =
-  match file with
-  | None -> f None
-  | Some path ->
-      let tr = Aladin_obs.Trace.create ~name:"aladin" () in
-      let v = f (Some tr) in
-      Aladin_obs.Sink.write_json tr path;
-      Printf.printf "trace written to %s\n" path;
-      v
-
-let paths_arg =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Source files or dump directories.")
 
 (* --- integrate --- *)
 
@@ -90,11 +32,6 @@ let integrate_cmd =
   let save =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"META"
            ~doc:"Write the metadata repository to $(docv).")
-  in
-  let strict =
-    Arg.(value & flag & info [ "strict" ]
-           ~doc:"Exit nonzero when any source was quarantined or any step \
-                 degraded (skipped a pass, dropped records, hit a budget).")
   in
   let run paths save config strict trace_file =
     with_trace_file trace_file (fun trace ->
@@ -108,14 +45,12 @@ let integrate_cmd =
               (Aladin_metadata.Repository.save (Warehouse.repository w));
             Printf.printf "metadata written to %s\n" path
         | None -> ());
-        if strict && not (List.for_all Run_report.is_clean reports) then begin
-          prerr_endline "aladin: integration degraded (--strict)";
-          exit 1
-        end)
+        if strict && not (List.for_all Run_report.is_clean reports) then
+          degraded "aladin: integration degraded (--strict)")
   in
   Cmd.v
     (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
-    Term.(const run $ paths_arg $ save $ config_arg $ strict $ trace_file_arg)
+    Term.(const run $ paths_arg $ save $ config_arg $ strict_arg $ trace_file_arg)
 
 (* --- discover --- *)
 
@@ -138,30 +73,15 @@ let browse_cmd =
     Arg.(required & opt (some string) None & info [ "a"; "accession" ] ~docv:"ACC"
            ~doc:"Accession number of the object to display.")
   in
-  let source =
-    Arg.(value & opt (some string) None & info [ "s"; "source" ] ~docv:"SRC"
-           ~doc:"Source holding the object (default: resolve by accession).")
-  in
   let run paths accession source =
-    let w = build_warehouse paths in
-    let browser = Warehouse.browser w in
-    let view =
-      match source with
-      | Some s -> Aladin_access.Browser.view_accession browser ~source:s accession
-      | None -> (
-          match Aladin_access.Search.resolve (Warehouse.search w) accession with
-          | Some obj -> Aladin_access.Browser.view browser obj
-          | None -> None)
-    in
-    match view with
+    let eng = build_engine paths in
+    match Engine.browse eng ?source accession with
     | Some v -> print_string (Aladin_access.Browser.render v)
-    | None ->
-        Printf.eprintf "object %s not found\n" accession;
-        exit 1
+    | None -> die "object %s not found" accession
   in
   Cmd.v
     (Cmd.info "browse" ~doc:"Integrate sources and render one object's page.")
-    Term.(const run $ paths_arg $ accession $ source)
+    Term.(const run $ paths_arg $ accession $ source_arg)
 
 (* --- search --- *)
 
@@ -169,21 +89,16 @@ let search_cmd =
   let query =
     Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY")
   in
-  let source =
-    Arg.(value & opt (some string) None & info [ "s"; "source" ] ~docv:"SRC"
-           ~doc:"Restrict hits to one source (horizontal partition).")
-  in
   let field =
     Arg.(value & opt (some string) None & info [ "f"; "field" ] ~docv:"REL.ATTR"
            ~doc:"Restrict to one indexed field (vertical partition).")
   in
   let run paths query source field =
-    let w = build_warehouse paths in
-    let s = Warehouse.search w in
+    let eng = build_engine paths in
     let hits =
       match (source, field) with
-      | None, None -> Aladin_access.Search.search s query
-      | _ -> Aladin_access.Search.focused s ?source ?field query
+      | None, None -> Engine.search eng query
+      | _ -> Engine.focused eng ?source ?field query
     in
     if hits = [] then print_endline "(no hits)"
     else
@@ -197,7 +112,7 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Ranked full-text search over the warehouse.")
-    Term.(const run $ paths_arg $ query $ source $ field)
+    Term.(const run $ paths_arg $ query $ source_arg $ field)
 
 (* --- query --- *)
 
@@ -207,15 +122,10 @@ let query_cmd =
            ~doc:"Query; address tables as source.relation.")
   in
   let run paths sql =
-    let w = build_warehouse paths in
-    match Warehouse.sql w sql with
-    | result -> print_endline (Aladin_access.Sql_eval.render_result result)
-    | exception Aladin_access.Sql_parser.Parse_error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        exit 1
-    | exception Aladin_access.Sql_eval.Eval_error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 1
+    let eng = build_engine paths in
+    match Engine.query eng sql with
+    | Ok result -> print_endline (Aladin_access.Sql_eval.render_result result)
+    | Error msg -> die "aladin: %s" msg
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a SQL query against the integrated warehouse.")
@@ -234,14 +144,8 @@ let links_cmd =
                ~doc:"Output as $(docv): csv or dot (GraphViz). Default: text.")
   in
   let run paths kind format =
-    let w = build_warehouse paths in
-    let links =
-      Warehouse.links w
-      |> List.filter (fun (l : Aladin_links.Link.t) ->
-             match kind with
-             | Some k -> Aladin_links.Link.kind_name l.kind = k
-             | None -> true)
-    in
+    let eng = build_engine paths in
+    let links = Engine.links ?kind eng in
     match format with
     | Some `Csv -> print_string (Aladin_access.Link_export.to_csv links)
     | Some `Dot -> print_string (Aladin_access.Link_export.to_dot links)
@@ -338,8 +242,8 @@ let export_cmd =
            ~doc:"Directory to write the static site into.")
   in
   let run paths dir =
-    let w = build_warehouse paths in
-    let n = Aladin_access.Html_export.write_site (Warehouse.browser w) ~dir in
+    let eng = build_engine paths in
+    let n = Aladin_access.Html_export.write_site (Engine.browser eng) ~dir in
     Printf.printf "wrote %d object pages + index.html to %s\n" n dir
   in
   Cmd.v
@@ -361,17 +265,132 @@ let shell_cmd =
        ~doc:"Integrate sources and browse them in an interactive shell.")
     Term.(const run $ paths_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Serve = Aladin_serve in
+  let paths =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Source files to integrate and serve.")
+  in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Serve a saved warehouse store instead of integrating files.")
+  in
+  let max_queue =
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound per batch; requests past it get 503 \
+                 with Retry-After.")
+  in
+  let cache_size =
+    Arg.(value & opt int Serve.Service.default_config.cache_capacity
+           & info [ "cache-size" ] ~docv:"N"
+               ~doc:"Response-cache entries (0 disables caching).")
+  in
+  let cache_ttl =
+    Arg.(value & opt float Serve.Service.default_config.cache_ttl
+           & info [ "cache-ttl" ] ~docv:"SECONDS"
+               ~doc:"Response-cache entry lifetime (0 = never expires).")
+  in
+  let request_budget =
+    Arg.(value & opt float 5.0 & info [ "request-budget" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline; an expired request gets 503. 0 \
+                 disables the deadline.")
+  in
+  let debug =
+    Arg.(value & flag & info [ "debug-endpoints" ]
+           ~doc:"Expose /slow (deadline-polling sleeper) for load and drain \
+                 testing.")
+  in
+  let run paths store config port host max_queue cache_size cache_ttl
+      request_budget debug =
+    let cfg = load_config config in
+    let w =
+      match (store, paths) with
+      | Some dir, [] -> (
+          match Warehouse.load_dir ~config:cfg dir with
+          | w, report ->
+              if not (Load_report.is_clean report) then
+                print_string (Load_report.render report);
+              w
+          | exception Sys_error msg -> die "aladin: %s" msg)
+      | Some _, _ :: _ -> die "aladin: serve takes FILE... or --store, not both"
+      | None, [] -> die "aladin: serve needs source files or --store DIR"
+      | None, paths -> Warehouse.integrate ~config:cfg (List.map import_or_die paths)
+    in
+    let engine = Engine.create w in
+    let pool = Aladin_par.Pool.get ~domains:cfg.Config.domains () in
+    let service =
+      Serve.Service.create ~pool
+        ~config:
+          {
+            Serve.Service.cache_capacity = cache_size;
+            cache_ttl;
+            request_budget = (if request_budget > 0.0 then Some request_budget else None);
+            debug_endpoints = debug;
+          }
+        engine
+    in
+    let server_cfg = { Serve.Server.default_config with host; port; max_queue } in
+    let stats =
+      Serve.Server.run ~config:server_cfg
+        ~on_ready:(fun p ->
+          Printf.printf "serving %d objects on http://%s:%d (SIGINT drains)\n%!"
+            (List.length (Engine.objects engine)) host p)
+        service
+    in
+    Printf.printf
+      "drained: %d served, %d inline, %d rejected, %d read errors, %d write \
+       errors, %d batches (largest %d)\n"
+      stats.Serve.Server.served stats.inline_served stats.rejected
+      stats.read_errors stats.write_errors stats.batches stats.max_batch
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Integrate once, then serve browse/search/query over HTTP with a \
+             response cache, bounded admission and graceful drain.")
+    Term.(const run $ paths $ store $ config_arg $ port_arg $ host_arg
+          $ max_queue $ cache_size $ cache_ttl $ request_budget $ debug)
+
+(* --- fetch --- *)
+
+let fetch_cmd =
+  let module Serve = Aladin_serve in
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"Request target, e.g. /search?q=kinase or /healthz.")
+  in
+  let include_head =
+    Arg.(value & flag & info [ "i"; "include" ]
+           ~doc:"Print the status line and response headers before the body.")
+  in
+  let run target port host include_head =
+    match Serve.Client.request ~host ~port target with
+    | Error msg -> die "aladin: fetch: %s" msg
+    | Ok resp ->
+        if include_head then begin
+          Printf.printf "HTTP/1.1 %d %s\n" resp.Serve.Http.status
+            (Serve.Http.reason resp.Serve.Http.status);
+          List.iter
+            (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+            resp.Serve.Http.headers;
+          print_newline ()
+        end;
+        print_string resp.Serve.Http.body;
+        if resp.Serve.Http.status >= 400 then exit exit_error
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:"One HTTP GET against a running aladin serve (no curl needed); \
+             exits 2 on a non-2xx response.")
+    Term.(const run $ target $ port_arg $ host_arg $ include_head)
+
 (* --- load --- *)
 
 let load_cmd =
   let dir =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
            ~doc:"Warehouse store directory written by 'save' (or demo --save).")
-  in
-  let strict =
-    Arg.(value & flag & info [ "strict" ]
-           ~doc:"Exit nonzero when any store member was salvaged, quarantined \
-                 or missing.")
   in
   let reanalyze =
     Arg.(value & flag & info [ "reanalyze" ]
@@ -383,16 +402,14 @@ let load_cmd =
     | w, report ->
         print_string (Aladin_system.summary w);
         print_string (Load_report.render report);
-        if strict && not (Load_report.is_clean report) then begin
-          prerr_endline "aladin: load degraded (--strict)";
-          exit 1
-        end
+        if strict && not (Load_report.is_clean report) then
+          degraded "aladin: load degraded (--strict)"
     | exception Sys_error msg -> die "aladin: %s" msg
   in
   Cmd.v
     (Cmd.info "load"
        ~doc:"Restore a saved warehouse store, salvaging around any damage;          prints the load report.")
-    Term.(const run $ dir $ config_arg $ strict $ reanalyze)
+    Term.(const run $ dir $ config_arg $ strict_arg $ reanalyze)
 
 (* --- fsck --- *)
 
@@ -420,10 +437,8 @@ let fsck_cmd =
       match Snapshot.verify dir with
       | Ok report ->
           print_string (Load_report.render report);
-          if not (Load_report.is_clean report) then begin
-            prerr_endline "aladin: fsck: store is damaged (--repair to salvage)";
-            exit 1
-          end
+          if not (Load_report.is_clean report) then
+            degraded "aladin: fsck: store is damaged (--repair to salvage)"
       | Error msg -> die "aladin: fsck: %s" msg
   in
   Cmd.v
@@ -470,4 +485,4 @@ let () =
        (Cmd.group info
           [ integrate_cmd; discover_cmd; browse_cmd; search_cmd; query_cmd;
             links_cmd; trace_cmd; profile_cmd; dups_cmd; export_cmd;
-            shell_cmd; demo_cmd; load_cmd; fsck_cmd ]))
+            shell_cmd; serve_cmd; fetch_cmd; demo_cmd; load_cmd; fsck_cmd ]))

@@ -21,14 +21,22 @@ module Lq = Aladin_access.Link_query
 
 let () =
   let corpus = Dg.Corpus.generate Dg.Corpus.default_params in
-  let w = Warehouse.integrate corpus.catalogs in
-  print_string (Aladin_system.summary w);
+  (* one engine handle answers SQL, traversal, feedback and export *)
+  let eng = Engine.integrate corpus.catalogs in
+  print_string (Aladin_system.summary (Engine.warehouse eng));
+  let sql q =
+    match Engine.query eng q with
+    | Ok r -> r
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  in
 
   (* how are the genes distributed over species? (SQL aggregates) *)
   print_endline "\ngenes per species:";
   print_endline
     (Aladin_access.Sql_eval.render_result
-       (Warehouse.sql w
+       (sql
           "SELECT organism_name, COUNT(*) FROM genedb.gene JOIN \
            genedb.organism ON genedb.gene.organism_id = \
            genedb.organism.organism_id GROUP BY organism_name \
@@ -36,7 +44,7 @@ let () =
 
   (* 1. SQL picks the starting objects: human genes *)
   let start_rows =
-    Warehouse.sql w
+    sql
       "SELECT accession FROM genedb.gene JOIN genedb.organism ON \
        genedb.gene.organism_id = genedb.organism.organism_id WHERE \
        organism_name = 'Homo sapiens'"
@@ -50,16 +58,15 @@ let () =
   Printf.printf "\n%d human genes to start from\n" (List.length start);
 
   (* 2. traverse: gene -> disease (any link into omim) *)
-  let lq = Warehouse.link_query w in
   let to_disease =
-    Lq.run lq ~start ~steps:[ Lq.step ~target_source:"omim" () ]
+    Engine.traverse eng ~start ~steps:[ Lq.step ~target_source:"omim" () ]
   in
   Printf.printf "%d gene-disease connections found\n" (List.length to_disease);
 
   (* 3. keep genes whose protein has a known function: the gene links to a
         protein (uniprot) that itself links to an ontology term *)
   let gene_has_functional_protein gene =
-    Lq.run lq ~start:[ gene ]
+    Engine.traverse eng ~start:[ gene ]
       ~steps:
         [ Lq.step ~target_source:"uniprot" ();
           Lq.step ~target_source:"go" () ]
@@ -91,19 +98,21 @@ let () =
   (match
      List.sort
        (fun (a : Lk.Link.t) b -> Float.compare a.confidence b.confidence)
-       (Warehouse.links w)
+       (Engine.links eng)
    with
   | weakest :: _ ->
-      let before = List.length (Warehouse.links w) in
-      Warehouse.reject_link w weakest;
+      let before = List.length (Engine.links eng) in
+      Engine.reject_link eng weakest;
       Printf.printf
-        "\nfeedback: rejected weakest link %s; %d -> %d links\n"
+        "\nfeedback: rejected weakest link %s; %d -> %d links \
+         (engine generation %d)\n"
         (Format.asprintf "%a" Lk.Link.pp weakest)
         before
-        (List.length (Warehouse.links w))
+        (List.length (Engine.links eng))
+        (Engine.generation eng)
   | [] -> ());
 
   (* 5. export the whole warehouse as a browsable static web site *)
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "aladin_site" in
-  let pages = Aladin_access.Html_export.write_site (Warehouse.browser w) ~dir in
+  let pages = Aladin_access.Html_export.write_site (Engine.browser eng) ~dir in
   Printf.printf "exported %d object pages to %s/index.html\n" pages dir

@@ -22,17 +22,18 @@ let () =
   let w = Warehouse.integrate corpus.catalogs in
   print_string (Aladin_system.summary w);
 
-  let browser = Warehouse.browser w in
+  (* the engine facade is the one handle for the whole browsing session *)
+  let eng = Engine.create w in
   (* the experiment's hit list: first 10 genes of the gene database *)
   let genes =
-    Aladin_access.Browser.objects browser
+    Engine.objects eng
     |> List.filter (fun (o : Lk.Objref.t) -> o.source = "genedb")
     |> List.filteri (fun i _ -> i < 10)
   in
   Printf.printf "\nhit list: %d genes\n" (List.length genes);
   List.iter
     (fun gene ->
-      match Aladin_access.Browser.view browser gene with
+      match Engine.view eng gene with
       | None -> ()
       | Some v ->
           let name =
@@ -60,9 +61,7 @@ let () =
   (* the same question as one structured query: genes whose description
      ties them to DNA repair, via the warehouse search engine *)
   print_endline "\nfocused search over genedb for \"repair\":";
-  let hits =
-    Aladin_access.Search.focused (Warehouse.search w) ~source:"genedb" "repair"
-  in
+  let hits = Engine.focused eng ~source:"genedb" "repair" in
   List.iter
     (fun (h : Aladin_access.Search.hit) ->
       Printf.printf "  %s (%.2f)\n" (Lk.Objref.to_string h.obj) h.score)

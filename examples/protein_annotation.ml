@@ -25,18 +25,20 @@ let () =
   let w = Warehouse.integrate corpus.catalogs in
   print_string (Aladin_system.summary w);
 
+  (* one engine handle serves the whole annotation session *)
+  let eng = Engine.create w in
+
   (* pick a structure that has at least one cross-reference link *)
-  let browser = Warehouse.browser w in
   let structures =
     List.filter
       (fun (o : Lk.Objref.t) -> o.source = "pdb")
-      (Aladin_access.Browser.objects browser)
+      (Engine.objects eng)
   in
   Printf.printf "\n%d structures in the pdb source\n" (List.length structures);
   let with_links =
     List.filter_map
       (fun o ->
-        match Aladin_access.Browser.view browser o with
+        match Engine.view eng o with
         | Some v when v.linked <> [] -> Some v
         | Some _ | None -> None)
       structures
@@ -48,7 +50,7 @@ let () =
         (Lk.Objref.to_string view.obj);
       print_string (Aladin_access.Browser.render view);
       (* follow the first link to the protein it annotates *)
-      (match Aladin_access.Browser.follow browser view 0 with
+      (match Engine.follow eng view 0 with
       | Some protein_view ->
           Printf.printf "\n=== following link 0 -> %s ===\n"
             (Lk.Objref.to_string protein_view.obj);
@@ -57,7 +59,7 @@ let () =
       (* rank everything related to this structure by link paths:
          "query results can be ordered based on the number, consistency,
          and length of different paths between two objects" (paper §6) *)
-      let ranked = Aladin_access.Path_rank.rank_from (Warehouse.path_index w) view.obj in
+      let ranked = Engine.related eng view.obj in
       print_endline "\ntop related objects by path evidence:";
       List.iteri
         (fun i (o, score) ->

@@ -95,30 +95,34 @@ let () =
       | None -> ())
     (Warehouse.sources w);
 
+  (* all access goes through the engine facade: built once, shared by
+     browse, search and SQL *)
+  let eng = Engine.create w in
+
   (* browse an object: its fields, annotations, and discovered links *)
-  let browser = Warehouse.browser w in
-  (match Aladin_access.Browser.view_accession browser ~source:"swissprot" "P10001" with
+  (match Engine.browse eng ~source:"swissprot" "P10001" with
   | Some view -> print_string (Aladin_access.Browser.render view)
   | None -> print_endline "P10001 not found");
 
   (* search the whole warehouse *)
-  let search = Warehouse.search w in
   print_endline "\nsearch \"kinase\":";
   List.iter
     (fun (h : Aladin_access.Search.hit) ->
       Printf.printf "  %s (score %.2f)\n"
         (Aladin_links.Objref.to_string h.obj)
         h.score)
-    (Aladin_access.Search.search search "kinase");
+    (Engine.search eng "kinase");
 
   (* and SQL over the imported schemas, across sources *)
   print_endline "\nSQL: accessions of entries with a PDB cross-reference:";
-  let result =
-    Warehouse.sql w
+  match
+    Engine.query eng
       "SELECT swissprot.bioentry.accession, dbname FROM swissprot.bioentry \
        JOIN swissprot.dbxref ON swissprot.bioentry.bioentry_id = \
        swissprot.dbxref.bioentry_id WHERE dbname = 'PDB' \
        ORDER BY swissprot.bioentry.accession"
-  in
-  ignore (Relation.cardinality result);
-  print_endline (Aladin_access.Sql_eval.render_result result)
+  with
+  | Ok result ->
+      ignore (Relation.cardinality result);
+      print_endline (Aladin_access.Sql_eval.render_result result)
+  | Error msg -> prerr_endline msg

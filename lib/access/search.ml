@@ -74,12 +74,23 @@ let object_count t = Hashtbl.length t.objects
 
 type hit = { obj : Objref.t; score : float; matched : string list }
 
+(* descending score, ties broken by the full Objref order (source,
+   relation, accession) — never by hash-table or schedule order — so a
+   result list is byte-identical across runs, domain counts, and cached
+   vs. recomputed responses *)
+let compare_hits a b =
+  match Float.compare b.score a.score with
+  | 0 -> Objref.compare a.obj b.obj
+  | c -> c
+
 let to_hits t results =
   List.filter_map
     (fun (r : Tx.Inverted_index.query_result) ->
       Hashtbl.find_opt t.objects r.doc_id
-      |> Option.map (fun obj -> { obj; score = r.score; matched = r.matched }))
+      |> Option.map (fun obj ->
+             { obj; score = r.score; matched = List.sort String.compare r.matched }))
     results
+  |> List.sort compare_hits
 
 let search t ?(limit = 20) query =
   to_hits t (Tx.Inverted_index.search t.idx ~limit query)

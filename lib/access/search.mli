@@ -15,14 +15,19 @@ val build : Profile_list.t -> t
 val object_count : t -> int
 
 type hit = { obj : Objref.t; score : float; matched : string list }
+(** [matched] is sorted alphabetically. *)
 
 val search : t -> ?limit:int -> string -> hit list
-(** Ranked full-text search. *)
+(** Ranked full-text search. Ordering is fully deterministic: descending
+    score, equal scores broken by {!Objref.compare} — never by hash-table
+    or schedule order — so the same query returns byte-identical results
+    across runs, pool sizes, and cached vs. recomputed responses. *)
 
 val focused :
   t -> ?source:string -> ?field:string -> ?limit:int -> string -> hit list
 (** Focused search: [source] restricts horizontally (objects of one
-    source), [field] vertically (one ["relation.attribute"]). *)
+    source), [field] vertically (one ["relation.attribute"]). Same
+    deterministic ordering contract as {!search}. *)
 
 val resolve : t -> string -> Objref.t option
 (** Exact accession lookup ("known-item" access). *)

@@ -1,0 +1,101 @@
+open Aladin_links
+open Aladin_access
+module Run_report = Aladin_resilience.Run_report
+module Import_error = Aladin_resilience.Import_error
+
+type t = {
+  w : Warehouse.t;
+  mutable browser : Browser.t;
+  mutable search : Search.t;
+  mutable link_query : Link_query.t;
+  mutable paths : Path_rank.t;
+  mutable generation : int;
+}
+
+(* the warehouse memoizes each structure until its own invalidation, so
+   pulling them here never builds twice; the facade pins the handles so
+   every access path of one generation shares the same session state *)
+let create w =
+  {
+    w;
+    browser = Warehouse.browser w;
+    search = Warehouse.search w;
+    link_query = Warehouse.link_query w;
+    paths = Warehouse.path_index w;
+    generation = 0;
+  }
+
+let integrate ?config catalogs = create (Warehouse.integrate ?config catalogs)
+
+let warehouse t = t.w
+
+let generation t = t.generation
+
+let refresh t =
+  t.browser <- Warehouse.browser t.w;
+  t.search <- Warehouse.search t.w;
+  t.link_query <- Warehouse.link_query t.w;
+  t.paths <- Warehouse.path_index t.w;
+  t.generation <- t.generation + 1
+
+(* --- browse --- *)
+
+let objects t = Browser.objects t.browser
+
+let view t obj = Browser.view t.browser obj
+
+let resolve t accession = Search.resolve t.search accession
+
+let browse t ?source accession =
+  match source with
+  | Some s -> Browser.view_accession t.browser ~source:s accession
+  | None -> Option.bind (resolve t accession) (view t)
+
+let follow t v i = Browser.follow t.browser v i
+
+let browser t = t.browser
+
+(* --- search --- *)
+
+let search t ?limit query = Search.search t.search ?limit query
+
+let focused t ?source ?field ?limit query =
+  Search.focused t.search ?source ?field ?limit query
+
+(* --- query --- *)
+
+let query t sql =
+  match Warehouse.sql t.w sql with
+  | r -> Ok r
+  | exception Sql_parser.Parse_error msg -> Error ("parse error: " ^ msg)
+  | exception Sql_eval.Eval_error msg -> Error msg
+
+let links ?kind t =
+  let all = Warehouse.links t.w in
+  match kind with
+  | None -> all
+  | Some k -> List.filter (fun (l : Link.t) -> Link.kind_name l.kind = k) all
+
+let traverse t ~start ~steps = Link_query.run t.link_query ~start ~steps
+
+let related t obj = Path_rank.rank_from t.paths obj
+
+let paths t = t.paths
+
+(* --- mutation --- *)
+
+let add_source ?import_errors t catalog =
+  let report = Warehouse.add_source ?import_errors t.w catalog in
+  refresh t;
+  report
+
+let update_source t catalog ~changed_rows =
+  match Warehouse.update_source t.w catalog ~changed_rows with
+  | `Deferred -> `Deferred
+  | `Reanalyzed report ->
+      refresh t;
+      `Reanalyzed report
+
+let reject_link t l =
+  Warehouse.reject_link t.w l;
+  refresh t

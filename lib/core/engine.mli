@@ -1,0 +1,108 @@
+(** The unified access-engine facade (§4.6): build once, serve many.
+
+    Every access-layer entry point — the CLI subcommands, the examples,
+    and the [lib/serve] daemon — goes through this one handle instead of
+    constructing {!Aladin_access.Search} / {!Aladin_access.Browser} /
+    {!Aladin_access.Link_query} structures itself. {!create} forces all
+    of them eagerly, exactly once; browse, search, SQL and link-path
+    queries then share the same session state, so a long-lived process
+    (or a sequence of CLI operations over one warehouse) never pays the
+    per-command rebuild that the old entry points did.
+
+    The facade also tracks a {!generation} counter, bumped on every
+    mutation that can change query results ({!add_source},
+    {!update_source}, {!reject_link}, {!refresh}). Caches keyed on the
+    generation — such as the serving layer's response cache — are
+    thereby invalidated explicitly when a source is added or updated. *)
+
+open Aladin_relational
+open Aladin_links
+open Aladin_access
+module Run_report = Aladin_resilience.Run_report
+module Import_error = Aladin_resilience.Import_error
+
+type t
+
+val create : Warehouse.t -> t
+(** Wrap a warehouse and eagerly build the search index, browser, link
+    query and path-rank structures over its current contents. *)
+
+val integrate : ?config:Config.t -> Catalog.t list -> t
+(** [create (Warehouse.integrate catalogs)] — the one-step form the
+    examples use. *)
+
+val warehouse : t -> Warehouse.t
+
+val generation : t -> int
+(** Monotone counter identifying the engine's current contents; bumped
+    by every mutating operation below. Equal generations guarantee
+    byte-identical query results (see {!Aladin_access.Search}'s
+    determinism contract). *)
+
+val refresh : t -> unit
+(** Rebuild the access structures from the warehouse's current state and
+    bump the generation. Call after mutating the warehouse directly
+    (anything not routed through this facade). *)
+
+(** {2 Browse} *)
+
+val objects : t -> Objref.t list
+
+val view : t -> Objref.t -> Browser.view option
+
+val browse : t -> ?source:string -> string -> Browser.view option
+(** Page for an accession: with [source], a direct lookup in that
+    source; otherwise the accession is resolved warehouse-wide first. *)
+
+val follow : t -> Browser.view -> int -> Browser.view option
+
+val browser : t -> Browser.t
+(** The shared browser handle (for {!Aladin_access.Html_export}). *)
+
+(** {2 Search} *)
+
+val search : t -> ?limit:int -> string -> Search.hit list
+
+val focused :
+  t -> ?source:string -> ?field:string -> ?limit:int -> string -> Search.hit list
+
+val resolve : t -> string -> Objref.t option
+(** Exact accession lookup ("known-item" access). *)
+
+(** {2 Query} *)
+
+val query : t -> string -> (Relation.t, string) result
+(** SQL over the integrated warehouse. Parse and evaluation errors come
+    back as [Error msg] — the facade never raises. *)
+
+val links : ?kind:string -> t -> Link.t list
+(** Discovered links, optionally filtered by {!Link.kind_name}. *)
+
+val traverse :
+  t -> start:Objref.t list -> steps:Link_query.step list -> Link_query.hit list
+(** Cross-database path query over the link graph. *)
+
+val related : t -> Objref.t -> (Objref.t * float) list
+(** Objects ranked by link-path evidence ({!Path_rank.rank_from}). *)
+
+val paths : t -> Path_rank.t
+(** The shared path-rank handle (for pairwise
+    {!Path_rank.relatedness}). *)
+
+(** {2 Mutation} *)
+
+val add_source :
+  ?import_errors:Import_error.record_error list ->
+  t ->
+  Catalog.t ->
+  Run_report.t
+(** {!Warehouse.add_source}, then rebuild the access structures and bump
+    the generation. *)
+
+val update_source :
+  t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of Run_report.t | `Deferred ]
+(** {!Warehouse.update_source}; the generation is bumped only on
+    [`Reanalyzed] (a deferred change leaves query results untouched). *)
+
+val reject_link : t -> Link.t -> unit
+(** §6.2 feedback: the link disappears immediately and stays gone. *)

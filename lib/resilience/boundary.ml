@@ -1,7 +1,7 @@
-let protect ~step ?budget f =
+let protect ?scope ~step ?budget f =
   let body () =
     match budget with
-    | Some b -> Budget.with_budget ~step b f
+    | Some b -> Budget.with_budget ?scope ~step b f
     | None -> f ()
   in
   match body () with

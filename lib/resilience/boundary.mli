@@ -9,6 +9,7 @@
     report. *)
 
 val protect :
+  ?scope:[ `Pool | `Domain ] ->
   step:string ->
   ?budget:float ->
   (unit -> 'a) ->
@@ -16,10 +17,11 @@ val protect :
 (** Run the body inside an error boundary.
 
     With [budget] (seconds), the body runs under
-    {!Budget.with_budget}; a budget [<= 0] expires before the body does
-    any work. Budget expiry maps to [Error (Timeout budget)]; any other
-    exception maps to [Error (Crashed msg)] with the printed
-    exception. The boundary never raises. *)
+    {!Budget.with_budget} (in the given [scope], default [`Pool]); a
+    budget [<= 0] expires before the body does any work. Budget expiry
+    maps to [Error (Timeout budget)]; any other exception maps to
+    [Error (Crashed msg)] with the printed exception. The boundary
+    never raises. *)
 
 val status_of : ('a, Run_report.error) result -> string
 (** Span-attribute value for the result: ["ok" | "timeout" | "failed"]. *)

@@ -1,0 +1,41 @@
+(** LRU + TTL result cache for the serving layer.
+
+    Single-domain by design: the server's accept loop is the only
+    mutator (cache lookups and stores never happen inside a pool
+    fan-out), so no locking is needed. Keys are normalized request
+    targets prefixed with the engine generation, which is what makes
+    invalidation on source add/update explicit — a generation bump
+    orphans every previous entry, and {!flush} reclaims them eagerly.
+
+    Recency is tracked with a lazy-deletion queue: every touch enqueues
+    a fresh (key, sequence) ticket and eviction pops tickets until one
+    is current, giving O(1) amortized updates with bounded garbage. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** LRU capacity evictions *)
+  expirations : int;  (** TTL expiries observed on lookup *)
+  flushes : int;  (** explicit invalidations *)
+  size : int;
+  capacity : int;
+}
+
+val create : capacity:int -> ttl:float -> unit -> 'v t
+(** [capacity <= 0] disables the cache (every lookup misses, nothing is
+    stored). [ttl] in seconds counts from insertion; [<= 0] means
+    entries never expire. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit refreshes the entry's recency (but not its TTL). *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert or replace, evicting least-recently-used entries over
+    capacity. *)
+
+val flush : 'v t -> unit
+(** Drop every entry (explicit invalidation). Counters survive. *)
+
+val stats : 'v t -> stats

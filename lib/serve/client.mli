@@ -1,0 +1,19 @@
+(** Tiny blocking HTTP client for [aladin serve] — enough for the
+    [aladin fetch] subcommand, the smoke test in scripts/check.sh and
+    the load generator in bench/, without any external tooling. One
+    request per connection, mirroring the server's
+    [Connection: close]. *)
+
+val request :
+  ?host:string ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  (Http.response, string) result
+(** [request ~port target] sends [GET target] to [host] (default
+    127.0.0.1) and returns the parsed response. [timeout] (default 10 s)
+    bounds both connect and read. [Error] on connection failure,
+    timeout, or an unparsable response — never raises. *)
+
+val get : ?host:string -> ?timeout:float -> port:int -> string -> (Http.response, string) result
+(** Alias of {!request}. *)

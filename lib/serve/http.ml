@@ -1,0 +1,309 @@
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ?(headers = []) ?(content_type = "text/plain; charset=utf-8")
+    status body =
+  { status; headers = ("content-type", content_type) :: headers; body }
+
+let header r name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name (List.map (fun (k, v) -> (String.lowercase_ascii k, v)) r.headers)
+
+let with_header r name value =
+  let name = String.lowercase_ascii name in
+  let rest =
+    List.filter (fun (k, _) -> String.lowercase_ascii k <> name) r.headers
+  in
+  { r with headers = rest @ [ (name, value) ] }
+
+let query_param req name = List.assoc_opt name req.query
+
+(* --- percent coding --- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let pct_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | '%' when i + 2 < n && hex_val s.[i + 1] >= 0 && hex_val s.[i + 2] >= 0 ->
+          Buffer.add_char b
+            (Char.chr ((hex_val s.[i + 1] * 16) + hex_val s.[i + 2]));
+          go (i + 3)
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1))
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let unreserved c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' | '_' | '~' -> true
+  | _ -> false
+
+let pct_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if unreserved c then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* --- parsing --- *)
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | Some i ->
+                 Some
+                   ( pct_decode (String.sub kv 0 i),
+                     pct_decode
+                       (String.sub kv (i + 1) (String.length kv - i - 1)) )
+             | None -> Some (pct_decode kv, ""))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | Some i ->
+      ( pct_decode (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+  | None -> (pct_decode target, [])
+
+let parse_request head =
+  let lines = String.split_on_char '\n' head in
+  let lines = List.map (fun l ->
+    let n = String.length l in
+    if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l) lines
+  in
+  match lines with
+  | [] -> Error "empty request"
+  | rl :: rest -> (
+      match String.split_on_char ' ' rl with
+      | [ meth; target; version ]
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+          let headers =
+            List.filter_map
+              (fun l ->
+                match String.index_opt l ':' with
+                | Some i ->
+                    Some
+                      ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                        String.trim
+                          (String.sub l (i + 1) (String.length l - i - 1)) )
+                | None -> None)
+              (List.filter (( <> ) "") rest)
+          in
+          let path, query = parse_target target in
+          Ok { meth; target; path; query; headers }
+      | _ -> Error (Printf.sprintf "malformed request line %S" rl))
+
+let normalize_target req =
+  let params =
+    List.stable_sort (fun (a, _) (b, _) -> String.compare a b) req.query
+  in
+  match params with
+  | [] -> req.path
+  | ps ->
+      req.path ^ "?"
+      ^ String.concat "&"
+          (List.map (fun (k, v) -> pct_encode k ^ "=" ^ pct_encode v) ps)
+
+(* --- rendering --- *)
+
+let render r =
+  let b = Buffer.create (String.length r.body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason r.status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    r.headers;
+  Buffer.add_string b
+    (Printf.sprintf "content-length: %d\r\n" (String.length r.body));
+  Buffer.add_string b "connection: close\r\n\r\n";
+  Buffer.add_string b r.body;
+  Buffer.contents b
+
+(* --- descriptor I/O --- *)
+
+(* (head length, offset just past the \r\n\r\n or \n\n separator) *)
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i >= 3 && s.[i - 1] = '\r' && s.[i - 2] = '\n' && s.[i - 3] = '\r' then
+        Some (i - 3, i + 1)
+      else if i >= 1 && s.[i - 1] = '\n' then Some (i - 1, i + 1)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let parse_response raw =
+  match find_head_end raw with
+  | None -> Error "no header terminator in response"
+  | Some (head_len, body_off) -> (
+      let lines =
+        String.split_on_char '\n' (String.sub raw 0 head_len)
+        |> List.map (fun l ->
+               let n = String.length l in
+               if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+      in
+      match lines with
+      | [] -> Error "empty response head"
+      | sl :: rest -> (
+          match String.split_on_char ' ' sl with
+          | version :: code :: _
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+            -> (
+              match int_of_string_opt code with
+              | None -> Error (Printf.sprintf "bad status code %S" code)
+              | Some status ->
+                  let headers =
+                    List.filter_map
+                      (fun l ->
+                        match String.index_opt l ':' with
+                        | Some i ->
+                            Some
+                              ( String.lowercase_ascii
+                                  (String.trim (String.sub l 0 i)),
+                                String.trim
+                                  (String.sub l (i + 1)
+                                     (String.length l - i - 1)) )
+                        | None -> None)
+                      (List.filter (( <> ) "") rest)
+                  in
+                  let body =
+                    String.sub raw body_off (String.length raw - body_off)
+                  in
+                  let body =
+                    match
+                      Option.bind (List.assoc_opt "content-length" headers)
+                        (fun n -> int_of_string_opt (String.trim n))
+                    with
+                    | Some n when n >= 0 && n <= String.length body ->
+                        String.sub body 0 n
+                    | _ -> body
+                  in
+                  Ok { status; headers; body })
+          | _ -> Error (Printf.sprintf "malformed status line %S" sl)))
+
+let header_of (req : request) name = List.assoc_opt name req.headers
+
+let read_request ?(max_head = 16384) fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  let rec fill () =
+    match find_head_end (Buffer.contents buf) with
+    | Some (head_len, body_off) -> Ok (head_len, body_off)
+    | None ->
+        if Buffer.length buf > max_head then Error "request head too large"
+        else begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed before request head"
+          | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              fill ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              Error "timed out reading request"
+          | exception Unix.Unix_error (EINTR, _, _) -> fill ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+        end
+  in
+  match fill () with
+  | Error _ as e -> e
+  | Ok (head_len, body_off) -> (
+      let head = String.sub (Buffer.contents buf) 0 head_len in
+      match parse_request head with
+      | Error _ as e -> e
+      | Ok req ->
+          (* drain any body so the peer never sees a reset before our
+             response; GET bodies are ignored *)
+          (match header_of req "content-length" with
+          | Some n -> (
+              match int_of_string_opt (String.trim n) with
+              | Some want when want > 0 ->
+                  let have = ref (Buffer.length buf - body_off) in
+                  (try
+                     while !have < want && want <= 1_048_576 do
+                       match Unix.read fd chunk 0 (Bytes.length chunk) with
+                       | 0 -> have := want
+                       | k -> have := !have + k
+                     done
+                   with Unix.Unix_error (_, _, _) -> ())
+              | _ -> ())
+          | None -> ());
+          Ok req)
+
+let write_response fd resp =
+  let s = render resp in
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> false
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0

@@ -1,0 +1,75 @@
+(** Minimal dependency-free HTTP/1.1, the wire layer of [aladin serve].
+
+    Only what a query-serving daemon needs: parse a request head, render
+    a response with [Content-Length], and move both over a file
+    descriptor. Connections are one-request ([Connection: close]);
+    request bodies are read and discarded. Parsing is pure ({!parse_request})
+    so it can be tested without sockets. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["GET"] *)
+  target : string;  (** raw request target, path + query *)
+  path : string;  (** percent-decoded path, no query string *)
+  query : (string * string) list;  (** decoded parameters, arrival order *)
+  headers : (string * string) list;  (** names lowercased *)
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+val response :
+  ?headers:(string * string) list -> ?content_type:string -> int -> string ->
+  response
+(** [response status body]; [content_type] defaults to
+    ["text/plain; charset=utf-8"]. *)
+
+val reason : int -> string
+(** Standard reason phrase (["OK"], ["Service Unavailable"], ...). *)
+
+val header : response -> string -> string option
+
+val with_header : response -> string -> string -> response
+(** Replace-or-add one header. *)
+
+val query_param : request -> string -> string option
+
+val normalize_target : request -> string
+(** Canonical form of the request target for cache keying: decoded path
+    plus query parameters sorted by name (stable for equal names), so
+    [/search?q=x&limit=5] and [/search?limit=5&q=x] key identically. *)
+
+val parse_request : string -> (request, string) result
+(** Parse a request head (request line + headers, no body). *)
+
+val parse_response : string -> (response, string) result
+(** Parse full response wire bytes (status line, headers, body); the
+    body is truncated to [Content-Length] when present. Used by
+    {!Client}. *)
+
+val pct_decode : string -> string
+(** Percent-decoding; [+] becomes a space (query-string convention). *)
+
+val pct_encode : string -> string
+(** Encode everything but RFC 3986 unreserved characters. *)
+
+val json_string : string -> string
+(** JSON string literal with quotes, escaping as needed. *)
+
+val render : response -> string
+(** Full wire bytes: status line, headers (adding [Content-Length] and
+    [Connection: close]), blank line, body. *)
+
+(** {2 Descriptor I/O} — confined to lib/serve by scripts/check.sh. *)
+
+val read_request : ?max_head:int -> Unix.file_descr -> (request, string) result
+(** Read and parse one request head from the descriptor (honouring its
+    receive timeout), then read and discard any [Content-Length] body.
+    [Error] on EOF, timeout, malformed head, or a head over [max_head]
+    (default 16 KiB) bytes. *)
+
+val write_response : Unix.file_descr -> response -> bool
+(** Write the full rendered response; [false] if the peer vanished
+    (EPIPE/ECONNRESET) — never raises. *)

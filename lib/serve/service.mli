@@ -1,0 +1,62 @@
+(** The serving compute layer: routes HTTP requests onto the
+    {!Aladin.Engine} facade, with an LRU+TTL response cache and
+    pool-parallel batch evaluation.
+
+    Separated from {!Server} (which owns sockets, admission and drain)
+    so the cached hot path can be exercised — and benchmarked — without
+    any I/O. All shared mutable state (cache, metrics) is touched only
+    by the calling domain; the per-request work fanned out on the pool
+    is pure engine reads, honouring {!Aladin_par.Pool}'s domain-safety
+    contract. Responses are deterministic: for a fixed engine
+    generation, equal requests produce byte-identical bodies at any pool
+    size, cached or not (the [x-cache] header is the only difference).
+
+    Routes: [/healthz], [/metrics], [/search?q=&source=&field=&limit=],
+    [/object/SOURCE/ACCESSION] (or [/object?accession=&source=]),
+    [/resolve?accession=], [/query?sql=], [/links?kind=], and — only
+    with [debug_endpoints] — [/slow?seconds=] (a deadline-polling
+    sleeper for overload and drain testing).
+
+    Each request runs under a [`Domain]-scoped
+    {!Aladin_resilience.Budget} of [request_budget] seconds inside an
+    error boundary: deadline expiry maps to [503] with [Retry-After],
+    a crash to [500]; the boundary never kills the batch. *)
+
+type config = {
+  cache_capacity : int;  (** response-cache entries; [<= 0] disables *)
+  cache_ttl : float;  (** seconds from insertion; [<= 0] = no expiry *)
+  request_budget : float option;  (** per-request deadline, seconds *)
+  debug_endpoints : bool;  (** expose [/slow] *)
+}
+
+val default_config : config
+(** 512 entries, 60 s TTL, 5 s request budget, no debug endpoints. *)
+
+type t
+
+val create : ?pool:Aladin_par.Pool.t -> ?config:config -> Aladin.Engine.t -> t
+
+val engine : t -> Aladin.Engine.t
+
+val config : t -> config
+
+val handle : t -> Http.request -> Http.response
+(** One request through the cached path ([handle_batch] of one). *)
+
+val handle_batch : t -> Http.request list -> Http.response list
+(** Evaluate a batch: cache lookups on the calling domain, the misses
+    fanned out over the pool, results stored back and responses returned
+    in request order. Cache keys include the engine generation, so
+    entries from before a source add/update can never be served. *)
+
+val cache_stats : t -> Cache.stats
+
+val flush_cache : t -> unit
+(** Explicit invalidation (also happens implicitly via the generation
+    key when the engine changes). *)
+
+val metrics_text : ?extra:(string * float) list -> t -> string
+(** Prometheus-style text: per-route request counts and latency
+    histograms (with estimated p50/p95/p99), cache and error counters,
+    engine generation, plus any [extra] gauges (the server adds queue
+    depth and admission counters). *)

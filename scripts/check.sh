@@ -56,6 +56,27 @@ if grep -rnE '\bopen_out|Sys\.rename' \
 fi
 echo "grep-gate ok: no raw open_out/Sys.rename outside lib/store"
 
+# Raw sockets are the serving subsystem's business only: every HTTP/socket
+# call site must live in lib/serve (the server, its client, and nothing
+# else). Other layers talk to a server through Aladin_serve.Client.
+if grep -rnE 'Unix\.(socket|accept|bind|listen|connect)\b' \
+    lib bin bench examples --include='*.ml' --include='*.mli' 2>/dev/null \
+    | grep -v '^lib/serve/'; then
+  echo "error: raw socket primitive outside lib/serve (use Aladin_serve)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no socket primitives outside lib/serve"
+
+# Access structures are built by the Engine facade exactly once per
+# session; entry points (CLI, examples, bench, serve) must not construct
+# or fetch them directly.
+if grep -rnE 'Warehouse\.(browser|search|link_query|path_index)\b|Search\.build|Browser\.create|Link_query\.create' \
+    bin examples bench lib/serve --include='*.ml' 2>/dev/null; then
+  echo "error: access structure built outside the Engine facade (use Aladin.Engine)" >&2
+  exit 1
+fi
+echo "grep-gate ok: all access-layer entry points go through Aladin.Engine"
+
 dune build
 dune runtest
 
@@ -103,5 +124,47 @@ fi
 ./_build/default/bin/aladin_cli.exe fsck "$sdir" > /dev/null
 ./_build/default/bin/aladin_cli.exe load --strict "$sdir" > /dev/null
 echo "durability ok: fsck detects damage, --repair restores a clean store"
+
+# Serving: the daemon must come up on a saved store, answer /healthz,
+# serve a search from cache on repeat (x-cache: hit), expose /metrics,
+# and drain cleanly on SIGTERM.
+slog=$(mktemp)
+trap 'rm -f "$q1" "$q2" "$f1" "$slog"; rm -rf "$sdir"' EXIT
+./_build/default/bin/aladin_cli.exe serve --store "$sdir" --port 0 > "$slog" 2>&1 &
+spid=$!
+port=""
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9][0-9]*\).*|\1|p' "$slog")
+  [ -n "$port" ] && break
+  kill -0 "$spid" 2>/dev/null || break
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$port" ]; then
+  echo "error: aladin serve never reported its port" >&2
+  cat "$slog" >&2
+  kill "$spid" 2>/dev/null || true
+  exit 1
+fi
+fetch() { ./_build/default/bin/aladin_cli.exe fetch --port "$port" "$@"; }
+fetch /healthz | grep -q '^ok$' || {
+  echo "error: /healthz did not answer ok" >&2; kill "$spid"; exit 1; }
+fetch '/search?q=protein' > /dev/null || {
+  echo "error: search over the socket failed" >&2; kill "$spid"; exit 1; }
+fetch -i '/search?q=protein' | grep -qi 'x-cache: hit' || {
+  echo "error: repeated search was not served from cache" >&2
+  kill "$spid"; exit 1; }
+fetch /metrics | grep -q 'aladin_cache_hits_total' || {
+  echo "error: /metrics missing cache counters" >&2; kill "$spid"; exit 1; }
+kill -TERM "$spid"
+wait "$spid" || {
+  echo "error: serve exited nonzero after SIGTERM" >&2; exit 1; }
+grep -q 'drained:' "$slog" || {
+  echo "error: serve did not print its drain summary" >&2
+  cat "$slog" >&2
+  exit 1
+}
+echo "serve ok: healthz, cached search, metrics, graceful SIGTERM drain"
 
 echo "check.sh: all green"

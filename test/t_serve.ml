@@ -1,0 +1,389 @@
+(* lib/serve: HTTP wire layer, LRU+TTL cache, the service compute path
+   (determinism across pool sizes, cache invalidation, deadlines) and the
+   socket server (overload backpressure, graceful drain).
+
+   Socket tests fork a sequential child server (no pool: a forked child
+   must not touch domains spawned before the fork), so they exercise the
+   protocol and admission paths; parallel-compute determinism is tested
+   in-process with real pools. *)
+
+open Aladin
+module Serve = Aladin_serve
+module Http = Serve.Http
+module Pool = Aladin_par.Pool
+
+let check = Alcotest.check
+
+let req target =
+  match Http.parse_request (Printf.sprintf "GET %s HTTP/1.1\r\n" target) with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+(* --- http --- *)
+
+let http_tests =
+  [
+    Alcotest.test_case "request parsing and query decoding" `Quick (fun () ->
+        let r = req "/search?q=dna+repair&limit=5&x=%2Fa%26b" in
+        check Alcotest.string "path" "/search" r.path;
+        check Alcotest.(option string) "q" (Some "dna repair")
+          (Http.query_param r "q");
+        check Alcotest.(option string) "limit" (Some "5")
+          (Http.query_param r "limit");
+        check Alcotest.(option string) "decoded" (Some "/a&b")
+          (Http.query_param r "x"));
+    Alcotest.test_case "normalize_target sorts parameters" `Quick (fun () ->
+        let a = req "/search?q=kinase&limit=5" in
+        let b = req "/search?limit=5&q=kinase" in
+        check Alcotest.string "equal keys" (Http.normalize_target a)
+          (Http.normalize_target b);
+        check Alcotest.bool "differs from other query" true
+          (Http.normalize_target a <> Http.normalize_target (req "/search?q=x")));
+    Alcotest.test_case "malformed request line rejected" `Quick (fun () ->
+        (match Http.parse_request "NONSENSE\r\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "parsed nonsense");
+        match Http.parse_request "GET /x SMTP/1.0\r\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "parsed non-http version");
+    Alcotest.test_case "response render / parse round-trip" `Quick (fun () ->
+        let resp =
+          Http.response 200 ~content_type:"application/json"
+            ~headers:[ ("x-cache", "hit") ]
+            "{\"a\":1}\n"
+        in
+        match Http.parse_response (Http.render resp) with
+        | Error msg -> Alcotest.fail msg
+        | Ok back ->
+            check Alcotest.int "status" 200 back.status;
+            check Alcotest.string "body" "{\"a\":1}\n" back.body;
+            check Alcotest.(option string) "x-cache" (Some "hit")
+              (List.assoc_opt "x-cache" back.headers);
+            check Alcotest.(option string) "content-length"
+              (Some (string_of_int (String.length back.body)))
+              (List.assoc_opt "content-length" back.headers));
+    Alcotest.test_case "json_string escapes" `Quick (fun () ->
+        check Alcotest.string "escaped" "\"a\\\"b\\\\c\\nd\""
+          (Http.json_string "a\"b\\c\nd"));
+  ]
+
+(* --- cache --- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "lru evicts least recently used" `Quick (fun () ->
+        let c = Serve.Cache.create ~capacity:2 ~ttl:0.0 () in
+        Serve.Cache.add c "a" 1;
+        Serve.Cache.add c "b" 2;
+        (* touch a so b becomes the LRU entry *)
+        check Alcotest.(option int) "a hit" (Some 1) (Serve.Cache.find c "a");
+        Serve.Cache.add c "c" 3;
+        check Alcotest.(option int) "b evicted" None (Serve.Cache.find c "b");
+        check Alcotest.(option int) "a kept" (Some 1) (Serve.Cache.find c "a");
+        check Alcotest.(option int) "c kept" (Some 3) (Serve.Cache.find c "c");
+        let s = Serve.Cache.stats c in
+        check Alcotest.int "evictions" 1 s.evictions;
+        check Alcotest.int "size" 2 s.size);
+    Alcotest.test_case "ttl expires entries" `Quick (fun () ->
+        let c = Serve.Cache.create ~capacity:8 ~ttl:0.02 () in
+        Serve.Cache.add c "k" 1;
+        check Alcotest.(option int) "fresh" (Some 1) (Serve.Cache.find c "k");
+        Unix.sleepf 0.03;
+        check Alcotest.(option int) "expired" None (Serve.Cache.find c "k");
+        check Alcotest.int "expirations" 1 (Serve.Cache.stats c).expirations);
+    Alcotest.test_case "capacity 0 disables" `Quick (fun () ->
+        let c = Serve.Cache.create ~capacity:0 ~ttl:0.0 () in
+        Serve.Cache.add c "k" 1;
+        check Alcotest.(option int) "nothing stored" None (Serve.Cache.find c "k"));
+    Alcotest.test_case "flush drops everything once" `Quick (fun () ->
+        let c = Serve.Cache.create ~capacity:8 ~ttl:0.0 () in
+        Serve.Cache.add c "k" 1;
+        Serve.Cache.flush c;
+        Serve.Cache.flush c;
+        check Alcotest.(option int) "gone" None (Serve.Cache.find c "k");
+        check Alcotest.int "one flush counted" 1 (Serve.Cache.stats c).flushes);
+  ]
+
+(* --- service --- *)
+
+let small_corpus =
+  lazy
+    (Aladin_datagen.Corpus.generate
+       {
+         Aladin_datagen.Corpus.default_params with
+         universe =
+           { Aladin_datagen.Universe.default_params with n_proteins = 24;
+             n_genes = 10; n_structures = 8; n_diseases = 4; n_terms = 8;
+             n_families = 3 };
+       })
+
+let engine = lazy (Engine.integrate (Lazy.force small_corpus).catalogs)
+
+let batch_targets =
+  [
+    "/search?q=protein";
+    "/search?q=repair&limit=4";
+    "/search?q=protein&source=uniprot";
+    "/query?sql=SELECT%20*%20FROM%20uniprot.entry";
+    "/links?kind=xref";
+    "/healthz";
+  ]
+
+let run_batch ~domains =
+  let pool = Pool.create ~domains () in
+  let service = Serve.Service.create ~pool (Lazy.force engine) in
+  let resps = Serve.Service.handle_batch service (List.map req batch_targets) in
+  List.map (fun (r : Http.response) -> (r.status, r.body)) resps
+
+let service_tests =
+  [
+    Alcotest.test_case "responses byte-identical at 1/2/4 domains" `Quick
+      (fun () ->
+        let one = run_batch ~domains:1 in
+        check Alcotest.bool "all 200" true (List.for_all (fun (s, _) -> s = 200) one);
+        List.iter
+          (fun domains ->
+            let other = run_batch ~domains in
+            List.iteri
+              (fun i (s, body) ->
+                let s1, body1 = List.nth one i in
+                check Alcotest.int (Printf.sprintf "status %d @%d" i domains) s1 s;
+                check Alcotest.string
+                  (Printf.sprintf "body %d @%d" i domains)
+                  body1 body)
+              other)
+          [ 2; 4 ]);
+    Alcotest.test_case "cached repeat is byte-identical, hit-flagged" `Quick
+      (fun () ->
+        let service = Serve.Service.create (Lazy.force engine) in
+        let r = req "/search?q=protein" in
+        let first = Serve.Service.handle service r in
+        let second = Serve.Service.handle service r in
+        check Alcotest.(option string) "first miss" (Some "miss")
+          (List.assoc_opt "x-cache" first.headers);
+        check Alcotest.(option string) "second hit" (Some "hit")
+          (List.assoc_opt "x-cache" second.headers);
+        check Alcotest.string "same body" first.body second.body;
+        (* normalized target: parameter order does not defeat the cache *)
+        let third = Serve.Service.handle service (req "/search?limit=10&q=protein") in
+        let fourth = Serve.Service.handle service (req "/search?q=protein&limit=10") in
+        check Alcotest.(option string) "miss on new target" (Some "miss")
+          (List.assoc_opt "x-cache" third.headers);
+        check Alcotest.(option string) "hit via normalization" (Some "hit")
+          (List.assoc_opt "x-cache" fourth.headers));
+    Alcotest.test_case "update_source invalidates via generation" `Quick
+      (fun () ->
+        (* private engine: this test mutates it *)
+        let corpus = Lazy.force small_corpus in
+        let eng = Engine.integrate corpus.catalogs in
+        let service = Serve.Service.create eng in
+        let r = req "/search?q=protein" in
+        ignore (Serve.Service.handle service r);
+        let hit = Serve.Service.handle service r in
+        check Alcotest.(option string) "cached before update" (Some "hit")
+          (List.assoc_opt "x-cache" hit.headers);
+        let cat = List.hd corpus.catalogs in
+        let gen0 = Engine.generation eng in
+        (match
+           Engine.update_source eng cat
+             ~changed_rows:(Aladin_relational.Catalog.total_rows cat)
+         with
+        | `Reanalyzed _ -> ()
+        | `Deferred -> Alcotest.fail "full-source change was deferred");
+        check Alcotest.bool "generation bumped" true (Engine.generation eng > gen0);
+        let after = Serve.Service.handle service r in
+        check Alcotest.(option string) "miss after update" (Some "miss")
+          (List.assoc_opt "x-cache" after.headers);
+        check Alcotest.string "same answer after reanalysis" hit.body after.body);
+    Alcotest.test_case "request budget maps to 503 with retry-after" `Quick
+      (fun () ->
+        let service =
+          Serve.Service.create
+            ~config:
+              {
+                Serve.Service.default_config with
+                request_budget = Some 0.05;
+                debug_endpoints = true;
+              }
+            (Lazy.force engine)
+        in
+        let resp = Serve.Service.handle service (req "/slow?seconds=5") in
+        check Alcotest.int "503" 503 resp.status;
+        check Alcotest.(option string) "retry-after" (Some "1")
+          (List.assoc_opt "retry-after" resp.headers));
+    Alcotest.test_case "slow endpoint hidden without debug" `Quick (fun () ->
+        let service = Serve.Service.create (Lazy.force engine) in
+        check Alcotest.int "404" 404
+          (Serve.Service.handle service (req "/slow?seconds=0")).status);
+    Alcotest.test_case "metrics text lists routes and cache counters" `Quick
+      (fun () ->
+        let service = Serve.Service.create (Lazy.force engine) in
+        ignore (Serve.Service.handle service (req "/search?q=protein"));
+        ignore (Serve.Service.handle service (req "/search?q=protein"));
+        let m = Serve.Service.metrics_text ~extra:[ ("x_gauge", 7.0) ] service in
+        let has needle =
+          let nl = String.length needle and ml = String.length m in
+          let rec go i =
+            i + nl <= ml && (String.sub m i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        List.iter
+          (fun needle -> check Alcotest.bool needle true (has needle))
+          [
+            "aladin_cache_hits_total 1";
+            "aladin_cache_misses_total 1";
+            "aladin_requests_total{route=\"search\"} 2";
+            "aladin_request_seconds_count{route=\"search\"} 1";
+            "x_gauge 7.0";
+          ]);
+  ]
+
+(* --- socket server --- *)
+
+(* The server runs in a thread of this process (OCaml 5 forbids fork once
+   domains exist, and earlier suites have spawned pool domains). Drain is
+   triggered through the external [stop] flag — the SIGTERM handler sets
+   the very same flag, and the signal path itself is covered by the
+   scripts/check.sh smoke test. Returns the server's final stats. *)
+let with_server ?(max_queue = 16) ?(request_budget = Some 5.0) f =
+  let service =
+    Serve.Service.create
+      ~config:
+        { Serve.Service.default_config with request_budget;
+          debug_endpoints = true }
+      (Lazy.force engine)
+  in
+  let stop = Atomic.make false in
+  let port_box = Atomic.make 0 in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        let cfg = { Serve.Server.default_config with port = 0; max_queue } in
+        stats :=
+          Some
+            (Serve.Server.run ~config:cfg ~stop
+               ~on_ready:(fun p -> Atomic.set port_box p)
+               service))
+      ()
+  in
+  let rec wait_port n =
+    match Atomic.get port_box with
+    | 0 when n < 1000 ->
+        Thread.delay 0.01;
+        wait_port (n + 1)
+    | 0 -> Alcotest.fail "server did not start"
+    | p -> p
+  in
+  let port = wait_port 0 in
+  let finally () =
+    Atomic.set stop true;
+    Thread.join th
+  in
+  Fun.protect ~finally (fun () -> f ~port ~stop);
+  match !stats with
+  | Some s -> s
+  | None -> Alcotest.fail "server returned no stats"
+
+(* a raw connection we control precisely: send now, read later *)
+let open_conn port target =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let s = Printf.sprintf "GET %s HTTP/1.1\r\nconnection: close\r\n\r\n" target in
+  ignore (Unix.write_substring fd s 0 (String.length s));
+  fd
+
+let read_resp fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  (try
+     let rec go () =
+       match Unix.read fd chunk 0 1024 with
+       | 0 -> ()
+       | k ->
+           Buffer.add_subbytes buf chunk 0 k;
+           go ()
+     in
+     go ()
+   with Unix.Unix_error _ -> ());
+  Unix.close fd;
+  match Http.parse_response (Buffer.contents buf) with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail ("unparsable response: " ^ msg)
+
+let server_tests =
+  [
+    Alcotest.test_case "end-to-end over a socket" `Quick (fun () ->
+        let stats =
+          with_server (fun ~port ~stop:_ ->
+              (match Serve.Client.get ~port "/healthz" with
+              | Ok r ->
+                  check Alcotest.int "healthz 200" 200 r.status;
+                  check Alcotest.string "healthz body" "ok\n" r.body
+              | Error msg -> Alcotest.fail msg);
+              match Serve.Client.get ~port "/search?q=protein" with
+              | Ok r ->
+                  check Alcotest.int "search 200" 200 r.status;
+                  check Alcotest.bool "json body" true
+                    (String.length r.body > 2 && r.body.[0] = '{')
+              | Error msg -> Alcotest.fail msg)
+        in
+        check Alcotest.int "one batched request" 1 stats.served;
+        check Alcotest.int "healthz inline" 1 stats.inline_served);
+    Alcotest.test_case "overload rejects with 503, in-flight unharmed" `Quick
+      (fun () ->
+        let stats =
+          with_server ~max_queue:1 (fun ~port ~stop:_ ->
+              (* occupy the server with one slow batch... *)
+              let slow = open_conn port "/slow?seconds=1.0" in
+              Unix.sleepf 0.35;
+              (* ...pile connections up behind it; the next accept burst
+                 admits one and must 503 the rest before any compute *)
+              let others =
+                List.init 4 (fun _ -> open_conn port "/slow?seconds=0")
+              in
+              let slow_resp = read_resp slow in
+              let resps = List.map read_resp others in
+              check Alcotest.int "slow request served in full" 200
+                slow_resp.status;
+              check Alcotest.string "slow body intact" "slept 1.000s\n"
+                slow_resp.body;
+              let ok, busy =
+                List.partition (fun (r : Http.response) -> r.status = 200) resps
+              in
+              check Alcotest.int "one admitted" 1 (List.length ok);
+              check Alcotest.int "three rejected" 3 (List.length busy);
+              List.iter
+                (fun (r : Http.response) ->
+                  check Alcotest.int "503" 503 r.status;
+                  check Alcotest.(option string) "retry-after" (Some "1")
+                    (List.assoc_opt "retry-after" r.headers))
+                busy)
+        in
+        check Alcotest.int "rejections counted" 3 stats.rejected;
+        check Alcotest.int "no write errors" 0 stats.write_errors);
+    Alcotest.test_case "graceful drain finishes admitted work" `Quick (fun () ->
+        let stats =
+          with_server (fun ~port ~stop ->
+              let c = open_conn port "/slow?seconds=0.4" in
+              Unix.sleepf 0.15;
+              (* the request is mid-batch: draining must not cut it off *)
+              Atomic.set stop true;
+              let resp = read_resp c in
+              check Alcotest.int "drained response status" 200 resp.status;
+              check Alcotest.string "drained response body" "slept 0.400s\n"
+                resp.body)
+        in
+        check Alcotest.int "admitted request served through drain" 1
+          stats.served);
+  ]
+
+let tests =
+  [
+    ("serve.http", http_tests);
+    ("serve.cache", cache_tests);
+    ("serve.service", service_tests);
+    ("serve.server", server_tests);
+  ]

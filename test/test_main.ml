@@ -3,5 +3,5 @@ let () =
     (T_relational.tests @ T_seq.tests @ T_textmine.tests @ T_formats.tests
    @ T_discovery.tests @ T_linkdisc.tests @ T_dupdetect.tests
    @ T_metadata.tests @ T_obs.tests @ T_par.tests @ T_access.tests @ T_datagen.tests
-   @ T_eval.tests @ T_core.tests @ T_resilience.tests @ T_store.tests
+   @ T_eval.tests @ T_core.tests @ T_resilience.tests @ T_serve.tests @ T_store.tests
    @ T_fuzz.tests)
