@@ -774,100 +774,130 @@ let step_seconds tr =
   List.iter walk (Aladin_obs.Trace.roots tr);
   fun name -> Option.value ~default:0.0 (Hashtbl.find_opt tbl name)
 
+(* the headline pipeline bench runs a 10x corpus so per-batch work is large
+   enough to amortize the fan-out's fixed costs; the seed-comparable small
+   corpus rides along so regressions against historical numbers stay
+   visible *)
+let pipeline_universe =
+  { Dg.Universe.default_params with n_proteins = 600; n_genes = 300;
+    n_structures = 250; n_diseases = 100; n_terms = 160; n_families = 80 }
+
+let hot_steps =
+  [ "fk inference"; "xref pass"; "link discovery"; "seq pass";
+    "duplicate detection" ]
+
 let pipeline_bench () =
-  let corpus = Dg.Corpus.generate default_corpus_params in
-  let run domains =
-    let tr =
-      Aladin_obs.Trace.create ~name:(Printf.sprintf "pipeline d=%d" domains) ()
-    in
-    let w, wall =
-      timed (fun () ->
-          Warehouse.integrate
-            ~config:{ Config.default with domains }
-            ~trace:tr corpus.catalogs)
-    in
-    (domains, wall, step_seconds tr, List.length (Warehouse.links w),
-     Aladin_obs.Trace.counter_value tr "fk.accepted")
-  in
-  let runs = List.map run [ 1; 2; 4 ] in
-  let r =
-    Ev.Report.create
-      ~title:
-        "pipeline: full warehouse integration at 1/2/4 domains (seconds; \
-         results must be identical)"
-      ~columns:(("domains" :: "wall" :: pipeline_steps) @ [ "links"; "fks" ])
-  in
-  List.iter
-    (fun (d, wall, sec, links, fks) ->
-      Ev.Report.add_row r
-        ((string_of_int d :: Printf.sprintf "%.3f" wall
-          :: List.map (fun s -> Printf.sprintf "%.3f" (sec s)) pipeline_steps)
-        @ [ string_of_int links; string_of_int fks ]))
-    runs;
-  Ev.Report.print r;
-  (match runs with
-  | (_, _, _, links1, fks1) :: rest ->
-      let same =
-        List.for_all (fun (_, _, _, l, f) -> l = links1 && f = fks1) rest
+  let run_corpus label (corpus : Dg.Corpus.t) =
+    let run domains =
+      let tr =
+        Aladin_obs.Trace.create
+          ~name:(Printf.sprintf "pipeline %s d=%d" label domains)
+          ()
       in
-      Printf.printf "determinism across pool sizes: %s\n"
-        (if same then "ok (links and fks identical)" else "MISMATCH")
-  | [] -> ());
-  let base =
-    match runs with
-    | (_, wall, sec, _, _) :: _ -> (wall, sec)
-    | [] -> (0.0, fun _ -> 0.0)
+      let w, wall =
+        timed (fun () ->
+            Warehouse.integrate
+              ~config:{ Config.default with domains }
+              ~trace:tr corpus.catalogs)
+      in
+      (* measurement isolation: join this size's workers before the next
+         run — on OCaml 5 even IDLE domains tax every stop-the-world minor
+         collection, so a leftover pool would slow every later run *)
+      if domains > 1 then Aladin_par.Pool.(shutdown (get ~domains ()));
+      (domains, wall, step_seconds tr, List.length (Warehouse.links w),
+       Aladin_obs.Trace.counter_value tr "fk.accepted")
+    in
+    let runs = List.map run [ 1; 2; 4 ] in
+    let r =
+      Ev.Report.create
+        ~title:
+          (Printf.sprintf
+             "pipeline (%s corpus): full warehouse integration at 1/2/4 \
+              domains (seconds; results must be identical)"
+             label)
+        ~columns:(("domains" :: "wall" :: pipeline_steps) @ [ "links"; "fks" ])
+    in
+    List.iter
+      (fun (d, wall, sec, links, fks) ->
+        Ev.Report.add_row r
+          ((string_of_int d :: Printf.sprintf "%.3f" wall
+            :: List.map (fun s -> Printf.sprintf "%.3f" (sec s)) pipeline_steps)
+          @ [ string_of_int links; string_of_int fks ]))
+      runs;
+    Ev.Report.print r;
+    (match runs with
+    | (_, _, _, links1, fks1) :: rest ->
+        let same =
+          List.for_all (fun (_, _, _, l, f) -> l = links1 && f = fks1) rest
+        in
+        Printf.printf "determinism across pool sizes (%s): %s\n" label
+          (if same then "ok (links and fks identical)" else "MISMATCH")
+    | [] -> ());
+    runs
   in
   let speedup base_v v = if v > 0.0 then base_v /. v else 1.0 in
+  let runs_json runs =
+    let base =
+      match runs with (_, wall, _, _, _) :: _ -> wall | [] -> 0.0
+    in
+    String.concat ",\n"
+      (List.map
+         (fun (d, wall, sec, links, fks) ->
+           Printf.sprintf
+             "    {\n\
+             \      \"domains\": %d,\n\
+             \      \"wall_seconds\": %.6f,\n\
+             \      \"speedup_vs_1_domain\": %.3f,\n\
+             \      \"links\": %d,\n\
+             \      \"fks\": %d,\n\
+             \      \"step_seconds\": {\n\
+              %s\n\
+             \      }\n\
+             \    }"
+             d wall (speedup base wall) links fks
+             (String.concat ",\n"
+                (List.map
+                   (fun s -> Printf.sprintf "        %S: %.6f" s (sec s))
+                   pipeline_steps)))
+         runs)
+  in
+  let big =
+    run_corpus "10x"
+      (Dg.Corpus.generate
+         { default_corpus_params with universe = pipeline_universe })
+  in
+  let small = run_corpus "small" (Dg.Corpus.generate default_corpus_params) in
+  let hot_speedups =
+    match (big, List.find_opt (fun (d, _, _, _, _) -> d = 4) big) with
+    | (_, _, sec1, _, _) :: _, Some (_, _, sec4, _, _) ->
+        String.concat ",\n"
+          (List.map
+             (fun s ->
+               Printf.sprintf "    %S: %.3f" s (speedup (sec1 s) (sec4 s)))
+             hot_steps)
+    | _ -> ""
+  in
   let json =
-    let run_json (d, wall, sec, links, fks) =
-      Printf.sprintf
-        "    {\n\
-        \      \"domains\": %d,\n\
-        \      \"wall_seconds\": %.6f,\n\
-        \      \"speedup_vs_1_domain\": %.3f,\n\
-        \      \"links\": %d,\n\
-        \      \"fks\": %d,\n\
-        \      \"step_seconds\": {\n\
-         %s\n\
-        \      }\n\
-        \    }"
-        d wall
-        (speedup (fst base) wall)
-        links fks
-        (String.concat ",\n"
-           (List.map
-              (fun s -> Printf.sprintf "        %S: %.6f" s (sec s))
-              pipeline_steps))
-    in
-    let four =
-      List.find_opt (fun (d, _, _, _, _) -> d = 4) runs
-    in
-    let hot_speedups =
-      match four with
-      | Some (_, _, sec4, _, _) ->
-          String.concat ",\n"
-            (List.map
-               (fun s ->
-                 Printf.sprintf "    %S: %.3f" s
-                   (speedup ((snd base) s) (sec4 s)))
-               [ "fk inference"; "xref pass" ])
-      | None -> ""
-    in
     Printf.sprintf
       "{\n\
       \  \"bench\": \"pipeline\",\n\
       \  \"corpus_seed\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"corpus\": \"10x small universe (600 proteins, 300 genes, 250 \
+       structures)\",\n\
       \  \"runs\": [\n\
        %s\n\
       \  ],\n\
       \  \"hot_step_speedups_at_4_domains\": {\n\
        %s\n\
-      \  }\n\
+      \  },\n\
+      \  \"small_corpus_runs\": [\n\
+       %s\n\
+      \  ]\n\
        }\n"
       default_corpus_params.Dg.Corpus.seed
-      (String.concat ",\n" (List.map run_json runs))
-      hot_speedups
+      (Domain.recommended_domain_count ())
+      (runs_json big) hot_speedups (runs_json small)
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;

@@ -1,5 +1,6 @@
 open Aladin_links
 module Tx = Aladin_text
+module Pool = Aladin_par.Pool
 
 type params = {
   min_similarity : float;
@@ -38,8 +39,10 @@ let blocking_keys (r : Object_sim.repr) =
   let keys = ref [ "acc:" ^ String.lowercase_ascii r.obj.Objref.accession ] in
   List.iter
     (fun (_, v) ->
-      if looks_like_accession v then
-        keys := ("acc:" ^ String.lowercase_ascii v) :: !keys
+      (* lowercase before deriving ANY key: "BRCA1" and "brca1" must land
+         in the same block or the duplicate pair is never even considered *)
+      let v = String.lowercase_ascii v in
+      if looks_like_accession v then keys := ("acc:" ^ v) :: !keys
       else if String.length v < 25 then
         List.iter
           (fun tok ->
@@ -54,86 +57,141 @@ let blocking_keys (r : Object_sim.repr) =
     r.fields;
   List.sort_uniq String.compare !keys
 
-let candidate_pairs params reprs =
-  if params.all_pairs then begin
-    let rec pairs acc = function
-      | [] -> acc
-      | (a : Object_sim.repr) :: rest ->
-          let acc =
-            List.fold_left
-              (fun acc (b : Object_sim.repr) ->
-                if a.obj.Objref.source <> b.obj.Objref.source then (a, b) :: acc
-                else acc)
-              acc rest
-          in
-          pairs acc rest
+(* contiguous slices of near-equal size, in order *)
+let slices nshards xs =
+  let n = List.length xs in
+  if nshards <= 1 || n <= 1 then [ xs ]
+  else begin
+    let per = (n + nshards - 1) / nshards in
+    let rec take k acc = function
+      | [] -> (List.rev acc, [])
+      | rest when k = 0 -> (List.rev acc, rest)
+      | x :: rest -> take (k - 1) (x :: acc) rest
     in
-    List.rev (pairs [] reprs)
+    let rec go xs acc =
+      match xs with
+      | [] -> List.rev acc
+      | _ ->
+          let s, rest = take per [] xs in
+          go rest (s :: acc)
+    in
+    go xs []
+  end
+
+(* Candidate generation over the reprs array; pairs are index pairs
+   (i, j) with i < j, sorted — a canonical form that no longer depends on
+   hash-table iteration order, which also makes the sharded parallel run
+   trivially equal to the sequential one. *)
+let candidate_index_pairs ?pool params (reprs : Object_sim.repr array) =
+  let n = Array.length reprs in
+  let source_of i = reprs.(i).Object_sim.obj.Objref.source in
+  if params.all_pairs then begin
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      for j = n - 1 downto i + 1 do
+        if source_of i <> source_of j then out := (i, j) :: !out
+      done
+    done;
+    !out
   end
   else begin
-    let blocks : (string, Object_sim.repr list ref) Hashtbl.t = Hashtbl.create 256 in
-    List.iter
-      (fun r ->
+    (* per-object key lists fan out: blocking_keys is tokenization-heavy *)
+    let keys =
+      Pool.map ?pool (fun i -> blocking_keys reprs.(i)) (List.init n Fun.id)
+    in
+    let blocks : (string, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    List.iteri
+      (fun i ks ->
         List.iter
           (fun key ->
             match Hashtbl.find_opt blocks key with
-            | Some l -> l := r :: !l
-            | None -> Hashtbl.add blocks key (ref [ r ]))
-          (blocking_keys r))
-      reprs;
-    let seen = Hashtbl.create 256 in
-    let out = ref [] in
-    Hashtbl.iter
-      (fun _ members ->
-        let ms = !members in
-        if List.length ms <= params.max_block_size then begin
-          let rec pairs = function
-            | [] -> ()
-            | (a : Object_sim.repr) :: rest ->
-                List.iter
-                  (fun (b : Object_sim.repr) ->
-                    if a.obj.Objref.source <> b.obj.Objref.source then begin
-                      let ka = Objref.to_string a.obj
-                      and kb = Objref.to_string b.obj in
-                      let key = if ka < kb then ka ^ "\x00" ^ kb else kb ^ "\x00" ^ ka in
-                      if not (Hashtbl.mem seen key) then begin
-                        Hashtbl.add seen key ();
-                        out := (a, b) :: !out
-                      end
-                    end)
-                  rest;
-                pairs rest
-          in
-          pairs ms
-        end)
-      blocks;
-    List.sort
-      (fun ((a1 : Object_sim.repr), (b1 : Object_sim.repr)) (a2, b2) ->
-        match Objref.compare a1.obj a2.Object_sim.obj with
-        | 0 -> Objref.compare b1.obj b2.Object_sim.obj
-        | c -> c)
-      !out
+            | Some members -> members := i :: !members
+            | None -> Hashtbl.add blocks key (ref [ i ]))
+          ks)
+      keys;
+    (* deterministic block order (sorted keys), oversized blocks dropped *)
+    let usable =
+      Hashtbl.fold
+        (fun key members acc ->
+          let ms = !members in
+          if List.length ms <= params.max_block_size then (key, ms) :: acc
+          else acc)
+        blocks []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    (* shard blocks across the pool; each shard keeps a LOCAL seen table
+       (no shared mutable state inside the fan-out) and emits its pairs in
+       block order *)
+    let nshards =
+      match pool with None -> 1 | Some p -> max 1 (Pool.size p * 4)
+    in
+    let shard_pairs =
+      Pool.map ?pool
+        (fun shard ->
+          let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+          let out = ref [] in
+          List.iter
+            (fun (_, members) ->
+              (* members are in descending index order; orientation is
+                 canonicalized to (min, max) so it does not matter *)
+              let rec pairs = function
+                | [] -> ()
+                | a :: rest ->
+                    List.iter
+                      (fun b ->
+                        if source_of a <> source_of b then begin
+                          let ij = if a < b then (a, b) else (b, a) in
+                          if not (Hashtbl.mem seen ij) then begin
+                            Hashtbl.add seen ij ();
+                            out := ij :: !out
+                          end
+                        end)
+                      rest;
+                    pairs rest
+              in
+              pairs members)
+            shard;
+          !out)
+        (slices nshards usable)
+    in
+    (* deterministic merge at the join: concatenate in shard order, then a
+       global sort+dedup removes the pairs two shards both produced *)
+    List.sort_uniq compare (List.concat shard_pairs)
   end
 
+let candidate_pairs ?pool params reprs =
+  let arr = Array.of_list reprs in
+  List.map
+    (fun (i, j) -> (arr.(i), arr.(j)))
+    (candidate_index_pairs ?pool params arr)
+
 let detect_on ?(params = default_params) ?pool reprs =
-  let pairs = candidate_pairs params reprs in
+  let arr = Array.of_list reprs in
   let context = Object_sim.context_of reprs in
-  (* similarity only reads the context, so it fans out; union-find and
+  (* prepare every representation ONCE before the pairwise fan-out:
+     lowercasing, tokenization and df interning leave the per-pair path *)
+  let prepared =
+    Array.of_list (Pool.map ?pool (Object_sim.prepare ~context) reprs)
+  in
+  let pairs = candidate_index_pairs ?pool params arr in
+  (* similarity only reads prepared data, so it fans out; union-find and
      link building stay sequential in pair order *)
   let sims =
-    Aladin_par.Pool.map ?pool
-      (fun ((a : Object_sim.repr), (b : Object_sim.repr)) ->
-        Object_sim.similarity ~context a b)
+    Pool.map ?pool
+      (fun (i, j) -> Object_sim.similarity_prepared prepared.(i) prepared.(j))
       pairs
   in
   let uf = Union_find.create () in
   let links =
     List.filter_map
-      (fun (((a : Object_sim.repr), (b : Object_sim.repr)), sim) ->
+      (fun ((i, j), sim) ->
         if sim >= params.min_similarity then begin
-          Union_find.union uf (Objref.to_string a.obj) (Objref.to_string b.obj);
+          let a = arr.(i) and b = arr.(j) in
+          Union_find.union uf (Objref.to_string a.Object_sim.obj)
+            (Objref.to_string b.Object_sim.obj);
           Some
-            (Link.make ~src:a.obj ~dst:b.obj ~kind:Link.Duplicate ~confidence:sim
+            (Link.make ~src:a.Object_sim.obj ~dst:b.Object_sim.obj
+               ~kind:Link.Duplicate ~confidence:sim
                ~evidence:(Printf.sprintf "object similarity %.2f" sim))
         end
         else None)

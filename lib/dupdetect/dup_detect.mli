@@ -24,9 +24,22 @@ type result = {
   reprs : Object_sim.repr list;
 }
 
+val blocking_keys : Object_sim.repr -> string list
+(** The blocking keys of one object: its accession, accession-shaped field
+    values, and rare name tokens — all lowercased before key derivation so
+    blocking is case-insensitive. Sorted, deduplicated. *)
+
 val candidate_pairs :
-  params -> Object_sim.repr list -> (Object_sim.repr * Object_sim.repr) list
-(** Blocking output: unordered cross-source pairs, deduplicated. *)
+  ?pool:Aladin_par.Pool.t ->
+  params ->
+  Object_sim.repr list ->
+  (Object_sim.repr * Object_sim.repr) list
+(** Blocking output: cross-source pairs, deduplicated, each oriented with
+    the smaller {!Objref} first and sorted in that order — a canonical
+    form independent of hash-table iteration order. With a [pool], key
+    extraction fans out and blocks are sharded across domains with
+    per-shard local seen tables merged deterministically at the join; the
+    result is identical at any pool size. *)
 
 val detect :
   ?params:params ->

@@ -27,29 +27,79 @@ let choose_metric a b =
   else if String.length a >= 25 || String.length b >= 25 then Token
   else Edit
 
-let similarity a b =
-  let a = String.trim a and b = String.trim b in
-  if a = "" && b = "" then 1.0
-  else if a = "" || b = "" then 0.0
-  else
-    let la = String.lowercase_ascii a and lb = String.lowercase_ascii b in
-    match choose_metric la lb with
-    | Exact -> 1.0
-    | Edit -> Tx.Strdist.jaro_winkler la lb
-    | Token -> Tx.Tokenize.jaccard la lb
-    | Sequence_metric -> Tx.Strdist.dice_bigrams la lb
+(* a value, normalized once: everything the per-pair metric needs that
+   does not depend on the other value of the pair *)
+type prepared = {
+  empty : bool;  (* trimmed value is empty *)
+  lc : string;  (* lowercased trimmed value *)
+  is_seq : bool;  (* is_sequence lc *)
+  long : bool;  (* String.length lc >= 25: the Token-metric trigger *)
+  terms : string list;  (* sorted unique Tokenize.terms of lc *)
+}
 
-let name_affinity a b =
-  let tokens s =
-    String.split_on_char '_' (String.lowercase_ascii s)
-    |> List.concat_map (String.split_on_char '.')
-    |> List.filter (fun t -> t <> "" && t <> "id")
-  in
-  let ta = tokens a and tb = tokens b in
+let prepare raw =
+  let t = String.trim raw in
+  let lc = String.lowercase_ascii t in
+  {
+    empty = t = "";
+    lc;
+    is_seq = is_sequence lc;
+    long = String.length lc >= 25;
+    terms = List.sort_uniq String.compare (Tx.Tokenize.terms lc);
+  }
+
+(* intersection size of two sorted unique lists *)
+let rec inter_count acc a b =
+  match (a, b) with
+  | [], _ | _, [] -> acc
+  | x :: xs, y :: ys ->
+      let c = String.compare x y in
+      if c = 0 then inter_count (acc + 1) xs ys
+      else if c < 0 then inter_count acc xs b
+      else inter_count acc a ys
+
+(* HOT-PATH-BEGIN: per-candidate-pair code. Runs once per candidate pair
+   inside the duplicate-detection fan-out, so it must not re-normalize or
+   re-tokenize values — that work happens once, in [prepare] /
+   [name_tokens] above (enforced by a grep-gate in scripts/check.sh). *)
+
+(* Jaccard of precomputed sorted unique term lists; equals
+   [Tx.Tokenize.jaccard a.lc b.lc] *)
+let jaccard_prepared a b =
+  let na = List.length a.terms and nb = List.length b.terms in
+  if na = 0 && nb = 0 then 1.0
+  else begin
+    let inter = inter_count 0 a.terms b.terms in
+    float_of_int inter /. float_of_int (na + nb - inter)
+  end
+
+let similarity_prepared a b =
+  if a.empty && b.empty then 1.0
+  else if a.empty || b.empty then 0.0
+  else if a.lc = b.lc then 1.0 (* Exact *)
+  else if a.is_seq && b.is_seq then Tx.Strdist.dice_bigrams a.lc b.lc
+  else if a.long || b.long then jaccard_prepared a b
+  else Tx.Strdist.jaro_winkler a.lc b.lc
+
+let name_affinity_tokens ta tb =
   if ta = [] || tb = [] then 0.0
   else begin
-    let inter = List.filter (fun t -> List.mem t tb) ta in
-    let union = List.length ta + List.length tb - List.length inter in
+    let inter = inter_count 0 ta tb in
+    let union = List.length ta + List.length tb - inter in
     if union = 0 then 0.0
-    else float_of_int (List.length inter) /. float_of_int union
+    else float_of_int inter /. float_of_int union
   end
+
+(* HOT-PATH-END *)
+
+let similarity a b = similarity_prepared (prepare a) (prepare b)
+
+(* deduplicated: "gene_gene" vs "gene" must score 1.0, not overcount the
+   repeated token into an affinity above 1 *)
+let name_tokens s =
+  String.split_on_char '_' (String.lowercase_ascii s)
+  |> List.concat_map (String.split_on_char '.')
+  |> List.filter (fun t -> t <> "" && t <> "id")
+  |> List.sort_uniq String.compare
+
+let name_affinity a b = name_affinity_tokens (name_tokens a) (name_tokens b)

@@ -18,7 +18,29 @@ val is_sequence_value : string -> bool
 (** The cheap sequence tell used by {!choose_metric}: long, letters-only,
     low character diversity. *)
 
+type prepared
+(** A value normalized exactly once: trimmed, lowercased, sequence-flagged
+    and tokenized. {!similarity} is [O(pairs x value length)] in
+    normalization work when called naively inside a candidate fan-out; the
+    prepared form moves all of that to a single pre-pass so the per-pair
+    cost is just the metric itself. *)
+
+val prepare : string -> prepared
+
+val similarity_prepared : prepared -> prepared -> float
+(** Exactly [similarity raw_a raw_b] for the values the arguments were
+    {!prepare}d from, without re-normalizing either. *)
+
 val name_affinity : string -> string -> float
 (** Attribute-name compatibility used to decide which fields of two
     heterogeneously-modeled objects to compare (cf. [WN04]): token overlap
-    of the names, in [0,1]. *)
+    (Jaccard over the {e deduplicated} token sets) of the names, in
+    [0,1]. *)
+
+val name_tokens : string -> string list
+(** The sorted, deduplicated name tokens behind {!name_affinity}
+    (split on ['_'] and ['.'], lowercased, ["id"] and empties dropped). *)
+
+val name_affinity_tokens : string list -> string list -> float
+(** {!name_affinity} over token lists already produced by {!name_tokens} —
+    the per-pair form used with prepared representations. *)

@@ -11,12 +11,16 @@ type repr = {
    not an FK endpoint shape (pure integers), not null-only *)
 let content_attribute (cs : Col_stats.t) = cs.distinct > 0 && cs.numeric_frac < 0.99
 
+(* growable bag with its size tracked alongside, so the per-append cap
+   check is O(1) instead of List.length's walk of the whole bag *)
+type bag = { mutable n : int; mutable items : (string * string) list }
+
 let build_reprs ?(max_fields_per_object = 40) ?(exclude_attributes = []) profiles =
   let norm = String.lowercase_ascii in
   let excluded =
     List.map (fun (s, r, a) -> (norm s, norm r, norm a)) exclude_attributes
   in
-  let bags : (string, (string * string) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let bags : (string, bag) Hashtbl.t = Hashtbl.create 256 in
   let refs : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
   List.iter
     (fun (e : Profile_list.entry) ->
@@ -45,20 +49,23 @@ let build_reprs ?(max_fields_per_object = 40) ?(exclude_attributes = []) profile
                            match Hashtbl.find_opt bags key with
                            | Some b -> b
                            | None ->
-                               let b = ref [] in
+                               let b = { n = 0; items = [] } in
                                Hashtbl.add bags key b;
                                Hashtbl.replace refs key obj;
                                b
                          in
-                         if List.length !bag < max_fields_per_object then
-                           bag := (qualified, Value.to_string v) :: !bag)
+                         if bag.n < max_fields_per_object then begin
+                           bag.n <- bag.n + 1;
+                           bag.items <- (qualified, Value.to_string v) :: bag.items
+                         end)
                        (Owner_map.object_of_row e.owner ~relation:cs.relation
                           ~row:row_i))
                  rel
              end))
     (Profile_list.entries profiles);
   Hashtbl.fold
-    (fun key bag acc -> { obj = Hashtbl.find refs key; fields = List.rev !bag } :: acc)
+    (fun key bag acc ->
+      { obj = Hashtbl.find refs key; fields = List.rev bag.items } :: acc)
     bags []
   |> List.sort (fun a b -> Objref.compare a.obj b.obj)
 
@@ -87,6 +94,57 @@ let context_of reprs =
 let df_of ctx v =
   try Hashtbl.find ctx.df (String.lowercase_ascii v) with Not_found -> 1
 
+(* a value is "identifying" when only a handful of objects carry it *)
+let identity_df_cap ctx = max 8 (ctx.n_objects / 50)
+
+(* ------------------------------------------------------------------ *)
+(* prepared representations: everything the per-pair similarity needs,
+   computed once per object before the candidate fan-out               *)
+(* ------------------------------------------------------------------ *)
+
+type pfield = {
+  attr : string;  (* original qualified attribute name *)
+  value : string;  (* original value (for output tuples / evidence) *)
+  name_toks : string list;  (* Field_sim.name_tokens attr *)
+  pv : Field_sim.prepared;  (* trimmed/lowercased/tokenized value *)
+  dfv : int;  (* interned df of the value under the context; 1 without *)
+  (* anchor shape of the value itself: >= 4 chars, identifier-shaped
+     (contains a digit) or substantial text, and not a sequence *)
+  anchor_shape : bool;
+  seq_raw : bool;  (* Field_sim.is_sequence_value value *)
+}
+
+type prepared = {
+  prepr : repr;
+  pfields : pfield array;
+  pctx : context option;
+}
+
+let prepare ?context r =
+  let pfields =
+    List.map
+      (fun (attr, v) ->
+        let seq_raw = Field_sim.is_sequence_value v in
+        {
+          attr;
+          value = v;
+          name_toks = Field_sim.name_tokens attr;
+          pv = Field_sim.prepare v;
+          dfv = (match context with Some ctx -> df_of ctx v | None -> 1);
+          anchor_shape =
+            String.length v >= 4
+            && (String.exists (fun c -> c >= '0' && c <= '9') v
+               || String.length v >= 25)
+            && not seq_raw;
+          seq_raw;
+        })
+      r.fields
+    |> Array.of_list
+  in
+  { prepr = r; pfields; pctx = context }
+
+let repr_of_prepared p = p.prepr
+
 (* IDF of the rarer of the two matched values *)
 let idf_weight context va vb =
   match context with
@@ -94,9 +152,6 @@ let idf_weight context va vb =
   | Some ctx ->
       let d = min (df_of ctx va) (df_of ctx vb) in
       log (1.0 +. (float_of_int (max 1 ctx.n_objects) /. float_of_int d))
-
-(* a value is "identifying" when only a handful of objects carry it *)
-let identity_df_cap ctx = max 8 (ctx.n_objects / 50)
 
 (* anchors must be rare AND distinctive: identifier-shaped (contains a
    digit, like accessions and gene symbols) or substantial text — never a
@@ -110,63 +165,120 @@ let anchor_match ctx ~name_sim ~vs va vb =
   && (not (Field_sim.is_sequence_value va))
   && not (Field_sim.is_sequence_value vb)
 
-let field_matches a b =
+(* HOT-PATH-BEGIN: per-candidate-pair code. Everything below runs once per
+   candidate pair inside the duplicate-detection fan-out; value
+   normalization, tokenization, sequence detection and df lookups must all
+   come from the [prepare]d fields, never be recomputed here (enforced by
+   a grep-gate in scripts/check.sh). *)
+
+let idf_weight_p context (fa : pfield) (fb : pfield) =
+  match context with
+  | None -> 1.0
+  | Some ctx ->
+      let d = min fa.dfv fb.dfv in
+      log (1.0 +. (float_of_int (max 1 ctx.n_objects) /. float_of_int d))
+
+let anchor_match_p ctx ~name_sim ~vs (fa : pfield) (fb : pfield) =
+  vs >= 0.85 && name_sim > 0.0
+  && min fa.dfv fb.dfv <= identity_df_cap ctx
+  && fa.anchor_shape
+  && not fb.seq_raw
+
+(* greedy best-counterpart matching, smaller object driving; returns
+   (field of a, field of b, value similarity) in a-field order *)
+let field_matches_prepared a b =
   let smaller, larger =
-    if List.length a.fields <= List.length b.fields then (a, b) else (b, a)
+    if Array.length a.pfields <= Array.length b.pfields then (a, b) else (b, a)
   in
   let swapped = smaller != a in
-  List.filter_map
-    (fun (attr_s, val_s) ->
+  let out = ref [] in
+  Array.iter
+    (fun (fs : pfield) ->
       let best =
-        List.fold_left
-          (fun acc (attr_l, val_l) ->
-            let vs = Field_sim.similarity val_s val_l in
+        Array.fold_left
+          (fun acc (fl : pfield) ->
+            let vs = Field_sim.similarity_prepared fs.pv fl.pv in
             match acc with
-            | Some (_, _, best_vs) when best_vs >= vs -> acc
-            | Some _ | None -> Some (attr_l, val_l, vs))
-          None larger.fields
+            | Some (_, best_vs) when best_vs >= vs -> acc
+            | Some _ | None -> Some (fl, vs))
+          None larger.pfields
       in
-      Option.map
-        (fun (attr_l, val_l, vs) ->
-          if swapped then (attr_l, val_l, attr_s, val_s, vs)
-          else (attr_s, val_s, attr_l, val_l, vs))
-        best)
-    smaller.fields
+      match best with
+      | None -> ()
+      | Some (fl, vs) ->
+          out := (if swapped then (fl, fs, vs) else (fs, fl, vs)) :: !out)
+    smaller.pfields;
+  List.rev !out
 
-let similarity ?(weights = default_weights) ?context a b =
-  if a.fields = [] || b.fields = [] then 0.0
+let similarity_prepared ?(weights = default_weights) a b =
+  if Array.length a.pfields = 0 || Array.length b.pfields = 0 then 0.0
   else begin
-    let matches = field_matches a b in
+    let context = a.pctx in
     (* Fellegi-Sunter flavour: agreement on a rare value is strong evidence,
        disagreement is weak evidence either way; and a true duplicate must
-       agree on at least one identifying (near-unique) value *)
-    let identity_agreement = ref false in
-    let total, wsum =
-      List.fold_left
-        (fun (total, wsum) (attr_a, va, attr_b, vb, vs) ->
-          let name_sim = Field_sim.name_affinity attr_a attr_b in
-          let s = (weights.w_value *. vs) +. (weights.w_name *. name_sim) in
-          (* a greedy value match between unrelated attributes (an accession
-             landing on "bait") must not be amplified as evidence *)
-          let w =
-            if vs >= 0.6 && name_sim > 0.0 then idf_weight context va vb
-            else 1.0
-          in
-          (match context with
-          | Some ctx when anchor_match ctx ~name_sim ~vs va vb ->
-              identity_agreement := true
-          | Some _ | None -> ());
-          (total +. (w *. s), wsum +. w))
-        (0.0, 0.0) matches
+       agree on at least one identifying (near-unique) value. The greedy
+       matching is fused into the scoring loop — no per-pair match list is
+       materialized on this path. *)
+    let smaller, larger =
+      if Array.length a.pfields <= Array.length b.pfields then (a, b) else (b, a)
     in
-    if wsum = 0.0 then 0.0
+    let swapped = smaller != a in
+    let identity_agreement = ref false in
+    (* float-array cells, not float refs: every [:=] on a float ref boxes
+       (no flambda), and this loop runs per candidate pair *)
+    let acc = [| 0.0; 0.0; 0.0 |] in
+    (* acc.(0) = total, acc.(1) = wsum, acc.(2) = best vs of current fs *)
+    let nl = Array.length larger.pfields in
+    Array.iter
+      (fun (fs : pfield) ->
+        let best_i = ref (-1) in
+        acc.(2) <- neg_infinity;
+        for l = 0 to nl - 1 do
+          let vs = Field_sim.similarity_prepared fs.pv larger.pfields.(l).pv in
+          if vs > acc.(2) then begin
+            acc.(2) <- vs;
+            best_i := l
+          end
+        done;
+        if !best_i >= 0 then begin
+          let fl = larger.pfields.(!best_i) and vs = acc.(2) in
+          let fa, fb = if swapped then (fl, fs) else (fs, fl) in
+            let name_sim =
+              Field_sim.name_affinity_tokens fa.name_toks fb.name_toks
+            in
+            let s = (weights.w_value *. vs) +. (weights.w_name *. name_sim) in
+            (* a greedy value match between unrelated attributes (an accession
+               landing on "bait") must not be amplified as evidence *)
+            let w =
+              if vs >= 0.6 && name_sim > 0.0 then idf_weight_p context fa fb
+              else 1.0
+            in
+            (match context with
+            | Some ctx when anchor_match_p ctx ~name_sim ~vs fa fb ->
+                identity_agreement := true
+            | Some _ | None -> ());
+            acc.(0) <- acc.(0) +. (w *. s);
+            acc.(1) <- acc.(1) +. w
+        end)
+      smaller.pfields;
+    if acc.(1) = 0.0 then 0.0
     else begin
-      let base = total /. wsum /. (weights.w_value +. weights.w_name) in
+      let base = acc.(0) /. acc.(1) /. (weights.w_value +. weights.w_name) in
       match context with
       | Some _ when not !identity_agreement -> base *. 0.5
       | Some _ | None -> base
     end
   end
+
+(* HOT-PATH-END *)
+
+let field_matches a b =
+  field_matches_prepared (prepare a) (prepare b)
+  |> List.map (fun ((fa : pfield), (fb : pfield), vs) ->
+         (fa.attr, fa.value, fb.attr, fb.value, vs))
+
+let similarity ?weights ?context a b =
+  similarity_prepared ?weights (prepare ?context a) (prepare ?context b)
 
 let explain ?(weights = default_weights) ?context a b =
   let buf = Buffer.create 512 in

@@ -44,9 +44,32 @@ type context
 
 val context_of : repr list -> context
 
+type prepared
+(** A representation prepared for the candidate fan-out: per-field
+    lowercased/trimmed values, token lists, sequence flags, attribute-name
+    tokens and interned df counts, all computed exactly once. Naive
+    {!similarity} re-derives every one of those per candidate pair — the
+    minor-heap churn that turned the parallel duplicate step anti-scale —
+    so the pipeline prepares each object once and compares prepared
+    forms. *)
+
+val prepare : ?context:context -> repr -> prepared
+(** Prepare one object. Pass the same [context] the comparisons will be
+    judged under: value df counts are resolved (interned) here, so
+    {!similarity_prepared} never touches the df table per pair. *)
+
+val repr_of_prepared : prepared -> repr
+
+val similarity_prepared : ?weights:weights -> prepared -> prepared -> float
+(** Exactly [similarity ?weights ?context a b] for prepared forms of [a]
+    and [b] built with [prepare ?context]; both arguments must have been
+    prepared with the same context. *)
+
 val similarity : ?weights:weights -> ?context:context -> repr -> repr -> float
 (** In [0,1]; 0 when either object has no fields. With a [context], each
-    matched field pair is weighted by the IDF of the matched value. *)
+    matched field pair is weighted by the IDF of the matched value.
+    Equivalent to preparing both sides and calling
+    {!similarity_prepared}. *)
 
 val explain : ?weights:weights -> ?context:context -> repr -> repr -> string
 (** Human-readable derivation of {!similarity}: one line per matched field

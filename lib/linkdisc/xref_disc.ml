@@ -29,88 +29,136 @@ type result = {
   pairs_compared : int;
 }
 
-let decode_candidates v =
-  let split_on seps s =
-    let parts = ref [ s ] in
-    String.iter
-      (fun sep ->
-        parts := List.concat_map (String.split_on_char sep) !parts)
-      seps;
-    !parts
-  in
-  let tails =
-    split_on ":/|=" v |> List.map String.trim |> List.filter (fun s -> s <> "")
-  in
-  v :: List.filter (fun t -> t <> v) tails
+let is_decode_sep c = c = ':' || c = '/' || c = '|' || c = '='
 
-(* one scan of attribute column (src_source, rel, attr) against one target *)
-let scan_attribute entry ~src_source ~relation ~attribute
-    ~(target : string * string * string) ~target_set params =
-  let dst_source, dst_relation, dst_attribute = target in
+let decode_candidates v =
+  (* fast path: most values carry no separator, so the common case must
+     not pay the four-pass split below (per-row allocation was a real
+     contributor to multi-domain GC pressure in the xref fan-out) *)
+  if not (String.exists is_decode_sep v) then begin
+    let t = String.trim v in
+    if t = "" || t = v then [ v ] else [ v; t ]
+  end
+  else begin
+    let split_on seps s =
+      let parts = ref [ s ] in
+      String.iter
+        (fun sep ->
+          parts := List.concat_map (String.split_on_char sep) !parts)
+        seps;
+      !parts
+    in
+    let tails =
+      split_on ":/|=" v |> List.map String.trim |> List.filter (fun s -> s <> "")
+    in
+    v :: List.filter (fun t -> t <> v) tails
+  end
+
+(* per-target accumulation state while scanning one attribute column *)
+type target_scan = {
+  tgt : string * string * string;
+  target_set : (string, unit) Hashtbl.t;
+  mutable matches : int;
+  mutable encoded_matches : int;
+  mutable links : Link.t list;
+}
+
+(* One scan of attribute column (src_source, rel, attr) against ALL its
+   targets at once: each row's value is decoded exactly once and probed
+   against every target set, instead of rescanning (and re-decoding) the
+   whole column per target. Results come back per target, in target
+   order, identical to the one-target-at-a-time scans. *)
+let scan_attribute entry ~src_source ~relation ~attribute ~targets params =
   let catalog = Profile.catalog (entry : Profile_list.entry).sp.profile in
   let rel = Catalog.find_exn catalog relation in
   let ai = Schema.index_of_exn (Relation.schema rel) attribute in
-  let matches = ref 0 in
-  let encoded_matches = ref 0 in
+  let states =
+    List.map
+      (fun (tgt, target_set) ->
+        { tgt; target_set; matches = 0; encoded_matches = 0; links = [] })
+      targets
+  in
   let nonnull = ref 0 in
-  let links = ref [] in
   Relation.iteri_rows
     (fun row_i row ->
       let v = row.(ai) in
       if not (Value.is_null v) then begin
         incr nonnull;
         let s = Value.to_string v in
-        let hit =
-          let rec try_tokens first = function
-            | [] -> None
-            | tok :: rest ->
-                if Hashtbl.mem target_set tok then Some (tok, not first)
-                else try_tokens false rest
-          in
-          try_tokens true (decode_candidates s)
-        in
-        match hit with
-        | None -> ()
-        | Some (acc, was_encoded) ->
-            incr matches;
-            if was_encoded then incr encoded_matches;
-            let dst =
-              Objref.make ~source:dst_source ~relation:dst_relation ~accession:acc
+        let cands = decode_candidates s in
+        (* the owning objects are shared across targets; resolve lazily so
+           rows that hit no target pay nothing *)
+        let srcs = ref None in
+        List.iter
+          (fun st ->
+            let hit =
+              let rec try_tokens first = function
+                | [] -> None
+                | tok :: rest ->
+                    if Hashtbl.mem st.target_set tok then Some (tok, not first)
+                    else try_tokens false rest
+              in
+              try_tokens true cands
             in
-            let srcs =
-              Owner_map.object_of_row entry.owner ~relation ~row:row_i
-            in
-            List.iter
-              (fun src ->
-                if not (Objref.equal src dst) then
-                  links :=
-                    Link.make ~src ~dst ~kind:Link.Xref
-                      ~confidence:(if was_encoded then 0.85 else 0.9)
-                      ~evidence:
-                        (Printf.sprintf "%s.%s.%s=%s" src_source relation
-                           attribute s)
-                    :: !links)
-              srcs
+            match hit with
+            | None -> ()
+            | Some (acc, was_encoded) ->
+                st.matches <- st.matches + 1;
+                if was_encoded then st.encoded_matches <- st.encoded_matches + 1;
+                let dst_source, dst_relation, _ = st.tgt in
+                let dst =
+                  Objref.make ~source:dst_source ~relation:dst_relation
+                    ~accession:acc
+                in
+                let owners =
+                  match !srcs with
+                  | Some os -> os
+                  | None ->
+                      let os =
+                        Owner_map.object_of_row entry.owner ~relation ~row:row_i
+                      in
+                      srcs := Some os;
+                      os
+                in
+                List.iter
+                  (fun src ->
+                    if not (Objref.equal src dst) then
+                      st.links <-
+                        Link.make ~src ~dst ~kind:Link.Xref
+                          ~confidence:(if was_encoded then 0.85 else 0.9)
+                          ~evidence:
+                            (Printf.sprintf "%s.%s.%s=%s" src_source relation
+                               attribute s)
+                        :: st.links)
+                  owners)
+          states
       end)
     rel;
-  let match_frac =
-    if !nonnull = 0 then 0.0 else float_of_int !matches /. float_of_int !nonnull
-  in
-  if !matches >= params.min_matches && match_frac >= params.min_match_frac then
-    Some
-      ( !links,
-        {
-          src_source;
-          src_relation = relation;
-          src_attribute = attribute;
-          dst_source;
-          dst_relation;
-          dst_attribute;
-          matches = !matches;
-          match_frac;
-          encoded = !encoded_matches > 0;
-        } )
-  else None
+  List.filter_map
+    (fun st ->
+      let match_frac =
+        if !nonnull = 0 then 0.0
+        else float_of_int st.matches /. float_of_int !nonnull
+      in
+      if st.matches >= params.min_matches && match_frac >= params.min_match_frac
+      then begin
+        let dst_source, dst_relation, dst_attribute = st.tgt in
+        Some
+          ( st.links,
+            {
+              src_source;
+              src_relation = relation;
+              src_attribute = attribute;
+              dst_source;
+              dst_relation;
+              dst_attribute;
+              matches = st.matches;
+              match_frac;
+              encoded = st.encoded_matches > 0;
+            } )
+      end
+      else None)
+    states
 
 let discover ?(params = default_params) ?pool profiles =
   let targets = Profile_list.targets profiles in
@@ -128,9 +176,10 @@ let discover ?(params = default_params) ?pool profiles =
         (tgt, set))
       targets
   in
-  (* sequential enumeration pass: collect attribute x target scan tasks in
-     traversal order (and count/prune here, so those counters keep their
-     exact sequential values); the scans themselves fan out below *)
+  (* sequential enumeration pass: collect one scan task per attribute (all
+     its targets together) in traversal order (and count/prune here, so
+     those counters keep their exact sequential values); the scans
+     themselves fan out below *)
   let tasks = ref [] in
   let attributes_scanned = ref 0 in
   let pairs_compared = ref 0 in
@@ -150,30 +199,30 @@ let discover ?(params = default_params) ?pool profiles =
              if Prune.is_link_source params.prune cs && not is_own_accession
              then begin
                incr attributes_scanned;
-               List.iter
-                 (fun (((tgt_source, _, _) as tgt), target_set) ->
-                   if tgt_source <> src_source then begin
-                     incr pairs_compared;
-                     tasks := (e, src_source, cs, tgt, target_set) :: !tasks
-                   end)
-                 target_sets
+               let tgts =
+                 List.filter
+                   (fun ((tgt_source, _, _), _) -> tgt_source <> src_source)
+                   target_sets
+               in
+               pairs_compared := !pairs_compared + List.length tgts;
+               if tgts <> [] then tasks := (e, src_source, cs, tgts) :: !tasks
              end
              else Aladin_obs.Trace.ambient_incr "xref.attributes_pruned"))
     (Profile_list.entries profiles);
-  let scan (e, src_source, (cs : Col_stats.t), tgt, target_set) =
-    let hit, secs =
+  let scan (e, src_source, (cs : Col_stats.t), tgts) =
+    let hits, secs =
       Aladin_obs.Clock.timed (fun () ->
           scan_attribute e ~src_source ~relation:cs.relation
-            ~attribute:cs.attribute ~target:tgt ~target_set params)
+            ~attribute:cs.attribute ~targets:tgts params)
     in
     Aladin_obs.Trace.ambient_observe "xref.scan_seconds" secs;
-    hit
+    hits
   in
-  let hits = Aladin_par.Pool.map ?pool scan (List.rev !tasks) in
-  let links = List.concat_map (function Some (ls, _) -> ls | None -> []) hits in
+  let hits = List.concat (Aladin_par.Pool.map ?pool scan (List.rev !tasks)) in
+  let links = List.concat_map fst hits in
   {
     links = Link.dedup links;
-    correspondences = List.filter_map (Option.map snd) hits;
+    correspondences = List.map snd hits;
     attributes_scanned = !attributes_scanned;
     pairs_compared = !pairs_compared;
   }

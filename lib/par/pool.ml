@@ -126,6 +126,13 @@ let get ?(domains = 0) () =
   Mutex.unlock shared_m;
   pool
 
+(* Chunked claiming: claim [chunk] consecutive items per cursor bump
+   instead of 1, so batches of many small items (candidate-pair
+   similarity, xref scans) stop thrashing the shared cursor's cache line.
+   Small enough that every participant still claims several times (load
+   balancing survives), capped so huge batches don't create stragglers. *)
+let chunk_size ~participants n = max 1 (min 64 (n / (participants * 8)))
+
 let run_parallel t f input =
   let n = Array.length input in
   let out = Array.make n None in
@@ -137,6 +144,7 @@ let run_parallel t f input =
   let stats = Array.make nparts None in
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
+  let chunk = chunk_size ~participants:nparts n in
   let run_item i =
     if Atomic.get error = None then
       match
@@ -149,11 +157,15 @@ let run_parallel t f input =
   let drain () =
     let k = ref 0 in
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        run_item i;
-        incr k;
-        if 1 + Atomic.fetch_and_add completed 1 = n then begin
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          run_item i
+        done;
+        let c = stop - start in
+        k := !k + c;
+        if c + Atomic.fetch_and_add completed c = n then begin
           Mutex.lock t.m;
           Condition.broadcast t.batch_done;
           Mutex.unlock t.m
@@ -214,7 +226,10 @@ let parallel_map t f xs =
     invalid_arg "Pool.parallel_map: nested fan-out from inside a pool task";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
+  (* the singleton shortcut must still poll the budget: a 1-element list
+     must not escape an already-expired step budget that the sequential
+     path would enforce *)
+  | [ _ ] as xs -> run_sequential f xs
   | xs ->
       if t.domains <= 1 || t.stopped then run_sequential f xs
       else run_parallel t f (Array.of_list xs)

@@ -50,6 +50,13 @@ val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
     caller (remaining items are drained without running [f]); the pool
     stays usable.
 
+    {b Chunked claiming.} Participants claim a small run of consecutive
+    items per atomic cursor bump (scaled so each participant still claims
+    several times per batch, capped at 64) instead of one item at a time,
+    so batches of many cheap items don't serialize on the cursor's cache
+    line. Claiming granularity never affects the result — assembly is by
+    input index — only scheduling.
+
     {b Cooperative cancellation.} Before each item, every participating
     domain polls [Aladin_resilience.Budget.check]; when the enclosing
     step's wall-clock budget has expired, the fan-out stops claiming

@@ -27,21 +27,34 @@ let similarity a b =
   if n = 0 then 1.0
   else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int n)
 
+(* Per-domain scratch for the match flags: jaro runs once per candidate
+   field pair inside the duplicate-detection fan-out, and two fresh arrays
+   per call were a measurable source of minor-heap churn — which under
+   multiple domains turns into cross-domain minor-GC synchronization
+   stalls. The buffer packs a's flags at [0, n) and b's at [n, n + m). *)
+let jaro_scratch : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Bytes.empty)
+
 let jaro a b =
   let n = String.length a and m = String.length b in
   if n = 0 && m = 0 then 1.0
   else if n = 0 || m = 0 then 0.0
   else begin
     let window = max 0 ((max n m / 2) - 1) in
-    let a_match = Array.make n false and b_match = Array.make m false in
+    let cell = Domain.DLS.get jaro_scratch in
+    if Bytes.length !cell < n + m then cell := Bytes.create (max 64 (n + m));
+    let flags = !cell in
+    Bytes.fill flags 0 (n + m) '\000';
+    let a_matched i = Bytes.get flags i = '\001' in
+    let b_matched j = Bytes.get flags (n + j) = '\001' in
     let matches = ref 0 in
     for i = 0 to n - 1 do
       let lo = max 0 (i - window) and hi = min (m - 1) (i + window) in
       let rec scan j =
         if j > hi then ()
-        else if (not b_match.(j)) && a.[i] = b.[j] then begin
-          a_match.(i) <- true;
-          b_match.(j) <- true;
+        else if (not (b_matched j)) && a.[i] = b.[j] then begin
+          Bytes.set flags i '\001';
+          Bytes.set flags (n + j) '\001';
           incr matches
         end
         else scan (j + 1)
@@ -53,8 +66,8 @@ let jaro a b =
       let transpositions = ref 0 in
       let k = ref 0 in
       for i = 0 to n - 1 do
-        if a_match.(i) then begin
-          while not b_match.(!k) do incr k done;
+        if a_matched i then begin
+          while not (b_matched !k) do incr k done;
           if a.[i] <> b.[!k] then incr transpositions;
           incr k
         end

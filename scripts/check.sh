@@ -77,20 +77,40 @@ if grep -rnE 'Warehouse\.(browser|search|link_query|path_index)\b|Search\.build|
 fi
 echo "grep-gate ok: all access-layer entry points go through Aladin.Engine"
 
+# The duplicate-detection hot path (the code between the HOT-PATH-BEGIN /
+# HOT-PATH-END sentinels, run once per candidate pair inside the fan-out)
+# must work exclusively on prepared representations: re-lowercasing or
+# re-tokenizing values per pair is the allocation storm that made the
+# multi-domain dup step anti-scale.
+for f in lib/dupdetect/field_sim.ml lib/dupdetect/object_sim.ml; do
+  grep -q 'HOT-PATH-BEGIN' "$f" && grep -q 'HOT-PATH-END' "$f" || {
+    echo "error: $f lost its HOT-PATH sentinels" >&2; exit 1; }
+  if sed -n '/HOT-PATH-BEGIN/,/HOT-PATH-END/p' "$f" \
+      | grep -nE 'String\.lowercase_ascii|Tokenize\.(words|terms)'; then
+    echo "error: $f re-normalizes values inside the per-pair hot path (use the prepared representation)" >&2
+    exit 1
+  fi
+done
+echo "grep-gate ok: dup-detection per-pair hot path uses prepared reprs only"
+
 dune build
 dune runtest
 
 # Pool-size determinism: the same pipeline must print byte-identical
-# output whether it runs sequentially or on a 2-domain pool.
+# output whether it runs sequentially or on a 2- or 4-domain pool (4
+# exercises the sharded candidate generation with several shards per
+# domain and chunked claiming with chunk > 1).
 q1=$(mktemp) && q2=$(mktemp)
 trap 'rm -f "$q1" "$q2"' EXIT
 ALADIN_DOMAINS=1 ./_build/default/examples/quickstart.exe > "$q1"
-ALADIN_DOMAINS=2 ./_build/default/examples/quickstart.exe > "$q2"
-if ! diff -u "$q1" "$q2"; then
-  echo "error: quickstart output differs between 1 and 2 domains" >&2
-  exit 1
-fi
-echo "determinism ok: quickstart identical at ALADIN_DOMAINS=1 and 2"
+for d in 2 4; do
+  ALADIN_DOMAINS=$d ./_build/default/examples/quickstart.exe > "$q2"
+  if ! diff -u "$q1" "$q2"; then
+    echo "error: quickstart output differs between 1 and $d domains" >&2
+    exit 1
+  fi
+done
+echo "determinism ok: quickstart identical at ALADIN_DOMAINS=1, 2 and 4"
 
 # Fault injection: a corrupted corpus must integrate with degradation
 # recorded (and exit 0), and --strict must turn that into a failure.

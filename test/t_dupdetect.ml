@@ -62,6 +62,35 @@ let field_sim_tests =
           (Field_sim.name_affinity "entry.description" "prot.description" > 0.0);
         check (Alcotest.float 0.001) "unrelated" 0.0
           (Field_sim.name_affinity "entry.name" "prot.sequence"));
+    Alcotest.test_case "name_affinity dedups tokens (true Jaccard)" `Quick
+      (fun () ->
+        (* the repeated token must not inflate the intersection past the
+           union: the multiset version scored this 2.0 *)
+        check (Alcotest.float 0.001) "gene_gene vs gene" 1.0
+          (Field_sim.name_affinity "gene_gene" "gene");
+        check (Alcotest.float 0.001) "partial overlap" 0.5
+          (Field_sim.name_affinity "locus_locus_tag" "locus");
+        check Alcotest.bool "never exceeds 1" true
+          (List.for_all
+             (fun (a, b) -> Field_sim.name_affinity a b <= 1.0)
+             [ ("gene_gene", "gene"); ("a_a_b_b", "a_b"); ("x.x", "x_x_x") ]));
+    Alcotest.test_case "prepared similarity equals unprepared" `Quick (fun () ->
+        let vals =
+          [ ""; "  "; "BRCA1"; "brca1 "; "Homo sapiens"; "ACGTACGTACGTACGTACGT";
+            "a long description of a protein that repairs dna in cells";
+            "P11140"; "p11140" ]
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                check (Alcotest.float 1e-9)
+                  (Printf.sprintf "%S ~ %S" a b)
+                  (Field_sim.similarity a b)
+                  (Field_sim.similarity_prepared (Field_sim.prepare a)
+                     (Field_sim.prepare b)))
+              vals)
+          vals);
   ]
 
 let repr obj_acc source fields =
@@ -181,6 +210,93 @@ let dup_detect_tests =
         let r = Dup_detect.detect_on (planted_reprs ()) in
         check Alcotest.bool "kind" true
           (List.for_all (fun (l : Link.t) -> l.kind = Link.Duplicate) r.links));
+    Alcotest.test_case "blocking is case-insensitive" `Quick (fun () ->
+        (* regression: "BRCA1" and "brca1" must land in the same block, so
+           the mixed-case duplicate pair is actually considered *)
+        let a = repr "A" "s1" [ ("r.name", "BRCA1") ] in
+        let b = repr "B" "s2" [ ("r.name", "brca1") ] in
+        let shared =
+          List.filter
+            (fun k -> List.mem k (Dup_detect.blocking_keys b))
+            (Dup_detect.blocking_keys a)
+        in
+        check Alcotest.bool "share a block" true (shared <> []);
+        check Alcotest.int "pair considered" 1
+          (List.length (Dup_detect.candidate_pairs Dup_detect.default_params
+                          [ a; b ]));
+        (* same for multi-word values that go through the token keys *)
+        let c = repr "C" "s1" [ ("r.desc", "Alpha KINASE protein") ] in
+        let d = repr "D" "s2" [ ("r.desc", "alpha kinase PROTEIN") ] in
+        check Alcotest.bool "token blocks shared" true
+          (List.exists
+             (fun k -> List.mem k (Dup_detect.blocking_keys d))
+             (Dup_detect.blocking_keys c)));
+    Alcotest.test_case "detect_on identical at pool sizes 1/2/4" `Quick
+      (fun () ->
+        let reprs = planted_reprs () in
+        let norm (r : Dup_detect.result) =
+          ( List.map (Format.asprintf "%a" Link.pp) r.links,
+            r.clusters,
+            r.candidates_checked )
+        in
+        let base = norm (Dup_detect.detect_on reprs) in
+        List.iter
+          (fun domains ->
+            let p = Aladin_par.Pool.create ~domains () in
+            Fun.protect
+              ~finally:(fun () -> Aladin_par.Pool.shutdown p)
+              (fun () ->
+                check
+                  Alcotest.(triple (list string) (list (list string)) int)
+                  (Printf.sprintf "domains=%d" domains)
+                  base
+                  (norm (Dup_detect.detect_on ~pool:p reprs))))
+          [ 1; 2; 4 ]);
+  ]
+
+(* build_reprs over a real profiled source: the field cap must hold *)
+let build_reprs_tests =
+  let open Aladin_relational in
+  let source () =
+    let cat = Catalog.create ~name:"caps" in
+    let entry =
+      Catalog.create_relation cat ~name:"entry"
+        (Schema.of_names
+           [ "entry_id"; "accession"; "c1"; "c2"; "c3"; "c4"; "c5"; "c6" ])
+    in
+    List.iteri
+      (fun i acc ->
+        Relation.insert entry
+          (Array.append
+             [| Value.Int (i + 1); Value.text acc |]
+             (Array.init 6 (fun j ->
+                  Value.text (Printf.sprintf "text value %d-%d ok" i j)))))
+      [ "CP001"; "CP002"; "CP003" ];
+    cat
+  in
+  let profiles () =
+    Profile_list.of_profiles
+      [ Aladin_discovery.Source_profile.analyze (source ()) ]
+  in
+  [
+    Alcotest.test_case "max_fields_per_object is respected" `Quick (fun () ->
+        let reprs =
+          Object_sim.build_reprs ~max_fields_per_object:3 (profiles ())
+        in
+        check Alcotest.bool "some reprs" true (reprs <> []);
+        List.iter
+          (fun (r : Object_sim.repr) ->
+            check Alcotest.bool
+              (Objref.to_string r.obj ^ " capped")
+              true
+              (List.length r.fields <= 3))
+          reprs);
+    Alcotest.test_case "uncapped keeps every content field" `Quick (fun () ->
+        let reprs = Object_sim.build_reprs (profiles ()) in
+        check Alcotest.bool "wider than the cap of 3" true
+          (List.exists
+             (fun (r : Object_sim.repr) -> List.length r.fields > 3)
+             reprs));
   ]
 
 let conflict_tests =
@@ -220,6 +336,7 @@ let tests =
     ("dupdetect.union_find", union_find_tests);
     ("dupdetect.field_sim", field_sim_tests);
     ("dupdetect.object_sim", object_sim_tests);
+    ("dupdetect.build_reprs", build_reprs_tests);
     ("dupdetect.dup_detect", dup_detect_tests);
     ("dupdetect.conflict", conflict_tests);
   ]

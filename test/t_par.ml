@@ -42,6 +42,42 @@ let pool_tests =
             check Alcotest.(list int) "empty" [] (Pool.parallel_map p succ []);
             check Alcotest.(list int) "singleton" [ 8 ]
               (Pool.parallel_map p succ [ 7 ])));
+    Alcotest.test_case "chunked claiming keeps input order on large batches"
+      `Quick (fun () ->
+        (* 1000 items at 2/4 domains claims runs of >1 item per cursor
+           bump; assembly must still be by input index *)
+        let xs = List.init 1000 (fun i -> i - 500) in
+        let f x = (x * 7) - 3 in
+        let expected = List.map f xs in
+        List.iter
+          (fun n ->
+            with_pool n (fun p ->
+                check
+                  Alcotest.(list int)
+                  (Printf.sprintf "size %d" n)
+                  expected (Pool.parallel_map p f xs)))
+          [ 2; 4 ]);
+    Alcotest.test_case "expired budget enforced on singleton input" `Quick
+      (fun () ->
+        (* regression: the singleton shortcut used to run [f] without the
+           Budget.check poll the sequential path performs *)
+        let module Budget = Aladin_resilience.Budget in
+        with_pool 2 (fun p ->
+            match
+              Budget.with_budget ~step:"single" 0.01 (fun () ->
+                  (* spin until strictly past the deadline: the clock has
+                     finite resolution and check () raises only on > *)
+                  let rec spin () =
+                    match Budget.remaining () with
+                    | Some r when r >= 0.0 -> spin ()
+                    | _ -> ()
+                  in
+                  spin ();
+                  Pool.parallel_map p succ [ 1 ])
+            with
+            | _ -> Alcotest.fail "expected Budget.Expired"
+            | exception Budget.Expired (step, _) ->
+                check Alcotest.string "step" "single" step));
     Alcotest.test_case "exception propagates and the pool stays usable" `Quick
       (fun () ->
         with_pool 4 (fun p ->
