@@ -759,7 +759,8 @@ let e12_changes () =
 
 let pipeline_steps =
   [ "primary discovery"; "fk inference"; "secondary discovery";
-    "link discovery"; "xref pass"; "seq pass"; "duplicate detection" ]
+    "link discovery"; "xref pass"; "seq pass"; "text pass";
+    "duplicate detection" ]
 
 (* total seconds per span name, summed over the whole trace tree *)
 let step_seconds tr =
@@ -783,7 +784,7 @@ let pipeline_universe =
     n_structures = 250; n_diseases = 100; n_terms = 160; n_families = 80 }
 
 let hot_steps =
-  [ "fk inference"; "xref pass"; "link discovery"; "seq pass";
+  [ "fk inference"; "xref pass"; "link discovery"; "seq pass"; "text pass";
     "duplicate detection" ]
 
 let pipeline_bench () =

@@ -5,7 +5,12 @@
    everything else: primary relations, secondary structure, the
    cross-references between them, and how to browse the result.
 
-     dune exec examples/quickstart.exe *)
+     dune exec examples/quickstart.exe
+
+   With --text-heavy, a deterministic block of text-rich entries is
+   appended to both sources so the text-similarity pass dominates the
+   run; scripts/check.sh byte-diffs that mode across pool sizes to pin
+   down the sharded candidate join. *)
 
 open Aladin
 open Aladin_relational
@@ -76,8 +81,71 @@ let pdb_flat =
    SEQRES    A MARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTWYVARNDCEQGHILKMFPSTW\n\
    END\n"
 
+(* --text-heavy: four vocabulary clusters; entries within a cluster share
+   most of their description terms (cosine well above the 0.5 default),
+   entries across clusters share only corpus-wide terms (weight 0 under
+   the df ceiling), so the candidate join has real work to prune *)
+let themes =
+  [| ("KIN", "kinase signaling cascade phosphorylating the catalytic domain");
+     ("TRP", "membrane transporter moving ions across the lipid bilayer");
+     ("HSP", "chaperone assisting protein folding under heat shock stress");
+     ("POL", "polymerase copying the genomic template during replication") |]
+
+(* varying amounts of filler give the description column a wide length
+   spread, so it can never out-compete the accession column in primary
+   key discovery *)
+let filler i = String.concat "" (List.init (i mod 7) (fun _ -> " isoform"))
+
+(* per-entry scrambled sequences: deterministic, pairwise dissimilar, so
+   the sequence pass stays quiet and the text pass carries the run *)
+let scrambled_seq i =
+  let alphabet = "ACDEFGHIKLMNPQRSTVWY" in
+  String.init 24 (fun k ->
+      alphabet.[((i * 7) + (k * k) + (i * k)) mod String.length alphabet])
+
+let extra_swissprot n =
+  let buf = Buffer.create 4096 in
+  for i = 0 to n - 1 do
+    let tag, theme = themes.(i mod Array.length themes) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "ID   %s%03d_EXTRA\n\
+          AC   Q2%04d;\n\
+          DE   Variant %d of the %s%s.\n\
+          OS   Homo sapiens.\n\
+          SQ   SEQUENCE 24 AA\n\
+          ..   %s\n\
+          //\n"
+         tag i i (i / Array.length themes) theme (filler i) (scrambled_seq i))
+  done;
+  Buffer.contents buf
+
+let extra_pdb n =
+  let buf = Buffer.create 4096 in
+  for i = 0 to n - 1 do
+    let tag, theme = themes.(i mod Array.length themes) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "HEADER    EXTRA              EX%02d\n\
+          TITLE     MODEL %d OF THE %s%s\n\
+          COMPND    %s%03d EXTRA\n\
+          SEQRES    A %s\n\
+          END\n"
+         i (i / Array.length themes)
+         (String.uppercase_ascii theme)
+         (String.uppercase_ascii (filler i))
+         tag i
+         (scrambled_seq (i + 1000)))
+  done;
+  Buffer.contents buf
+
 let () =
+  let text_heavy = Array.exists (( = ) "--text-heavy") Sys.argv in
   (* step 1: import — the only step that knows about file formats *)
+  let swissprot_flat =
+    if text_heavy then swissprot_flat ^ extra_swissprot 48 else swissprot_flat
+  in
+  let pdb_flat = if text_heavy then pdb_flat ^ extra_pdb 48 else pdb_flat in
   let swissprot = Aladin_formats.Swissprot.parse ~name:"swissprot" swissprot_flat in
   let pdb = Aladin_formats.Pdb_flat.parse ~name:"pdb" pdb_flat in
 

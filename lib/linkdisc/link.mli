@@ -13,6 +13,11 @@ type kind =
 
 val kind_name : kind -> string
 
+val kind_rank : kind -> int
+(** Dense index in [0, 5], in declaration order; the sort key for
+    {!dedup}'s deterministic output and a direct array index for
+    per-kind counters. *)
+
 type t = {
   src : Objref.t;
   dst : Objref.t;

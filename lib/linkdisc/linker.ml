@@ -103,7 +103,7 @@ let discover ?(params = default_params) ?pool ?(budgets = no_pass_budgets)
   let text_result, text_step =
     pass ~enabled:params.enable_text ~budget:budgets.text_budget "text pass"
       (fun () ->
-        let r = Text_links.discover ~params:params.text profiles in
+        let r = Text_links.discover ~params:params.text ?pool profiles in
         Obs.Trace.ambient_incr ~by:r.documents "text.documents";
         Obs.Trace.ambient_incr ~by:(List.length r.links) "text.links";
         r)
@@ -138,9 +138,14 @@ let count_by_kind links =
     [ Link.Xref; Link.Seq_similarity; Link.Text_similarity; Link.Shared_term;
       Link.Entity_mention; Link.Duplicate ]
   in
+  (* one fold over the links, not one full scan per kind *)
+  let counts = Array.make (List.length kinds) 0 in
+  List.iter
+    (fun (l : Link.t) ->
+      let r = Link.kind_rank l.kind in
+      counts.(r) <- counts.(r) + 1)
+    links;
   List.filter_map
     (fun k ->
-      match List.length (List.filter (fun (l : Link.t) -> l.kind = k) links) with
-      | 0 -> None
-      | n -> Some (k, n))
+      match counts.(Link.kind_rank k) with 0 -> None | n -> Some (k, n))
     kinds

@@ -49,8 +49,9 @@ val discover :
   ?budgets:pass_budgets ->
   Profile_list.t ->
   report
-(** The pool (if any) is handed to the xref and seq passes, the two
-    quadratic ones; text and onto passes stay sequential. Never raises:
-    a failing pass is reported in [passes] and contributes no links. *)
+(** The pool (if any) is handed to the xref, seq and text passes (the
+    text pass shards its prepared-corpus candidate join by query-document
+    range); the onto pass stays sequential. Never raises: a failing pass
+    is reported in [passes] and contributes no links. *)
 
 val count_by_kind : Link.t list -> (Link.kind * int) list

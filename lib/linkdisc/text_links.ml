@@ -2,6 +2,7 @@ open Aladin_relational
 open Aladin_discovery
 module Tx = Aladin_text
 module Sq = Aladin_seq
+module Pool = Aladin_par.Pool
 
 type params = {
   min_cosine : float;
@@ -102,7 +103,20 @@ let name_dictionary profiles =
     (Profile_list.entries profiles);
   dict
 
-let discover ?(params = default_params) profiles =
+(* contiguous [lo, hi) index ranges of near-equal size covering [0, n) *)
+let ranges_of nshards n =
+  if n = 0 then []
+  else begin
+    let nshards = max 1 nshards in
+    let per = (n + nshards - 1) / nshards in
+    let rec go lo acc =
+      if lo >= n then List.rev acc
+      else go (lo + per) ((lo, min n (lo + per)) :: acc)
+    in
+    go 0 []
+  end
+
+let discover ?(params = default_params) ?pool profiles =
   let documents = object_documents profiles in
   let corpus = Tx.Tfidf.corpus_create () in
   let by_id : (string, Objref.t) Hashtbl.t = Hashtbl.create 256 in
@@ -112,51 +126,68 @@ let discover ?(params = default_params) profiles =
       Hashtbl.replace by_id id obj;
       Tx.Tfidf.corpus_add corpus ~doc_id:id doc)
     documents;
+  (* cosine-similarity links: the candidate join over the prepared corpus,
+     sharded across the pool by query-document range. The prepared arrays
+     are built once, before the fan-out, and are read-only inside it; each
+     shard accumulates its own pairs and the shards are concatenated in
+     range order, which is exactly ascending (i, j) order whatever the
+     pool size — every pair is owned by its smaller document index. *)
+  let prep = Tx.Tfidf.prepare corpus in
+  let ndocs = Tx.Tfidf.prepared_docs prep in
+  let nshards = match pool with None -> 1 | Some p -> max 1 (Pool.size p * 4) in
+  let pair_shards =
+    Pool.map ?pool
+      (fun (lo, hi) ->
+        Tx.Tfidf.similar_pairs_range prep ~lo ~hi ~min_sim:params.min_cosine)
+      (ranges_of nshards ndocs)
+  in
   let links = ref [] in
-  (* cosine-similarity links *)
   List.iter
-    (fun (obj, _) ->
-      let id = Objref.to_string obj in
-      Tx.Tfidf.similar_docs corpus ~doc_id:id ~min_sim:params.min_cosine
-      |> List.iter (fun (other_id, sim) ->
-             match Hashtbl.find_opt by_id other_id with
-             | None -> ()
-             | Some other ->
-                 if
-                   (not params.cross_source_only)
-                   || obj.Objref.source <> other.Objref.source
-                 then
-                   links :=
-                     Link.make ~src:obj ~dst:other ~kind:Link.Text_similarity
-                       ~confidence:sim
-                       ~evidence:(Printf.sprintf "tfidf cosine=%.2f" sim)
-                     :: !links))
-    documents;
-  (* entity-mention links *)
+    (List.iter (fun (ida, idb, sim) ->
+         match (Hashtbl.find_opt by_id ida, Hashtbl.find_opt by_id idb) with
+         | Some obj, Some other ->
+             if
+               (not params.cross_source_only)
+               || obj.Objref.source <> other.Objref.source
+             then
+               links :=
+                 Link.make ~src:obj ~dst:other ~kind:Link.Text_similarity
+                   ~confidence:sim
+                   ~evidence:(Printf.sprintf "tfidf cosine=%.2f" sim)
+                 :: !links
+         | _ -> ()))
+    pair_shards;
+  (* entity-mention links: only dictionary hits are ever computed (the
+     recognizer's surface heuristics would be discarded at the lookup
+     below anyway); recognition fans out per document, dictionary tables
+     read-only, results merged in document order *)
   let dict = name_dictionary profiles in
   let recognizer = Tx.Entity_recog.create () in
   Tx.Entity_recog.add_dictionary recognizer
     (Hashtbl.fold (fun name _ acc -> name :: acc) dict []);
-  let mention_links = ref 0 in
-  List.iter
-    (fun (obj, doc) ->
-      Tx.Entity_recog.recognize recognizer ~min_score:params.mention_min_score doc
-      |> List.iter (fun (m : Tx.Entity_recog.mention) ->
-             match Hashtbl.find_opt dict (String.lowercase_ascii m.surface) with
-             | None -> ()
-             | Some target ->
-                 let cross =
-                   (not params.cross_source_only)
-                   || obj.Objref.source <> target.Objref.source
-                 in
-                 if cross && not (Objref.equal obj target) then begin
-                   incr mention_links;
-                   links :=
-                     Link.make ~src:obj ~dst:target ~kind:Link.Entity_mention
-                       ~confidence:(0.6 *. m.score)
-                       ~evidence:(Printf.sprintf "mention %S" m.surface)
-                     :: !links
-                 end))
-    documents;
-  { links = Link.dedup !links; documents = List.length documents;
-    mention_links = !mention_links }
+  let mention_shards =
+    Pool.map ?pool
+      (fun (obj, doc) ->
+        Tx.Entity_recog.recognize_dictionary recognizer doc
+        |> List.filter_map (fun (m : Tx.Entity_recog.mention) ->
+               match Hashtbl.find_opt dict (String.lowercase_ascii m.surface) with
+               | None -> None
+               | Some target ->
+                   let cross =
+                     (not params.cross_source_only)
+                     || obj.Objref.source <> target.Objref.source
+                   in
+                   if cross && not (Objref.equal obj target) then
+                     Some
+                       (Link.make ~src:obj ~dst:target ~kind:Link.Entity_mention
+                          ~confidence:(0.6 *. m.score)
+                          ~evidence:(Printf.sprintf "mention %S" m.surface))
+                   else None))
+      documents
+  in
+  let mention_links =
+    List.fold_left (fun acc ls -> acc + List.length ls) 0 mention_shards
+  in
+  { links = Link.dedup (List.concat (!links :: mention_shards));
+    documents = List.length documents;
+    mention_links }

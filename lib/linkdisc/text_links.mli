@@ -9,8 +9,12 @@
 type params = {
   min_cosine : float;  (** default 0.5 *)
   cross_source_only : bool;  (** default true *)
-  mention_min_score : float;  (** entity-recognition threshold (default 1.0
-                                  = dictionary matches only) *)
+  mention_min_score : float;  (** kept for configuration compatibility;
+                                  linking only ever keeps dictionary
+                                  matches (which score 1.0), so the
+                                  recognizer's surface-shape threshold
+                                  never affected the links and the pass
+                                  now computes dictionary hits directly *)
 }
 
 val default_params : params
@@ -25,4 +29,10 @@ val object_documents : Profile_list.t -> (Objref.t * string) list
 (** The assembled per-object documents (exposed for search indexing and
     tests). Sequence-shaped fields are excluded. *)
 
-val discover : ?params:params -> Profile_list.t -> result
+val discover :
+  ?params:params -> ?pool:Aladin_par.Pool.t -> Profile_list.t -> result
+(** The cosine candidate join runs over {!Aladin_text.Tfidf.prepare}d
+    vectors (built once, before any fan-out) and is sharded across the
+    pool by query-document range; entity-mention recognition fans out per
+    document. Per-shard accumulators are merged deterministically at the
+    join, so the result is byte-identical at any pool size. *)

@@ -38,6 +38,25 @@ let surface_score token =
     Float.min 1.0 !score
   end
 
+(* Dictionary-only recognition for the linking path: when every mention is
+   immediately looked up in the dictionary anyway, scoring the surface
+   shape of every non-dictionary token is pure waste (tokens vastly
+   outnumber dictionary hits). Produces exactly the mentions [recognize]
+   would that survive a dictionary-membership filter. *)
+let recognize_dictionary t text =
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | surface :: rest ->
+        let acc =
+          if Tokenize.stopword surface then acc
+          else if Hashtbl.mem t.dict (String.lowercase_ascii surface) then
+            { surface; start = i; score = 1.0 } :: acc
+          else acc
+        in
+        go (i + 1) acc rest
+  in
+  go 0 [] (Tokenize.words_raw text)
+
 let recognize t ?(min_score = 0.5) text =
   Tokenize.words_raw text
   |> List.mapi (fun i tok -> (i, tok))

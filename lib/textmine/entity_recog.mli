@@ -24,3 +24,10 @@ val surface_score : string -> float
 val recognize : t -> ?min_score:float -> string -> mention list
 (** Mentions above [min_score] (default 0.5), in text order. Dictionary
     matches score 1.0; others use {!surface_score}. Stopwords never match. *)
+
+val recognize_dictionary : t -> string -> mention list
+(** Dictionary hits only (all score 1.0), in text order — exactly the
+    mentions of {!recognize} whose lowercased surface is in the
+    dictionary, without scoring every other token's surface shape on the
+    way. The fast path for linking, where non-dictionary mentions are
+    discarded anyway. *)

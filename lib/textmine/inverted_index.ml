@@ -36,14 +36,11 @@ type query_result = { doc_id : string; score : float; matched : string list }
 
 let idf t term =
   let n = float_of_int (max 1 (doc_count t)) in
-  let docs_with =
-    postings t term
-    |> List.fold_left
-         (fun acc (p : posting) ->
-           if List.mem p.doc_id acc then acc else p.doc_id :: acc)
-         []
-    |> List.length
-  in
+  (* distinct doc count via a table: the posting list holds one entry per
+     (doc, field), so a List.mem dedup would be quadratic in postings *)
+  let seen = Hashtbl.create 16 in
+  List.iter (fun (p : posting) -> Hashtbl.replace seen p.doc_id ()) (postings t term);
+  let docs_with = Hashtbl.length seen in
   if docs_with = 0 then 0.0 else log (1.0 +. (n /. float_of_int docs_with))
 
 let search t ?field ?(limit = 20) query =
@@ -100,6 +97,9 @@ let phrase_matches t query =
       in
       List.fold_left
         (fun acc term ->
-          let ds = docs_of term in
-          List.filter (fun d -> List.mem d ds) acc)
+          let ds = Hashtbl.create 16 in
+          List.iter
+            (fun (p : posting) -> Hashtbl.replace ds p.doc_id ())
+            (postings t term);
+          List.filter (fun d -> Hashtbl.mem ds d) acc)
         (docs_of first) rest

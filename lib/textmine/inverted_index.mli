@@ -18,6 +18,11 @@ val term_count : t -> int
 val postings : t -> string -> posting list
 (** Raw postings for a (lowercased) term. *)
 
+val idf : t -> string -> float
+(** [log (1 + N / df)] over DISTINCT documents containing the term (a
+    document indexed under several fields counts once); 0.0 for a term
+    absent from the index. *)
+
 type query_result = { doc_id : string; score : float; matched : string list }
 
 val search : t -> ?field:string -> ?limit:int -> string -> query_result list

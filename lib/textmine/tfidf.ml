@@ -1,11 +1,41 @@
 type corpus = {
   docs : (string, (string, int) Hashtbl.t) Hashtbl.t;  (* doc -> term counts *)
   df : (string, int) Hashtbl.t;  (* term -> document frequency *)
+  mutable prep : prepared option;  (* cache, invalidated by corpus_add *)
+}
+
+(* The prepared corpus: one flat representation per document, built once
+   after all [corpus_add] calls. Term strings are interned to dense ids
+   (lexicographic, so ids are canonical for a given vocabulary); each
+   document carries its positive-weight terms as a sorted unboxed id
+   array plus the parallel tf-idf weight array and a cached norm. The
+   postings table inverts that: term id -> ascending doc indexes. This is
+   what makes the all-pairs similarity join sub-quadratic — candidates
+   come from shared postings, and scoring is a sorted-merge dot product
+   with zero allocation per pair. *)
+and prepared = {
+  ids : string array;  (* doc index -> doc id, sorted *)
+  doc_terms : int array array;  (* doc index -> sorted term ids, weight > 0 *)
+  doc_weights : float array array;  (* parallel to [doc_terms] *)
+  norms : float array;  (* doc index -> euclidean norm of the weight vector *)
+  postings : int array array;  (* term id -> ascending doc indexes *)
+  term_df : int array;  (* term id -> document frequency *)
+  gen_terms : int array array;
+      (* doc index -> term ids in candidate-generation order: descending
+         weight (ties by ascending id), so the prefix filter can stop
+         walking postings as soon as the rest of the vector is too light
+         to reach the similarity threshold *)
+  gen_suffix : float array array;
+      (* parallel to [gen_terms]: [gen_suffix.(d).(k)] is the norm of the
+         weights at generation positions k.. divided by the full norm —
+         an upper bound (Cauchy-Schwarz) on the cosine of any pair whose
+         shared terms all sit at positions >= k *)
 }
 
 type vector = (string, float) Hashtbl.t
 
-let corpus_create () = { docs = Hashtbl.create 64; df = Hashtbl.create 256 }
+let corpus_create () =
+  { docs = Hashtbl.create 64; df = Hashtbl.create 256; prep = None }
 
 let term_counts text =
   let counts = Hashtbl.create 16 in
@@ -26,6 +56,7 @@ let remove_df c counts =
     counts
 
 let corpus_add c ~doc_id text =
+  c.prep <- None;
   (match Hashtbl.find_opt c.docs doc_id with
   | Some old -> remove_df c old
   | None -> ());
@@ -78,21 +109,263 @@ let cosine a b =
     !dot /. (na *. nb)
   end
 
+(* ------------------------------------------------------------------ *)
+(* prepared corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let build_prepared c =
+  let n = Hashtbl.length c.docs in
+  let ids = Array.of_list (List.sort String.compare (doc_ids c)) in
+  (* canonical term ids: lexicographic over the vocabulary *)
+  let vocab =
+    Hashtbl.fold (fun t _ acc -> t :: acc) c.df []
+    |> List.sort String.compare |> Array.of_list
+  in
+  let nterms = Array.length vocab in
+  let term_id : (string, int) Hashtbl.t = Hashtbl.create (2 * max 1 nterms) in
+  Array.iteri (fun i t -> Hashtbl.replace term_id t i) vocab;
+  let term_df =
+    Array.map
+      (fun t -> match Hashtbl.find_opt c.df t with Some d -> d | None -> 0)
+      vocab
+  in
+  let nf = float_of_int (max 1 n) in
+  let idf_of t = Float.max 0.0 (log (nf /. float_of_int term_df.(t))) in
+  let doc_terms = Array.make n [||] in
+  let doc_weights = Array.make n [||] in
+  let norms = Array.make n 0.0 in
+  Array.iteri
+    (fun i id ->
+      let counts = Hashtbl.find c.docs id in
+      (* same weighting (and the same w > 0 filter) as [vector_of_counts],
+         so prepared scores match the naive ones exactly *)
+      let pairs =
+        Hashtbl.fold
+          (fun term tf acc ->
+            let t = Hashtbl.find term_id term in
+            let w = float_of_int tf *. idf_of t in
+            if w > 0.0 then (t, w) :: acc else acc)
+          counts []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      let k = List.length pairs in
+      let ts = Array.make k 0 and ws = Array.make k 0.0 in
+      List.iteri
+        (fun j (t, w) ->
+          ts.(j) <- t;
+          ws.(j) <- w)
+        pairs;
+      doc_terms.(i) <- ts;
+      doc_weights.(i) <- ws;
+      norms.(i) <- sqrt (Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 ws))
+    ids;
+  let gen_terms = Array.make n [||] in
+  let gen_suffix = Array.make n [||] in
+  Array.iteri
+    (fun i ts ->
+      let ws = doc_weights.(i) in
+      let k = Array.length ts in
+      let order = Array.init k Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare ws.(b) ws.(a) with
+          | 0 -> Int.compare ts.(a) ts.(b)
+          | cmp -> cmp)
+        order;
+      let gts = Array.map (fun pos -> ts.(pos)) order in
+      let suf = Array.make k 0.0 in
+      let acc = ref 0.0 in
+      for m = k - 1 downto 0 do
+        let w = ws.(order.(m)) in
+        acc := !acc +. (w *. w);
+        suf.(m) <- (if norms.(i) = 0.0 then 0.0 else sqrt !acc /. norms.(i))
+      done;
+      gen_terms.(i) <- gts;
+      gen_suffix.(i) <- suf)
+    doc_terms;
+  (* postings over positive-weight occurrences; doc indexes ascend because
+     documents are visited in index order *)
+  let sizes = Array.make nterms 0 in
+  Array.iter (fun ts -> Array.iter (fun t -> sizes.(t) <- sizes.(t) + 1) ts) doc_terms;
+  let postings = Array.init nterms (fun t -> Array.make sizes.(t) 0) in
+  let fill = Array.make nterms 0 in
+  Array.iteri
+    (fun i ts ->
+      Array.iter
+        (fun t ->
+          postings.(t).(fill.(t)) <- i;
+          fill.(t) <- fill.(t) + 1)
+        ts)
+    doc_terms;
+  { ids; doc_terms; doc_weights; norms; postings; term_df; gen_terms;
+    gen_suffix }
+
+let prepare c =
+  match c.prep with
+  | Some p -> p
+  | None ->
+      let p = build_prepared c in
+      c.prep <- Some p;
+      p
+
+let prepared_docs p = Array.length p.ids
+
+let prepared_doc_id p i = p.ids.(i)
+
+(* Every term with positive weight has df < N, so a ceiling of N - 1 keeps
+   every discriminating term and the candidate join is provably complete:
+   any pair with cosine > 0 shares at least one positive-weight term. A
+   term in all N documents has idf = ln(N/N) = 0 and never carries weight,
+   so skipping it costs nothing. Lower ceilings trade recall for speed. *)
+let default_df_ceiling p = Array.length p.ids - 1
+
+(* HOT-PATH-BEGIN (text-similarity scoring): everything down to the END
+   sentinel runs once per candidate pair inside the link-discovery
+   fan-out. It may only touch the prepared arrays — no per-pair table
+   construction, no re-tokenization, no tf-idf count-vector rebuild
+   (a grep-gate in scripts/check.sh enforces it on this region). *)
+
+(* fused sorted-merge dot product over the unboxed weight arrays *)
+let dot_sorted ta wa tb wb =
+  let la = Array.length ta and lb = Array.length tb in
+  let s = ref 0.0 and ia = ref 0 and ib = ref 0 in
+  while !ia < la && !ib < lb do
+    let a = Array.unsafe_get ta !ia and b = Array.unsafe_get tb !ib in
+    if a = b then begin
+      s := !s +. (Array.unsafe_get wa !ia *. Array.unsafe_get wb !ib);
+      incr ia;
+      incr ib
+    end
+    else if a < b then incr ia
+    else incr ib
+  done;
+  !s
+
+let score_pair p i j =
+  let nn = p.norms.(i) *. p.norms.(j) in
+  if nn = 0.0 then 0.0
+  else
+    dot_sorted p.doc_terms.(i) p.doc_weights.(i) p.doc_terms.(j)
+      p.doc_weights.(j)
+    /. nn
+
+(* HOT-PATH-END *)
+
+(* Candidate generation for query doc [i]: walk the postings of its terms
+   with df <= ceiling and collect every co-occurring doc once. [seen] is a
+   generation-stamped scratch array ([stamp] must be fresh per query), so
+   no per-query table is allocated. Candidates come out sorted, making the
+   emission order independent of postings traversal.
+
+   Terms are walked in descending-weight order with a prefix filter: once
+   the remaining suffix of [i]'s vector has norm fraction below [min_sim],
+   the walk stops — a pair whose shared terms all sit in that suffix has
+   cosine <= gen_suffix (Cauchy-Schwarz), so it cannot pass the threshold.
+   Lossless for any [min_sim], and the ubiquitous low-idf terms (the ones
+   with the longest postings) are exactly the ones that land in the
+   pruned suffix.
+
+   Candidates land in the caller-provided unboxed scratch array [buf]
+   (capacity >= number of documents); the returned prefix [0, count) is
+   sorted ascending. No per-query list or table allocation. *)
+let candidates_into p ~df_ceiling ~min_sim ~seen ~stamp ~buf i ~only_greater =
+  let gts = p.gen_terms.(i) and suf = p.gen_suffix.(i) in
+  let k = Array.length gts in
+  let count = ref 0 in
+  let m = ref 0 in
+  while !m < k && suf.(!m) >= min_sim do
+    let t = gts.(!m) in
+    if p.term_df.(t) <= df_ceiling then
+      Array.iter
+        (fun j ->
+          if
+            j <> i
+            && ((not only_greater) || j > i)
+            && seen.(j) <> stamp
+          then begin
+            seen.(j) <- stamp;
+            buf.(!count) <- j;
+            incr count
+          end)
+        p.postings.(t);
+    incr m
+  done;
+  let sub = Array.sub buf 0 !count in
+  Array.sort Int.compare sub;
+  Array.blit sub 0 buf 0 !count;
+  !count
+
+let similar_pairs_range ?df_ceiling p ~lo ~hi ~min_sim =
+  let n = Array.length p.ids in
+  let df_ceiling =
+    match df_ceiling with Some d -> d | None -> default_df_ceiling p
+  in
+  let lo = max 0 lo and hi = min n hi in
+  let seen = Array.make (max 1 n) (-1) in
+  let buf = Array.make (max 1 n) 0 in
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    let count =
+      candidates_into p ~df_ceiling ~min_sim ~seen ~stamp:i ~buf i
+        ~only_greater:true
+    in
+    for k = 0 to count - 1 do
+      let j = buf.(k) in
+      let sim = score_pair p i j in
+      if sim >= min_sim then out := (p.ids.(i), p.ids.(j), sim) :: !out
+    done
+  done;
+  List.rev !out
+
+let similar_pairs ?df_ceiling p ~min_sim =
+  similar_pairs_range ?df_ceiling p ~lo:0 ~hi:(Array.length p.ids) ~min_sim
+
+let find_doc p doc_id =
+  let lo = ref 0 and hi = ref (Array.length p.ids) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare doc_id p.ids.(mid) in
+    if c = 0 then found := Some mid
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
 let similar_docs c ~doc_id ~min_sim =
-  match vector_of_doc c doc_id with
-  | None -> []
-  | Some v ->
-      Hashtbl.fold
-        (fun other counts acc ->
-          if other = doc_id then acc
-          else
-            let sim = cosine v (vector_of_counts c counts) in
-            if sim >= min_sim then (other, sim) :: acc else acc)
-        c.docs []
-      |> List.sort (fun (ida, a) (idb, b) ->
-             match Float.compare b a with
-             | 0 -> String.compare ida idb
-             | cmp -> cmp)
+  if not (Hashtbl.mem c.docs doc_id) then []
+  else begin
+    let p = prepare c in
+    match find_doc p doc_id with
+    | None -> []
+    | Some i ->
+        let n = Array.length p.ids in
+        let candidates =
+          if min_sim <= 0.0 then
+            (* a zero threshold admits non-overlapping pairs (cosine 0),
+               which the candidate join never visits by construction:
+               degrade to scoring every other document *)
+            List.filter (fun j -> j <> i) (List.init n Fun.id)
+          else begin
+            let seen = Array.make (max 1 n) (-1) in
+            let buf = Array.make (max 1 n) 0 in
+            let count =
+              candidates_into p ~df_ceiling:(default_df_ceiling p) ~min_sim
+                ~seen ~stamp:i ~buf i ~only_greater:false
+            in
+            Array.to_list (Array.sub buf 0 count)
+          end
+        in
+        List.filter_map
+          (fun j ->
+            let sim = score_pair p i j in
+            if sim >= min_sim then Some (p.ids.(j), sim) else None)
+          candidates
+        |> List.sort (fun (ida, a) (idb, b) ->
+               match Float.compare b a with
+               | 0 -> String.compare ida idb
+               | cmp -> cmp)
+  end
 
 let top_terms v n =
   Hashtbl.fold (fun term w acc -> (term, w) :: acc) v []

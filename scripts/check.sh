@@ -93,6 +93,21 @@ for f in lib/dupdetect/field_sim.ml lib/dupdetect/object_sim.ml; do
 done
 echo "grep-gate ok: dup-detection per-pair hot path uses prepared reprs only"
 
+# The text-similarity hot path (scored once per candidate pair emitted by
+# the inverted-index join) must stay a fused sorted-merge over the
+# prepared per-document arrays: rebuilding count vectors or allocating a
+# hashtable per pair is the quadratic-allocation profile the sparse join
+# was built to kill.
+f=lib/textmine/tfidf.ml
+grep -q 'HOT-PATH-BEGIN' "$f" && grep -q 'HOT-PATH-END' "$f" || {
+  echo "error: $f lost its HOT-PATH sentinels" >&2; exit 1; }
+if sed -n '/HOT-PATH-BEGIN/,/HOT-PATH-END/p' "$f" \
+    | grep -nE 'vector_of_counts|term_counts|Hashtbl\.create'; then
+  echo "error: $f allocates per pair inside the scoring hot path (use the prepared arrays)" >&2
+  exit 1
+fi
+echo "grep-gate ok: text-similarity per-pair scoring uses prepared arrays only"
+
 dune build
 dune runtest
 
@@ -111,6 +126,19 @@ for d in 2 4; do
   fi
 done
 echo "determinism ok: quickstart identical at ALADIN_DOMAINS=1, 2 and 4"
+
+# Same bar for a run the text pass dominates: --text-heavy appends a
+# deterministic block of text-rich entries, so this diff pins down the
+# sharded tf-idf candidate join (several shards per domain at 4).
+ALADIN_DOMAINS=1 ./_build/default/examples/quickstart.exe --text-heavy > "$q1"
+for d in 2 4; do
+  ALADIN_DOMAINS=$d ./_build/default/examples/quickstart.exe --text-heavy > "$q2"
+  if ! diff -u "$q1" "$q2"; then
+    echo "error: text-heavy quickstart output differs between 1 and $d domains" >&2
+    exit 1
+  fi
+done
+echo "determinism ok: text-heavy quickstart identical at ALADIN_DOMAINS=1, 2 and 4"
 
 # Fault injection: a corrupted corpus must integrate with degradation
 # recorded (and exit 0), and --strict must turn that into a failure.

@@ -307,6 +307,161 @@ let text_link_tests =
           (List.for_all
              (fun (l : Link.t) -> l.src.Objref.source <> l.dst.Objref.source)
              r.links));
+    Alcotest.test_case "discover identical at pool sizes 1/2/4" `Quick
+      (fun () ->
+        let norm (r : Text_links.result) =
+          ( List.map (Format.asprintf "%a" Link.pp) r.links,
+            r.documents,
+            r.mention_links )
+        in
+        let params = { Text_links.default_params with min_cosine = 0.3 } in
+        let base = norm (Text_links.discover ~params (profiles ())) in
+        List.iter
+          (fun domains ->
+            let p = Aladin_par.Pool.create ~domains () in
+            Fun.protect
+              ~finally:(fun () -> Aladin_par.Pool.shutdown p)
+              (fun () ->
+                check
+                  Alcotest.(triple (list string) int int)
+                  (Printf.sprintf "domains=%d" domains)
+                  base
+                  (norm (Text_links.discover ~params ~pool:p (profiles ())))))
+          [ 1; 2; 4 ]);
+  ]
+
+(* a source pair built for entity mentions: src_c's primary relation has a
+   name-like symbol column (all-alpha, unique, 3..25 chars) whose lengths
+   vary widely so it fails the accession length-spread/min-length rules and
+   [accession] stays the key; src_d's text fields mention those symbols *)
+let mention_source_c () =
+  let cat = Catalog.create ~name:"src_c" in
+  let gene =
+    Catalog.create_relation cat ~name:"gene"
+      (Schema.of_names [ "gene_id"; "accession"; "symbol" ])
+  in
+  List.iteri
+    (fun i (acc, sym) ->
+      Relation.insert gene [| Value.Int (i + 1); Value.text acc; Value.text sym |])
+    [ ("CX001", "alphakin");
+      ("CX002", "betatransporterkinase");
+      ("CX003", "grx") ];
+  cat
+
+let mention_source_d () =
+  let cat = Catalog.create ~name:"src_d" in
+  let entry =
+    Catalog.create_relation cat ~name:"entry"
+      (Schema.of_names [ "entry_id"; "accession"; "descr" ])
+  in
+  List.iteri
+    (fun i (acc, d) ->
+      Relation.insert entry [| Value.Int (i + 1); Value.text acc; Value.text d |])
+    (* description lengths vary widely so that [descr] fails the accession
+       length-spread rule and [accession] stays the key *)
+    [ ("DX001", "this enzyme interacts with alphakin during nucleotide repair");
+      ("DX002", "inert decoy");
+      ("DX003",
+       "weak homolog of betatransporterkinase observed in two hybrid assays") ];
+  cat
+
+let mention_profiles () =
+  Profile_list.of_profiles
+    [ Source_profile.analyze (mention_source_c ());
+      Source_profile.analyze (mention_source_d ()) ]
+
+let mention_link_tests =
+  [
+    Alcotest.test_case "dictionary symbols in text become mention links"
+      `Quick (fun () ->
+        let r = Text_links.discover (mention_profiles ()) in
+        let mention src dst =
+          List.exists
+            (fun (l : Link.t) ->
+              l.kind = Link.Entity_mention
+              && ((l.src.Objref.accession = src && l.dst.Objref.accession = dst)
+                 || (l.src.Objref.accession = dst && l.dst.Objref.accession = src)))
+            r.links
+        in
+        check Alcotest.bool "DX001 mentions alphakin/CX001" true
+          (mention "DX001" "CX001");
+        check Alcotest.bool "DX003 mentions betatransporterkinase/CX002" true
+          (mention "DX003" "CX002");
+        check Alcotest.bool "counted" true (r.mention_links >= 2));
+    Alcotest.test_case "mention links equal the old recognize-then-filter path"
+      `Quick (fun () ->
+        (* the old pass scored EVERY token's surface shape, then dropped
+           non-dictionary mentions at the lookup; replicate it and compare
+           the resulting link set with the dictionary-only fast path *)
+        let ps = mention_profiles () in
+        let r = Text_links.discover ps in
+        let fast =
+          List.filter (fun (l : Link.t) -> l.kind = Link.Entity_mention) r.links
+          |> List.map (Format.asprintf "%a" Link.pp)
+        in
+        let module Tx = Aladin_text in
+        let dict : (string, Objref.t) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (sym, acc) ->
+            Hashtbl.replace dict sym
+              (Objref.make ~source:"src_c" ~relation:"gene" ~accession:acc))
+          [ ("alphakin", "CX001");
+            ("betatransporterkinase", "CX002");
+            ("grx", "CX003") ];
+        let recognizer = Tx.Entity_recog.create () in
+        Tx.Entity_recog.add_dictionary recognizer
+          (Hashtbl.fold (fun name _ acc -> name :: acc) dict []);
+        let old_links = ref [] in
+        List.iter
+          (fun (obj, doc) ->
+            Tx.Entity_recog.recognize recognizer ~min_score:1.0 doc
+            |> List.iter (fun (m : Tx.Entity_recog.mention) ->
+                   match
+                     Hashtbl.find_opt dict (String.lowercase_ascii m.surface)
+                   with
+                   | None -> ()
+                   | Some target ->
+                       if
+                         obj.Objref.source <> target.Objref.source
+                         && not (Objref.equal obj target)
+                       then
+                         old_links :=
+                           Link.make ~src:obj ~dst:target
+                             ~kind:Link.Entity_mention
+                             ~confidence:(0.6 *. m.score)
+                             ~evidence:(Printf.sprintf "mention %S" m.surface)
+                           :: !old_links))
+          (Text_links.object_documents ps);
+        let old_path =
+          Link.dedup !old_links |> List.map (Format.asprintf "%a" Link.pp)
+        in
+        check Alcotest.(list string) "same links" old_path fast);
+  ]
+
+let count_by_kind_tests =
+  let obj s acc = Objref.make ~source:s ~relation:"r" ~accession:acc in
+  let mk i kind =
+    Link.make ~src:(obj "a" (Printf.sprintf "A%d" i)) ~dst:(obj "b" "B1") ~kind
+      ~confidence:0.9 ~evidence:"t"
+  in
+  [
+    Alcotest.test_case "counts in kind order, zero kinds omitted" `Quick
+      (fun () ->
+        let links =
+          List.concat
+            [ List.init 3 (fun i -> mk i Link.Text_similarity);
+              List.init 2 (fun i -> mk i Link.Xref);
+              [ mk 0 Link.Duplicate ] ]
+        in
+        check
+          Alcotest.(list (pair string int))
+          "counts"
+          [ ("xref", 2); ("text", 3); ("duplicate", 1) ]
+          (List.map
+             (fun (k, n) -> (Link.kind_name k, n))
+             (Linker.count_by_kind links)));
+    Alcotest.test_case "empty" `Quick (fun () ->
+        check Alcotest.int "none" 0 (List.length (Linker.count_by_kind [])));
   ]
 
 let onto_tests =
@@ -426,6 +581,8 @@ let tests =
     ("linkdisc.seq_links", seq_link_tests);
     ("linkdisc.seq_state", seq_state_tests);
     ("linkdisc.text_links", text_link_tests);
+    ("linkdisc.mention_links", mention_link_tests);
+    ("linkdisc.count_by_kind", count_by_kind_tests);
     ("linkdisc.onto_links", onto_tests);
     ("linkdisc.linker", linker_tests);
   ]

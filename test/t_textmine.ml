@@ -129,6 +129,200 @@ let tfidf_tests =
         check Alcotest.bool "none" true (Tfidf.vector_of_doc c "zz" = None));
   ]
 
+(* a small but non-trivial corpus: overlapping vocabulary clusters, one
+   term in every document, singleton terms, an empty-ish doc *)
+let pairs_corpus () =
+  let c = Tfidf.corpus_create () in
+  List.iter
+    (fun (id, text) -> Tfidf.corpus_add c ~doc_id:id text)
+    [ ("d0", "shared alpha kinase domain repair");
+      ("d1", "shared alpha kinase domain signaling");
+      ("d2", "shared beta transporter channel membrane");
+      ("d3", "shared beta transporter channel gating");
+      ("d4", "shared gamma unique1 singleton marker");
+      ("d5", "shared gamma receptor binding calcium");
+      ("d6", "shared zeta totally separate vocabulary cluster") ];
+  c
+
+(* exhaustive reference: every unordered pair scored with the naive
+   hashtable vectors *)
+let naive_all_pairs c =
+  let ids = List.sort String.compare (Tfidf.doc_ids c) in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if String.compare a b < 0 then
+            match (Tfidf.vector_of_doc c a, Tfidf.vector_of_doc c b) with
+            | Some va, Some vb -> Some (a, b, Tfidf.cosine va vb)
+            | _ -> None
+          else None)
+        ids)
+    ids
+
+let prepared_tests =
+  [
+    Alcotest.test_case "similar_docs prepared == naive scores" `Quick (fun () ->
+        let c = pairs_corpus () in
+        List.iter
+          (fun id ->
+            let naive =
+              match Tfidf.vector_of_doc c id with
+              | None -> []
+              | Some v ->
+                  List.filter_map
+                    (fun other ->
+                      if other = id then None
+                      else
+                        match Tfidf.vector_of_doc c other with
+                        | Some vo ->
+                            let s = Tfidf.cosine v vo in
+                            if s >= 0.05 then Some (other, s) else None
+                        | None -> None)
+                    (Tfidf.doc_ids c)
+                  |> List.sort (fun (ida, a) (idb, b) ->
+                         match Float.compare b a with
+                         | 0 -> String.compare ida idb
+                         | cmp -> cmp)
+            in
+            let prepared = Tfidf.similar_docs c ~doc_id:id ~min_sim:0.05 in
+            check Alcotest.int
+              (Printf.sprintf "%s: same count" id)
+              (List.length naive) (List.length prepared);
+            List.iter2
+              (fun (ida, sa) (idb, sb) ->
+                check Alcotest.string (id ^ ": same doc") ida idb;
+                check (Alcotest.float 1e-9) (id ^ ": same score") sa sb)
+              naive prepared)
+          (List.sort String.compare (Tfidf.doc_ids c)));
+    Alcotest.test_case "similar_docs reports each pair from both sides" `Quick
+      (fun () ->
+        let c = pairs_corpus () in
+        check Alcotest.bool "d0 sees d1" true
+          (List.mem_assoc "d1" (Tfidf.similar_docs c ~doc_id:"d0" ~min_sim:0.1));
+        check Alcotest.bool "d1 sees d0" true
+          (List.mem_assoc "d0" (Tfidf.similar_docs c ~doc_id:"d1" ~min_sim:0.1)));
+    Alcotest.test_case "candidate join is complete vs exhaustive" `Quick
+      (fun () ->
+        let c = pairs_corpus () in
+        let min_sim = 0.05 in
+        let expected =
+          List.filter (fun (_, _, s) -> s >= min_sim) (naive_all_pairs c)
+          |> List.map (fun (a, b, _) -> (a, b))
+        in
+        let found =
+          Tfidf.similar_pairs (Tfidf.prepare c) ~min_sim
+          |> List.map (fun (a, b, _) -> (a, b))
+        in
+        List.iter
+          (fun (a, b) ->
+            check Alcotest.bool (Printf.sprintf "(%s,%s) found" a b) true
+              (List.mem (a, b) found))
+          expected;
+        check Alcotest.int "no extra pairs" (List.length expected)
+          (List.length found));
+    Alcotest.test_case "similar_pairs scores match naive cosine" `Quick
+      (fun () ->
+        let c = pairs_corpus () in
+        let naive = naive_all_pairs c in
+        Tfidf.similar_pairs (Tfidf.prepare c) ~min_sim:0.01
+        |> List.iter (fun (a, b, s) ->
+               let (_, _, expected) =
+                 List.find (fun (x, y, _) -> x = a && y = b) naive
+               in
+               check (Alcotest.float 1e-9) (a ^ "-" ^ b) expected s));
+    Alcotest.test_case "each canonical pair exactly once, i < j" `Quick
+      (fun () ->
+        let c = pairs_corpus () in
+        let pairs = Tfidf.similar_pairs (Tfidf.prepare c) ~min_sim:0.01 in
+        List.iter
+          (fun (a, b, _) ->
+            check Alcotest.bool "ordered" true (String.compare a b < 0))
+          pairs;
+        let keys = List.map (fun (a, b, _) -> (a, b)) pairs in
+        check Alcotest.int "unique" (List.length keys)
+          (List.length (List.sort_uniq compare keys)));
+    Alcotest.test_case "range concatenation equals full join" `Quick (fun () ->
+        let c = pairs_corpus () in
+        let p = Tfidf.prepare c in
+        let n = Tfidf.prepared_docs p in
+        let full = Tfidf.similar_pairs p ~min_sim:0.01 in
+        (* odd, uneven boundaries on purpose *)
+        List.iter
+          (fun cuts ->
+            let rec ranges lo = function
+              | [] -> if lo < n then [ (lo, n) ] else []
+              | c :: rest -> (lo, min c n) :: ranges (min c n) rest
+            in
+            let sharded =
+              List.concat_map
+                (fun (lo, hi) -> Tfidf.similar_pairs_range p ~lo ~hi ~min_sim:0.01)
+                (ranges 0 cuts)
+            in
+            check Alcotest.bool "equal" true (sharded = full))
+          [ [ 1 ]; [ 2; 3 ]; [ 1; 2; 3; 4; 5; 6 ]; [ 4 ] ]);
+    Alcotest.test_case "df ceiling: all-docs term is weightless and skipped"
+      `Quick (fun () ->
+        (* "shared" appears in every doc of pairs_corpus: idf = ln(N/N) = 0,
+           so a pair overlapping ONLY on it has cosine 0 and skipping it as
+           a discriminator loses nothing *)
+        let c = pairs_corpus () in
+        let p = Tfidf.prepare c in
+        check Alcotest.int "default ceiling is N-1"
+          (Tfidf.prepared_docs p - 1)
+          (Tfidf.default_df_ceiling p);
+        let found = Tfidf.similar_pairs p ~min_sim:0.0001 in
+        check Alcotest.bool "d6 pairs with nobody" true
+          (List.for_all (fun (a, b, _) -> a <> "d6" && b <> "d6") found));
+    Alcotest.test_case "df ceiling: singleton term still contributes weight"
+      `Quick (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "linker unique1";
+        Tfidf.corpus_add c ~doc_id:"b" "linker unique2";
+        Tfidf.corpus_add c ~doc_id:"c" "other vocabulary";
+        (* a and b share only "linker" (df 2 of 3); their singleton terms
+           never generate candidates (posting length 1) but still weigh the
+           cosine down below 1.0 *)
+        match Tfidf.similar_pairs (Tfidf.prepare c) ~min_sim:0.0001 with
+        | [ ("a", "b", s) ] ->
+            check Alcotest.bool "0 < s < 1" true (s > 0.0 && s < 1.0)
+        | other ->
+            Alcotest.fail (Printf.sprintf "%d pairs" (List.length other)));
+    Alcotest.test_case "df ceiling: lowering it prunes candidates" `Quick
+      (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "frequent rare1";
+        Tfidf.corpus_add c ~doc_id:"b" "frequent rare2";
+        Tfidf.corpus_add c ~doc_id:"c" "frequent rare3";
+        Tfidf.corpus_add c ~doc_id:"d" "unrelated stuff";
+        let p = Tfidf.prepare c in
+        (* "frequent" has df 3 < N: a discriminator at the default ceiling,
+           pruned at ceiling 2 — the a/b/c pairs disappear because they
+           share nothing else *)
+        check Alcotest.int "default finds the 3 pairs" 3
+          (List.length (Tfidf.similar_pairs p ~min_sim:0.0001));
+        check Alcotest.int "ceiling 2 prunes them" 0
+          (List.length (Tfidf.similar_pairs ~df_ceiling:2 p ~min_sim:0.0001)));
+    Alcotest.test_case "corpus_add invalidates the prepared cache" `Quick
+      (fun () ->
+        let c = Tfidf.corpus_create () in
+        Tfidf.corpus_add c ~doc_id:"a" "alpha kinase";
+        Tfidf.corpus_add c ~doc_id:"b" "alpha kinase";
+        Tfidf.corpus_add c ~doc_id:"z" "background vocabulary so idf is positive";
+        check Alcotest.bool "similar before" true
+          (List.mem_assoc "b" (Tfidf.similar_docs c ~doc_id:"a" ~min_sim:0.5));
+        Tfidf.corpus_add c ~doc_id:"b" "totally different now";
+        check Alcotest.bool "not similar after replace" false
+          (List.mem_assoc "b" (Tfidf.similar_docs c ~doc_id:"a" ~min_sim:0.5)));
+    Alcotest.test_case "similar_docs min_sim 0 keeps zero-cosine docs" `Quick
+      (fun () ->
+        let c = pairs_corpus () in
+        (* the historical contract: a zero threshold reports every other
+           document, including non-overlapping ones *)
+        check Alcotest.int "all others" 6
+          (List.length (Tfidf.similar_docs c ~doc_id:"d6" ~min_sim:0.0)));
+  ]
+
 let inverted_tests =
   [
     Alcotest.test_case "search finds and ranks" `Quick (fun () ->
@@ -170,6 +364,26 @@ let inverted_tests =
         Inverted_index.add idx ~doc_id:"d" ~field:"f" "alpha beta";
         check Alcotest.int "docs" 1 (Inverted_index.doc_count idx);
         check Alcotest.int "terms" 2 (Inverted_index.term_count idx));
+    Alcotest.test_case "idf counts distinct docs across fields" `Quick
+      (fun () ->
+        let idx = Inverted_index.create () in
+        (* same doc indexed under two fields: two postings, ONE document *)
+        Inverted_index.add idx ~doc_id:"d1" ~field:"name" "alpha";
+        Inverted_index.add idx ~doc_id:"d1" ~field:"desc" "alpha";
+        Inverted_index.add idx ~doc_id:"d2" ~field:"desc" "beta";
+        check (Alcotest.float 1e-9) "df 1 of 2" (log (1.0 +. 2.0))
+          (Inverted_index.idf idx "alpha");
+        check (Alcotest.float 1e-9) "absent term" 0.0
+          (Inverted_index.idf idx "nosuch"));
+    Alcotest.test_case "phrase_matches across fields stays conjunctive" `Quick
+      (fun () ->
+        let idx = Inverted_index.create () in
+        Inverted_index.add idx ~doc_id:"d1" ~field:"a" "alpha";
+        Inverted_index.add idx ~doc_id:"d1" ~field:"b" "beta";
+        Inverted_index.add idx ~doc_id:"d2" ~field:"a" "alpha beta";
+        Inverted_index.add idx ~doc_id:"d3" ~field:"a" "beta";
+        check Alcotest.(list string) "d1 d2" [ "d1"; "d2" ]
+          (List.sort String.compare (Inverted_index.phrase_matches idx "alpha beta")));
   ]
 
 let entity_tests =
@@ -197,6 +411,37 @@ let entity_tests =
         match Entity_recog.recognize t "first second XYZ1" with
         | [ m ] -> check Alcotest.int "index" 2 m.start
         | ms -> Alcotest.fail (Printf.sprintf "%d mentions" (List.length ms)));
+    Alcotest.test_case "recognize_dictionary == recognize-then-filter" `Quick
+      (fun () ->
+        let t = Entity_recog.create () in
+        Entity_recog.add_dictionary t [ "brca2"; "p53"; "the" ];
+        let texts =
+          [ "the BRCA2 gene regulates p53 and CFTR5 signaling";
+            "no hits at all here";
+            "p53 P53 brca2 BRCA2 surface-only TOK9X";
+            "" ]
+        in
+        List.iter
+          (fun text ->
+            let old_path =
+              Entity_recog.recognize t ~min_score:1.0 text
+              (* old linking path: score everything, then keep only
+                 dictionary members at the lookup *)
+              |> List.filter (fun (m : Entity_recog.mention) ->
+                     List.mem
+                       (String.lowercase_ascii m.surface)
+                       [ "brca2"; "p53"; "the" ])
+            in
+            let fast = Entity_recog.recognize_dictionary t text in
+            check Alcotest.int (text ^ ": count") (List.length old_path)
+              (List.length fast);
+            List.iter2
+              (fun (a : Entity_recog.mention) (b : Entity_recog.mention) ->
+                check Alcotest.string "surface" a.surface b.surface;
+                check Alcotest.int "start" a.start b.start;
+                check (Alcotest.float 1e-9) "score" a.score b.score)
+              old_path fast)
+          texts);
   ]
 
 let tests =
@@ -204,6 +449,7 @@ let tests =
     ("textmine.tokenize", tokenize_tests);
     ("textmine.strdist", strdist_tests);
     ("textmine.tfidf", tfidf_tests);
+    ("textmine.tfidf_prepared", prepared_tests);
     ("textmine.inverted_index", inverted_tests);
     ("textmine.entity_recog", entity_tests);
   ]
