@@ -906,9 +906,26 @@ let pipeline_bench () =
   Printf.printf "wrote BENCH_pipeline.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* resilience — error-boundary overhead on the clean path              *)
-(*   (BENCH_resilience.json)                                           *)
+(* resilience — error-boundary overhead on the clean path, plus the    *)
+(* write-ahead journal: its clean-path overhead and how much a resume  *)
+(* after a late kill saves over a cold rerun (BENCH_resilience.json)   *)
 (* ------------------------------------------------------------------ *)
+
+let bench_fresh_dir tag =
+  let d = Filename.temp_file "aladin-bench" tag in
+  Sys.remove d;
+  d
+
+let rec bench_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun e -> bench_rm_rf (Filename.concat path e))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let bench_rm_rf path = if Sys.file_exists path then bench_rm_rf path
 
 let resilience_bench () =
   let corpus = Dg.Corpus.generate default_corpus_params in
@@ -954,6 +971,79 @@ let resilience_bench () =
   Printf.printf "boundary overhead: %+.2f%% (links identical: %s)\n"
     overhead_pct
     (if plain_links = budg_links then "yes" else "NO");
+  (* --- the write-ahead journal: clean-path overhead --- *)
+  let links_csv w = Aladin_access.Link_export.to_csv (Warehouse.links w) in
+  let plain_csv =
+    links_csv (Warehouse.integrate ~config:Config.default corpus.catalogs)
+  in
+  let journaled () =
+    let dir = bench_fresh_dir "wal" in
+    let (w, _), wall =
+      timed (fun () ->
+          match Warehouse.integrate_journaled ~journal:dir corpus.catalogs with
+          | Ok r -> r
+          | Error e -> failwith e)
+    in
+    (dir, wall, links_csv w)
+  in
+  let cold () =
+    snd (timed (fun () -> Warehouse.integrate ~config:Config.default corpus.catalogs))
+  in
+  (* interleave cold and journaled reps so page-cache / heap drift over
+     the run biases neither variant *)
+  let interleaved =
+    List.init reps (fun _ ->
+        let c = cold () in
+        let j = journaled () in
+        (c, j))
+  in
+  let cold_measures = List.map fst interleaved in
+  let journal_measures = List.map snd interleaved in
+  let journal_all = List.map (fun (_, w, _) -> w) journal_measures in
+  let journal_wall = List.fold_left min infinity journal_all in
+  let cold_wall = List.fold_left min infinity cold_measures in
+  let journal_identical =
+    List.for_all (fun (_, _, csv) -> csv = plain_csv) journal_measures
+  in
+  let journal_overhead_pct =
+    (journal_wall -. cold_wall) /. cold_wall *. 100.0
+  in
+  List.iter (fun (d, _, _) -> bench_rm_rf d) journal_measures;
+  Printf.printf "journal overhead: %+.2f%% (links identical: %s)\n"
+    journal_overhead_pct
+    (if journal_identical then "yes" else "NO");
+  (* --- resume after a late kill vs a cold rerun --- *)
+  let n_sources = List.length corpus.catalogs in
+  let resume_once () =
+    let dir = bench_fresh_dir "res" in
+    Aladin_store.Fault.reset_counters ();
+    (* each journaled source crosses three step boundaries; kill at the
+       last source's first one, so all but one step is committed *)
+    Aladin_store.Fault.arm_step ~index:(3 * (n_sources - 1));
+    (match Warehouse.integrate_journaled ~journal:dir corpus.catalogs with
+    | Ok _ | Error _ ->
+        Aladin_store.Fault.disarm ();
+        failwith "resilience bench: expected the armed kill to fire"
+    | exception Aladin_store.Fault.Killed -> Aladin_store.Fault.disarm ());
+    let (w, _), wall =
+      timed (fun () ->
+          match Warehouse.integrate_journaled ~journal:dir corpus.catalogs with
+          | Ok r -> r
+          | Error e -> failwith e)
+    in
+    bench_rm_rf dir;
+    (wall, links_csv w = plain_csv)
+  in
+  let resume_measures = List.init reps (fun _ -> resume_once ()) in
+  let resume_all = List.map fst resume_measures in
+  let resume_wall = List.fold_left min infinity resume_all in
+  let resume_identical = List.for_all snd resume_measures in
+  let resume_ratio = resume_wall /. cold_wall in
+  Printf.printf
+    "resume after late kill: %.3fs vs %.3fs cold (%.0f%% of a rerun, links \
+     identical: %s)\n"
+    resume_wall cold_wall (resume_ratio *. 100.0)
+    (if resume_identical then "yes" else "NO");
   let floats l =
     String.concat ", " (List.map (Printf.sprintf "%.6f") l)
   in
@@ -968,11 +1058,24 @@ let resilience_bench () =
       \  \"best_unbudgeted\": %.6f,\n\
       \  \"best_budgeted\": %.6f,\n\
       \  \"overhead_percent\": %.3f,\n\
-      \  \"links_identical\": %b\n\
+      \  \"links_identical\": %b,\n\
+      \  \"journaled_wall_seconds\": [%s],\n\
+      \  \"cold_wall_seconds\": [%s],\n\
+      \  \"best_journaled\": %.6f,\n\
+      \  \"best_cold\": %.6f,\n\
+      \  \"journal_overhead_percent\": %.3f,\n\
+      \  \"links_identical_after_journal\": %b,\n\
+      \  \"resume_wall_seconds\": [%s],\n\
+      \  \"best_resume_after_late_kill\": %.6f,\n\
+      \  \"resume_to_cold_ratio\": %.3f,\n\
+      \  \"links_identical_after_resume\": %b\n\
        }\n"
       default_corpus_params.Dg.Corpus.seed reps (floats plain_all)
       (floats budg_all) plain_wall budg_wall overhead_pct
       (plain_links = budg_links)
+      (floats journal_all) (floats cold_measures) journal_wall cold_wall
+      journal_overhead_pct journal_identical (floats resume_all) resume_wall
+      resume_ratio resume_identical
   in
   let oc = open_out "BENCH_resilience.json" in
   output_string oc json;

@@ -33,24 +33,149 @@ let integrate_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"META"
            ~doc:"Write the metadata repository to $(docv).")
   in
-  let run paths save config strict trace_file =
-    with_trace_file trace_file (fun trace ->
-        let w = build_warehouse_resilient ?config ?trace paths in
-        print_string (Aladin_system.summary w);
-        let reports = Warehouse.run_reports w in
-        List.iter (fun r -> print_string (Run_report.render r)) reports;
-        (match save with
-        | Some path ->
-            Aladin_store.Atomic_file.write path
-              (Aladin_metadata.Repository.save (Warehouse.repository w));
-            Printf.printf "metadata written to %s\n" path
-        | None -> ());
-        if strict && not (List.for_all Run_report.is_clean reports) then
-          degraded "aladin: integration degraded (--strict)")
+  (* positional FILEs are optional here (unlike paths_arg): a --resume
+     can re-import uncommitted sources from the paths the journal
+     recorded at first integrate *)
+  let loose_paths =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Source files or dump directories.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Run under a write-ahead journal at $(docv): each source \
+                 addition is checkpointed, so a killed process resumes \
+                 with $(b,--resume) $(docv) in O(remaining work).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR"
+           ~doc:"Resume a killed journaled integration from $(docv). \
+                 Committed steps are restored from their checkpoints; \
+                 omitted FILEs are re-imported from the paths the \
+                 journal recorded.")
+  in
+  let links_out_arg =
+    Arg.(value & opt (some string) None & info [ "links-out" ] ~docv:"FILE"
+           ~doc:"Export the final link set to $(docv) as CSV.")
+  in
+  let kill_step_arg =
+    Arg.(value & opt (some int) None & info [ "chaos-kill-step" ] ~docv:"N"
+           ~doc:"(testing) Kill the process at the $(docv)-th pipeline \
+                 step boundary; exits 3.")
+  in
+  let kill_ops_arg =
+    Arg.(value & opt (some int) None & info [ "chaos-kill-ops" ] ~docv:"N"
+           ~doc:"(testing) Kill the process at the $(docv)-th durable \
+                 store operation; exits 3.")
+  in
+  let kill_bytes_arg =
+    Arg.(value & opt (some int) None & info [ "chaos-kill-bytes" ] ~docv:"N"
+           ~doc:"(testing) Kill the process after $(docv) journal/store \
+                 bytes have been written; exits 3.")
+  in
+  let run paths journal resume save links_out config strict trace_file
+      kill_step kill_ops kill_bytes =
+    (match kill_step with
+    | Some i -> Aladin_store.Fault.arm_step ~index:i
+    | None -> ());
+    (match kill_ops with
+    | Some n -> Aladin_store.Fault.arm_ops ~ops:n
+    | None -> ());
+    (match kill_bytes with
+    | Some n -> Aladin_store.Fault.arm ~bytes:n
+    | None -> ());
+    let journal_dir =
+      match (journal, resume) with
+      | Some _, Some _ ->
+          die "aladin: --journal and --resume are mutually exclusive"
+      | Some d, None ->
+          if Aladin_store.Journal.exists d then
+            die "aladin: %s already holds a journal (use --resume %s)" d d;
+          Some d
+      | None, Some d ->
+          if not (Aladin_store.Journal.exists d) then
+            die "aladin: %s: no journal to resume" d;
+          Some d
+      | None, None -> None
+    in
+    let paths =
+      match (paths, resume) with
+      | [], Some dir -> (
+          (* re-import only what the journal says is still uncommitted *)
+          match Warehouse.journal_status dir with
+          | Error e -> die "aladin: %s" e
+          | Ok entries ->
+              List.filter_map
+                (fun (e : Warehouse.journal_source) ->
+                  if e.js_committed then None else e.js_path)
+                entries)
+      | [], None -> die "aladin: no source files given"
+      | ps, _ -> ps
+    in
+    match
+      with_trace_file trace_file (fun trace ->
+          let w, resume_note =
+            match journal_dir with
+            | None -> (build_warehouse_resilient ?config ?trace paths, "")
+            | Some dir ->
+                (* journaled import is strict: a source that cannot be
+                   imported would poison the recorded plan *)
+                let catalogs = List.map import_or_die paths in
+                let source_paths =
+                  List.map2
+                    (fun p c -> (Aladin_relational.Catalog.name c, p))
+                    paths catalogs
+                in
+                let cfg = load_config config in
+                (match
+                   Warehouse.integrate_journaled ~config:cfg ?trace
+                     ~source_paths ~journal:dir catalogs
+                 with
+                | Error e -> die "aladin: %s" e
+                | Ok (w, (info : Warehouse.resume_info)) ->
+                    let note =
+                      if resume = None then ""
+                      else
+                        Printf.sprintf
+                          "resumed %d committed step%s, executed %d, \
+                           dropped %d torn record%s\n"
+                          (List.length info.resumed_sources)
+                          (if List.length info.resumed_sources = 1 then ""
+                           else "s")
+                          (List.length info.executed_sources)
+                          info.dropped_records
+                          (if info.dropped_records = 1 then "" else "s")
+                    in
+                    (w, note))
+          in
+          print_string resume_note;
+          print_string (Aladin_system.summary w);
+          let reports = Warehouse.run_reports w in
+          List.iter (fun r -> print_string (Run_report.render r)) reports;
+          (match save with
+          | Some path ->
+              Aladin_store.Atomic_file.write path
+                (Aladin_metadata.Repository.save (Warehouse.repository w));
+              Printf.printf "metadata written to %s\n" path
+          | None -> ());
+          (match links_out with
+          | Some path ->
+              Aladin_store.Atomic_file.write path
+                (Aladin_access.Link_export.to_csv (Warehouse.links w));
+              Printf.printf "links written to %s\n" path
+          | None -> ());
+          if strict && not (List.for_all Run_report.is_clean reports) then
+            degraded "aladin: integration degraded (--strict)")
+    with
+    | v -> v
+    | exception Aladin_store.Fault.Killed ->
+        prerr_endline "aladin: killed by injected fault";
+        exit exit_killed
   in
   Cmd.v
     (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
-    Term.(const run $ paths_arg $ save $ config_arg $ strict_arg $ trace_file_arg)
+    Term.(const run $ loose_paths $ journal_arg $ resume_arg $ save
+          $ links_out_arg $ config_arg $ strict_arg $ trace_file_arg
+          $ kill_step_arg $ kill_ops_arg $ kill_bytes_arg)
 
 (* --- discover --- *)
 

@@ -7,6 +7,8 @@
      1  degraded — the operation completed but something was skipped,
         salvaged, quarantined or over budget, and --strict was given
      2  error — bad input, missing object, parse failure, I/O error
+     3  killed — an armed chaos fault (a --chaos-kill flag) fired; the
+        journal, if any, is left for [integrate --resume]
    (Cmdliner additionally uses 124/125 for command-line parse errors.)
 
    --strict, everywhere it appears, means the same thing: "a merely
@@ -20,6 +22,7 @@ module Import_error = Aladin_resilience.Import_error
 let exit_ok = 0
 let exit_degraded = 1
 let exit_error = 2
+let exit_killed = 3
 
 let die fmt =
   Printf.ksprintf

@@ -22,7 +22,7 @@ let create w =
     search = Warehouse.search w;
     link_query = Warehouse.link_query w;
     paths = Warehouse.path_index w;
-    generation = 0;
+    generation = Warehouse.revision w;
   }
 
 let integrate ?config catalogs = create (Warehouse.integrate ?config catalogs)
@@ -36,7 +36,10 @@ let refresh t =
   t.search <- Warehouse.search t.w;
   t.link_query <- Warehouse.link_query t.w;
   t.paths <- Warehouse.path_index t.w;
-  t.generation <- t.generation + 1
+  (* tied to the warehouse's mutation counter so a resumed warehouse
+     starts past every restored step's generation; refresh still always
+     advances even when the warehouse was untouched *)
+  t.generation <- max (t.generation + 1) (Warehouse.revision t.w)
 
 (* --- browse --- *)
 

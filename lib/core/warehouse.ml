@@ -12,6 +12,9 @@ module Import_error = Aladin_resilience.Import_error
 module Report = Run_report
 module Snapshot = Aladin_store.Snapshot
 module Load_report = Aladin_store.Load_report
+module Journal = Aladin_store.Journal
+module Fault = Aladin_store.Fault
+module Crc32 = Aladin_store.Crc32
 
 type t = {
   cfg : Config.t;
@@ -29,6 +32,8 @@ type t = {
   feedback : Feedback.t;
   mutable seq_state : Seq_links.state option;
   mutable last_trace : Obs.Trace.t option;
+  mutable revision : int;
+  mutable journal : Journal.t option;
 }
 
 let create ?(config = Config.default) () =
@@ -48,11 +53,16 @@ let create ?(config = Config.default) () =
     feedback = Feedback.create ();
     seq_state = None;
     last_trace = None;
+    revision = 0;
+    journal = None;
   }
 
 let config t = t.cfg
 
+let revision t = t.revision
+
 let invalidate t =
+  t.revision <- t.revision + 1;
   t.cached_browser <- None;
   t.cached_search <- None;
   t.cached_paths <- None;
@@ -66,11 +76,22 @@ let run_report t source = Repository.run_report t.repo source
 
 (* --- resilience plumbing --- *)
 
-(* run one pipeline step inside its span and error boundary, stamping the
-   span with the resilience status so traces show what degraded *)
+(* run one pipeline step inside its span, error boundary and retry
+   envelope, stamping the span with the resilience status so traces show
+   what degraded. Transient I/O failures (see Retry.classify) are retried
+   with deterministic backoff before the boundary ever records an error;
+   a second or later attempt leaves a "retry.attempts" attribute. *)
 let bounded ~name ?budget f =
   Obs.Trace.ambient_span_timed name (fun () ->
-      let res = Res.Boundary.protect ~step:name ?budget f in
+      let attempts = ref 1 in
+      let res =
+        Res.Boundary.protect ~step:name ?budget (fun () ->
+            let v, n = Res.Retry.run_counted ~step:name f in
+            attempts := n;
+            v)
+      in
+      if !attempts > 1 then
+        Obs.Trace.ambient_add_attr "retry.attempts" (string_of_int !attempts);
       Obs.Trace.ambient_add_attr "status" (Res.Boundary.status_of res);
       res)
 
@@ -301,7 +322,7 @@ let import_step_report ~name ~catalog import_errors =
     (fun () -> ());
   Report.step "import" outcome
 
-let add_source ?trace ?(import_errors = []) t catalog =
+let add_source_raw ?trace ?(import_errors = []) t catalog =
   let name = Catalog.name catalog in
   let tr =
     match trace with
@@ -437,6 +458,434 @@ let report_import_failure t ~source err =
   in
   Repository.set_run_report t.repo report;
   report
+
+(* --- write-ahead integration journal (resume protocol) ---
+
+   Each source addition becomes one journaled step: append an intent
+   record, run the (idempotent, deterministic) pipeline, durably
+   checkpoint the step's artifacts — the source's relational members,
+   the cumulative metadata repository, and the per-source-pair link
+   sets — then append the commit record. A process killed anywhere
+   leaves either an uncommitted step (recomputed on resume), a torn
+   trailing journal line (dropped on replay), or a committed step
+   (restored without recomputation). *)
+
+let slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    s
+
+(* content digest of a catalog, over exactly the members a checkpoint
+   stores — detects a re-supplied source file that differs from the one
+   the journal was written against *)
+let catalog_digest catalog =
+  Aladin_formats.Dump.members_of_catalog catalog
+  |> List.fold_left
+       (fun acc (m : Snapshot.member) ->
+         Crc32.update (Crc32.update acc m.path) m.content)
+       0
+  |> Crc32.to_hex
+
+let config_digest cfg = Crc32.to_hex (Crc32.string (Config.to_string cfg))
+
+(* checkpoint members for one committed source step: the cumulative
+   repository is always stored (it carries links, correspondences, run
+   reports and provenance for the whole prefix); a non-quarantined step
+   also stores the source's own relational dump and, for inspection,
+   the link sets this source participates in, grouped by unordered
+   source pair. Resume reads only metadata.txt and source/ — the pair
+   CSVs stay per-source so checkpoint cost is O(new links), not
+   O(all links) per step. *)
+let commit_members t ~catalog ~quarantined =
+  (* Opaque, not Records: the journal already CRC-verifies whole
+     artifacts and falls back to the previous step's checkpoint on
+     damage, so the per-record CRCs Records adds would be pure
+     overhead here *)
+  let meta_member =
+    { Snapshot.path = "metadata.txt"; kind = Snapshot.Opaque;
+      content = Repository.save t.repo }
+  in
+  if quarantined then [ meta_member ]
+  else
+    let cat_members =
+      List.map
+        (fun (m : Snapshot.member) -> { m with path = "source/" ^ m.path })
+        (Aladin_formats.Dump.members_of_catalog catalog)
+    in
+    let this = Catalog.name catalog in
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (l : Link.t) ->
+        let a = l.src.source and b = l.dst.source in
+        if a = this || b = this then begin
+          let key = if a <= b then (a, b) else (b, a) in
+          match Hashtbl.find_opt tbl key with
+          | Some ls -> Hashtbl.replace tbl key (l :: ls)
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace tbl key [ l ]
+        end)
+      (Repository.links t.repo);
+    let pair_members =
+      List.rev_map
+        (fun ((a, b) as key) ->
+          { Snapshot.path = Printf.sprintf "links/%s__%s.csv" (slug a) (slug b);
+            kind = Snapshot.Csv;
+            content = Link_export.to_csv (List.rev (Hashtbl.find tbl key)) })
+        !order
+    in
+    (meta_member :: cat_members) @ pair_members
+
+let journaled_add_source ?trace ?import_errors t j catalog =
+  let name = Catalog.name catalog in
+  let step = "source:" ^ name in
+  Fault.step step;
+  let seq = Journal.intent j ~step in
+  let report = add_source_raw ?trace ?import_errors t catalog in
+  Fault.step (step ^ " computed");
+  let info =
+    [ ("source", name);
+      ("digest", catalog_digest catalog);
+      ("quarantined", (if report.Report.quarantined then "1" else "0")) ]
+  in
+  ignore
+    (Journal.commit j ~seq ~step ~info
+       (commit_members t ~catalog ~quarantined:report.Report.quarantined));
+  Fault.step (step ^ " committed");
+  report
+
+(* public add_source: journaled when the warehouse carries a journal
+   (integrate_journaled / resumed), bare otherwise *)
+let add_source ?trace ?import_errors t catalog =
+  match t.journal with
+  | Some j -> journaled_add_source ?trace ?import_errors t j catalog
+  | None -> add_source_raw ?trace ?import_errors t catalog
+
+(* --- resume: restore the committed prefix without recomputation --- *)
+
+(* mirror of add_source's step-2/3 profile computation, without spans or
+   boundaries: restored profiles must be byte-for-byte what the original
+   run computed, including the budget-zero secondary skip *)
+let recompute_profile t catalog =
+  let name = Catalog.name catalog in
+  let profile = Profile.compute catalog in
+  let cands = Accession.candidates ~params:t.cfg.accession profile in
+  let fks =
+    Feedback.filter_fks t.feedback ~source:name
+      (Inclusion.infer ~params:t.cfg.inclusion ~pool:t.pool profile)
+  in
+  let graph =
+    Fk_graph.build ~relations:(Catalog.relation_names catalog) fks
+  in
+  let primary = Primary.choose graph cands in
+  let secondary =
+    match t.cfg.budgets.secondary with
+    | Some b when b <= 0.0 -> None
+    | Some _ | None ->
+        Option.map
+          (fun (p : Primary.scored) ->
+            Secondary.discover ~max_len:t.cfg.max_path_len graph
+              ~primary:p.relation)
+          primary
+  in
+  { Source_profile.profile; accession_candidates = cands; fks; graph;
+    primary; secondary }
+
+type restored_step = { rs_name : string; rs_catalog : Catalog.t option }
+
+(* the longest prefix of commit records whose artifacts all verify;
+   anything after the first damaged artifact is recomputed instead.
+   Returns the prefix plus the last verified repository document, which
+   is authoritative for links/correspondences/reports/provenance. *)
+let scan_committed ~dir commits =
+  let rec go acc meta = function
+    | [] -> (List.rev acc, meta)
+    | (c : Journal.committed) :: rest -> (
+        let name =
+          match List.assoc_opt "source" c.info with
+          | Some n -> n
+          | None -> c.step
+        in
+        let quarantined = List.assoc_opt "quarantined" c.info = Some "1" in
+        match Journal.read_artifact ~dir c "metadata.txt" with
+        | None -> (List.rev acc, meta)
+        | Some meta_doc ->
+            if quarantined then
+              go
+                ({ rs_name = name; rs_catalog = None } :: acc)
+                (Some meta_doc) rest
+            else
+              let member_paths =
+                List.filter_map
+                  (fun (a : Journal.artifact) ->
+                    if
+                      String.length a.a_path > 7
+                      && String.sub a.a_path 0 7 = "source/"
+                    then Some a.a_path
+                    else None)
+                  c.artifacts
+              in
+              let rec read_all acc = function
+                | [] -> Some (List.rev acc)
+                | p :: ps -> (
+                    match Journal.read_artifact ~dir c p with
+                    | None -> None
+                    | Some content ->
+                        read_all
+                          ((String.sub p 7 (String.length p - 7), content)
+                           :: acc)
+                          ps)
+              in
+              (match read_all [] member_paths with
+              | None -> (List.rev acc, meta)
+              | Some local ->
+                  let cat, _errs =
+                    Aladin_formats.Dump.catalog_of_members ~name local
+                  in
+                  if Catalog.relations cat = [] then (List.rev acc, meta)
+                  else
+                    go
+                      ({ rs_name = name; rs_catalog = Some cat } :: acc)
+                      (Some meta_doc) rest))
+  in
+  go [] None commits
+
+let apply_restored t steps meta_doc =
+  List.iter
+    (fun rs ->
+      match rs.rs_catalog with
+      | None -> ()
+      | Some catalog ->
+          t.catalog_list <-
+            List.filter (fun c -> Catalog.name c <> rs.rs_name) t.catalog_list
+            @ [ catalog ];
+          let sp = recompute_profile t catalog in
+          t.profile_list <- Profile_list.add t.profile_list sp;
+          Repository.add_source t.repo sp)
+    steps;
+  (match meta_doc with
+  | None -> ()
+  | Some doc ->
+      let meta, _dropped = Repository.load_salvaging doc in
+      Repository.set_links t.repo (Repository.links meta);
+      Repository.set_correspondences t.repo (Repository.correspondences meta);
+      (match Repository.provenance meta with
+      | Some p -> Repository.set_provenance t.repo p
+      | None -> ());
+      List.iter
+        (fun r -> Repository.set_run_report t.repo (Report.mark_resumed r))
+        (Repository.run_reports meta));
+  (* rebuild the persistent homology index over the restored prefix:
+     sequences are re-indexed without any searching, and the
+     checkpointed Seq_similarity links seed the accumulated set — the
+     next add_source then pays only its own incremental alignment
+     instead of re-running every committed source's searches *)
+  let restored_names =
+    List.filter_map
+      (fun rs -> if rs.rs_catalog = None then None else Some rs.rs_name)
+      steps
+  in
+  if
+    restored_names <> [] && t.cfg.incremental_seq && t.cfg.linker.enable_seq
+  then begin
+    let st = Seq_links.state_create ~params:t.cfg.linker.seq () in
+    List.iter
+      (fun source -> Seq_links.state_index_source st t.profile_list ~source)
+      restored_names;
+    Seq_links.state_seed_links st
+      (List.filter
+         (fun (l : Link.t) -> l.kind = Link.Seq_similarity)
+         (Repository.links t.repo));
+    t.seq_state <- Some st
+  end;
+  invalidate t
+
+(* --- the integration plan, carried in the journal header --- *)
+
+let plan_meta ~cfg entries =
+  ("config", config_digest cfg)
+  :: ("sources", string_of_int (List.length entries))
+  :: List.concat
+       (List.mapi
+          (fun i (name, digest, path) ->
+            let key k = Printf.sprintf "source.%d.%s" i k in
+            [ (key "name", name); (key "digest", digest) ]
+            @ (match path with Some p -> [ (key "path", p) ] | None -> []))
+          entries)
+
+let plan_of_meta meta =
+  match Option.bind (List.assoc_opt "sources" meta) int_of_string_opt with
+  | None -> Error "journal header carries no integration plan"
+  | Some n ->
+      let rec go acc i =
+        if i >= n then Ok (List.rev acc)
+        else
+          let key k = Printf.sprintf "source.%d.%s" i k in
+          match
+            (List.assoc_opt (key "name") meta,
+             List.assoc_opt (key "digest") meta)
+          with
+          | Some name, Some digest ->
+              go
+                ((name, digest, List.assoc_opt (key "path") meta) :: acc)
+                (i + 1)
+          | _ -> Error "journal header carries a truncated integration plan"
+      in
+      go [] 0
+
+type resume_info = {
+  resumed_sources : string list;
+  executed_sources : string list;
+  dropped_records : int;
+}
+
+type journal_source = {
+  js_name : string;
+  js_path : string option;
+  js_committed : bool;
+}
+
+let journal_status journal =
+  match Journal.replay journal with
+  | Error e -> Error e
+  | Ok r -> (
+      match plan_of_meta r.meta with
+      | Error e -> Error e
+      | Ok plan ->
+          let restored, _ = scan_committed ~dir:journal r.committed in
+          let names = List.map (fun rs -> rs.rs_name) restored in
+          Ok
+            (List.map
+               (fun (n, _, path) ->
+                 { js_name = n; js_path = path;
+                   js_committed = List.mem n names })
+               plan))
+
+let resume_journaled ~config ?trace journal catalogs =
+  match Journal.open_resume journal with
+  | Error e -> Error e
+  | Ok (j, r) -> (
+      match plan_of_meta r.meta with
+      | Error e -> Error e
+      | Ok plan ->
+          if List.assoc_opt "config" r.meta <> Some (config_digest config)
+          then
+            Error
+              "journal was written under a different configuration; resume \
+               with the original one"
+          else begin
+            let find_plan n =
+              List.find_opt (fun (pn, _, _) -> pn = n) plan
+            in
+            let mismatch =
+              List.find_map
+                (fun c ->
+                  let n = Catalog.name c in
+                  match find_plan n with
+                  | None ->
+                      Some
+                        (Printf.sprintf
+                           "source %S is not part of the journaled plan" n)
+                  | Some (_, digest, _) ->
+                      if catalog_digest c <> digest then
+                        Some
+                          (Printf.sprintf
+                             "source %S differs from the journaled plan \
+                              (digest mismatch)"
+                             n)
+                      else None)
+                catalogs
+            in
+            match mismatch with
+            | Some e -> Error e
+            | None -> (
+                let restored, meta_doc =
+                  scan_committed ~dir:journal r.committed
+                in
+                let t = create ~config () in
+                t.journal <- Some j;
+                apply_restored t restored meta_doc;
+                let restored_names =
+                  List.fold_left
+                    (fun acc rs ->
+                      if List.mem rs.rs_name acc then acc
+                      else acc @ [ rs.rs_name ])
+                    [] restored
+                in
+                let remaining =
+                  List.filter
+                    (fun (n, _, _) -> not (List.mem n restored_names))
+                    plan
+                in
+                let rec run_remaining executed = function
+                  | [] -> Ok (List.rev executed)
+                  | (n, _, path) :: rest -> (
+                      match
+                        List.find_opt (fun c -> Catalog.name c = n) catalogs
+                      with
+                      | None ->
+                          Error
+                            (Printf.sprintf
+                               "source %S is uncommitted in the journal and \
+                                was not re-supplied%s"
+                               n
+                               (match path with
+                               | Some p ->
+                                   Printf.sprintf
+                                     " (originally imported from %s)" p
+                               | None -> ""))
+                      | Some c ->
+                          ignore (add_source ?trace t c);
+                          run_remaining (n :: executed) rest)
+                in
+                match run_remaining [] remaining with
+                | Error e -> Error e
+                | Ok executed ->
+                    Ok
+                      ( t,
+                        { resumed_sources = restored_names;
+                          executed_sources = executed;
+                          dropped_records = r.dropped } ))
+          end)
+
+let integrate_journaled ?(config = Config.default) ?trace ?(source_paths = [])
+    ~journal catalogs =
+  let names = List.map Catalog.name catalogs in
+  let rec first_dup = function
+    | [] -> None
+    | n :: rest -> if List.mem n rest then Some n else first_dup rest
+  in
+  match first_dup names with
+  | Some n ->
+      Error
+        (Printf.sprintf "duplicate source name %S in the integration plan" n)
+  | None ->
+      if Journal.exists journal then
+        resume_journaled ~config ?trace journal catalogs
+      else begin
+        let entries =
+          List.map
+            (fun c ->
+              ( Catalog.name c,
+                catalog_digest c,
+                List.assoc_opt (Catalog.name c) source_paths ))
+            catalogs
+        in
+        match Journal.create journal ~meta:(plan_meta ~cfg:config entries) with
+        | Error e -> Error e
+        | Ok j ->
+            let t = create ~config () in
+            t.journal <- Some j;
+            List.iter (fun c -> ignore (add_source ?trace t c)) catalogs;
+            Ok
+              ( t,
+                { resumed_sources = []; executed_sources = names;
+                  dropped_records = 0 } )
+      end
 
 let integrate ?config ?trace catalogs =
   let t = create ?config () in

@@ -29,6 +29,11 @@ val create : ?config:Config.t -> unit -> t
 
 val config : t -> Config.t
 
+val revision : t -> int
+(** Monotonic mutation counter: bumped on every warehouse change
+    (source added/replaced/quarantined, link rejected, resume restore).
+    The engine's cache generation is tied to it. *)
+
 val add_source :
   ?trace:Aladin_obs.Trace.t ->
   ?import_errors:Import_error.record_error list ->
@@ -61,6 +66,55 @@ val integrate : ?config:Config.t -> ?trace:Aladin_obs.Trace.t -> Catalog.t list 
 (** Fresh warehouse with all sources added (all into the same [trace]
     when given). A source whose pipeline fails is quarantined; the
     others still integrate fully — inspect {!run_reports}. *)
+
+type resume_info = {
+  resumed_sources : string list;
+      (** committed steps restored from checkpoints, in journal order *)
+  executed_sources : string list;  (** steps actually (re)computed *)
+  dropped_records : int;  (** torn trailing journal records dropped *)
+}
+
+val integrate_journaled :
+  ?config:Config.t ->
+  ?trace:Aladin_obs.Trace.t ->
+  ?source_paths:(string * string) list ->
+  journal:string ->
+  Catalog.t list ->
+  (t * resume_info, string) result
+(** {!integrate} under a write-ahead journal at [journal]: each source
+    addition appends an intent record, runs the pipeline, durably
+    checkpoints its artifacts (the source's relational members, the
+    cumulative metadata repository, per-source-pair link sets), then
+    appends the commit record. A process killed at any instant can be
+    resumed by calling this again with the same [journal], [config] and
+    catalogs: committed steps are restored from their checkpoints
+    (profiles recomputed deterministically, links and run reports taken
+    from the checkpointed repository, reports flagged
+    [Run_report.resumed]), and only uncommitted steps re-run — O(work
+    remaining), byte-identical final links/correspondences.
+
+    A fresh call records the integration plan (source names, content
+    digests, optional [source_paths] origins) and a config digest in the
+    journal header; resume refuses ([Error]) a different config, a
+    re-supplied source whose content digest changed, or a source not in
+    the plan. Catalogs already committed may be omitted on resume; an
+    uncommitted source that is omitted is an error naming its original
+    path. The warehouse keeps the journal attached: later
+    {!add_source}/{!update_source}/{!reject_fk} calls on it are
+    journaled too.
+    @raise Aladin_store.Fault.Killed under an armed chaos fault,
+    @raise Sys_error on journal I/O failure. *)
+
+type journal_source = {
+  js_name : string;
+  js_path : string option;  (** origin recorded at first integrate *)
+  js_committed : bool;  (** restorable from its checkpoint *)
+}
+
+val journal_status : string -> (journal_source list, string) result
+(** The journaled integration plan and which of its steps are committed
+    with verifiable artifacts — what [aladin integrate --resume] uses to
+    decide which source files it still needs. *)
 
 val run_reports : t -> Run_report.t list
 (** Latest report per source, in integration order. *)

@@ -190,12 +190,21 @@ let import_string ~name doc =
       whole ~name (fun ~name doc -> Xml_shred.shred_string ~name doc) doc
   | Some Csv_dump -> import_csv ~name doc
 
+(* importer I/O retries transient failures (interrupted/contended reads)
+   with deterministic backoff before giving up to an Io import error *)
 let read_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let doc = really_input_string ic len in
-  close_in ic;
-  doc
+  Aladin_resilience.Retry.run ~step:("read " ^ path) (fun () ->
+      let ic = open_in path in
+      match
+        let len = in_channel_length ic in
+        really_input_string ic len
+      with
+      | doc ->
+          close_in ic;
+          doc
+      | exception e ->
+          close_in_noerr ic;
+          raise e)
 
 let import_path ~name path =
   match

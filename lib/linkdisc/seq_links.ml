@@ -203,6 +203,48 @@ let state_add_source ?pool st profiles ~source =
 
 let state_links st = st.acc
 
+(* resume fast path: put a committed source's sequences back into the
+   persistent index without re-running any homology search — its links
+   are already known (seeded from the checkpoint via state_seed_links),
+   so only the index content has to match what the original run built *)
+let state_index_source st profiles ~source =
+  if List.mem source st.seen then
+    invalid_arg
+      (Printf.sprintf "Seq_links.state_index_source: %s already indexed"
+         source);
+  st.seen <- source :: st.seen;
+  let params = st.sparams in
+  let fields =
+    sequence_fields params profiles |> List.filter (fun f -> f.source = source)
+  in
+  let indexed = ref 0 in
+  List.iter
+    (fun f ->
+      match Profile_list.find profiles f.source with
+      | None -> ()
+      | Some e ->
+          let engine = engine_for st f.kind in
+          let catalog = Profile.catalog e.sp.profile in
+          let rel = Catalog.find_exn catalog f.relation in
+          let ai = Schema.index_of_exn (Relation.schema rel) f.attribute in
+          Relation.iteri_rows
+            (fun row_i row ->
+              let v = row.(ai) in
+              if not (Value.is_null v) then begin
+                let s = Sq.Alphabet.normalize (Value.to_string v) in
+                if String.length s >= params.min_seq_len then begin
+                  Sq.Homology.add engine
+                    ~id:(encode f.source f.relation row_i)
+                    s;
+                  incr indexed
+                end
+              end)
+            rel)
+    fields;
+  Aladin_obs.Trace.ambient_incr ~by:!indexed "seq.sequences_indexed"
+
+let state_seed_links st links = st.acc <- Link.dedup (links @ st.acc)
+
 let discover ?(params = default_params) ?pool profiles =
   let fields = sequence_fields params profiles in
   let kinds =

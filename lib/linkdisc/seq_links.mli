@@ -60,3 +60,15 @@ val state_add_source :
 
 val state_links : state -> Link.t list
 (** All links accumulated so far (deduplicated). *)
+
+val state_index_source : state -> Profile_list.t -> source:string -> unit
+(** Resume fast path: index the source's sequences WITHOUT searching —
+    for sources restored from a committed checkpoint, whose links are
+    already known. Must be called in the original integration order and
+    paired with {!state_seed_links}; the rebuilt index is then
+    byte-for-byte what the killed run had.
+    @raise Invalid_argument when the source is already indexed. *)
+
+val state_seed_links : state -> Link.t list -> unit
+(** Merge checkpoint-restored links into the accumulated set
+    (deduplicated, canonical order — same as if discovered live). *)

@@ -7,6 +7,13 @@ let protect ?scope ~step ?budget f =
   match body () with
   | v -> Ok v
   | exception Budget.Expired (_, b) -> Error (Run_report.Timeout b)
+  (* crash simulation and resource exhaustion must not be absorbed into
+     a typed outcome: an injected kill has to behave like a real kill
+     (the process dies, the journal decides what survived), and there is
+     no meaningful "continue degraded" after the stack or heap is gone *)
+  | exception (Aladin_store.Fault.Killed as e) -> raise e
+  | exception (Stack_overflow as e) -> raise e
+  | exception (Out_of_memory as e) -> raise e
   | exception e -> Error (Run_report.Crashed (Printexc.to_string e))
 
 let status_of = function

@@ -20,8 +20,14 @@ val protect :
     {!Budget.with_budget} (in the given [scope], default [`Pool]); a
     budget [<= 0] expires before the body does any work. Budget expiry
     maps to [Error (Timeout budget)]; any other exception maps to
-    [Error (Crashed msg)] with the printed exception. The boundary
-    never raises. *)
+    [Error (Crashed msg)] with the printed exception.
+
+    Three exceptions pass through instead of being captured:
+    [Aladin_store.Fault.Killed] (an injected crash must behave like a
+    real one — kill the run, let the journal arbitrate), and
+    [Stack_overflow] / [Out_of_memory] (resource exhaustion leaves no
+    sane state to continue from). Apart from those, the boundary never
+    raises. *)
 
 val status_of : ('a, Run_report.error) result -> string
 (** Span-attribute value for the result: ["ok" | "timeout" | "failed"]. *)

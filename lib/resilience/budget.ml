@@ -22,8 +22,12 @@ let tightest () =
 
 let active () = Option.map (fun s -> s.step) (tightest ())
 
+(* clamped at zero: an expired budget has nothing left, it is not in
+   debt — callers feed this into Retry-After headers and backoff caps *)
 let remaining () =
-  Option.map (fun s -> s.deadline -. Clock.now ()) (tightest ())
+  Option.map
+    (fun s -> Float.max 0.0 (s.deadline -. Clock.now ()))
+    (tightest ())
 
 let check () =
   match tightest () with

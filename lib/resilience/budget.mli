@@ -44,5 +44,5 @@ val active : unit -> string option
 (** Name of the step whose budget would expire first, if any. *)
 
 val remaining : unit -> float option
-(** Seconds until the tightest active deadline (negative once expired);
-    [None] when no budget is installed. *)
+(** Seconds until the tightest active deadline, clamped at [0.0] once
+    expired (never negative); [None] when no budget is installed. *)

@@ -14,13 +14,19 @@ type step_report = {
   step : string;
   outcome : outcome;
   seconds : float;
+  resumed : bool;
   children : step_report list;
 }
 
 type t = { source : string; steps : step_report list; quarantined : bool }
 
-let step ?(children = []) ?(seconds = 0.0) name outcome =
-  { step = name; outcome; seconds; children }
+let step ?(children = []) ?(seconds = 0.0) ?(resumed = false) name outcome =
+  { step = name; outcome; seconds; resumed; children }
+
+let rec mark_step_resumed s =
+  { s with resumed = true; children = List.map mark_step_resumed s.children }
+
+let mark_resumed t = { t with steps = List.map mark_step_resumed t.steps }
 
 let outcome_name = function
   | Ok -> "ok"
@@ -73,9 +79,15 @@ let render t =
     (if t.quarantined then " (quarantined)" else "");
   let rec render_step depth s =
     let indent = String.make (2 + (2 * depth)) ' ' in
+    let detail = outcome_detail s.outcome in
+    let detail =
+      if s.resumed then
+        if detail = "" then "[resumed]" else "[resumed] " ^ detail
+      else detail
+    in
     Printf.bprintf buf "%s%-*s %-9s %8.4fs  %s\n" indent
       (max 1 (24 - (2 * depth)))
-      s.step (outcome_name s.outcome) s.seconds (outcome_detail s.outcome);
+      s.step (outcome_name s.outcome) s.seconds detail;
     (match s.outcome with
     | Degraded ws ->
         List.iter
@@ -165,11 +177,14 @@ let serialize t =
     (record [ "report"; t.source; (if t.quarantined then "1" else "0") ]);
   let rec add depth s =
     Buffer.add_char buf '\n';
+    (* the optional "resumed" token precedes the outcome fields; outcome
+       heads are ok/degraded/skipped/failed, so no ambiguity *)
     Buffer.add_string buf
       (record
          (string_of_int depth :: s.step
           :: Printf.sprintf "%h" s.seconds
-          :: outcome_fields s.outcome));
+          :: ((if s.resumed then [ "resumed" ] else [])
+             @ outcome_fields s.outcome)));
     List.iter (add (depth + 1)) s.children
   in
   List.iter (add 0) t.steps;
@@ -190,13 +205,21 @@ let deserialize doc =
               (fun line ->
                 match fields line with
                 | depth :: name :: secs :: outcome -> (
+                    let resumed, outcome =
+                      match outcome with
+                      | "resumed" :: rest -> (true, rest)
+                      | rest -> (false, rest)
+                    in
                     match
                       ( int_of_string_opt depth,
                         float_of_string_opt secs,
                         outcome_of_fields outcome )
                     with
                     | Some d, Some s, Some o ->
-                        Some (d, { step = name; outcome = o; seconds = s; children = [] })
+                        Some
+                          ( d,
+                            { step = name; outcome = o; seconds = s; resumed;
+                              children = [] } )
                     | _ -> None)
                 | _ -> None)
               rest

@@ -32,6 +32,10 @@ type step_report = {
   step : string;  (** pipeline step or pass name, matches the span name *)
   outcome : outcome;
   seconds : float;
+  resumed : bool;
+      (** this outcome was restored from a journal checkpoint by
+          [integrate --resume], not computed in this run — its [seconds]
+          are the original run's *)
   children : step_report list;  (** sub-passes, e.g. the four link passes *)
 }
 
@@ -44,7 +48,17 @@ type t = {
 }
 
 val step :
-  ?children:step_report list -> ?seconds:float -> string -> outcome -> step_report
+  ?children:step_report list ->
+  ?seconds:float ->
+  ?resumed:bool ->
+  string ->
+  outcome ->
+  step_report
+(** [resumed] defaults to [false]. *)
+
+val mark_resumed : t -> t
+(** Flag every step (recursively) as restored-from-checkpoint — applied
+    to reports replayed out of the integration journal. *)
 
 val outcome_name : outcome -> string
 (** ["ok" | "degraded" | "skipped" | "failed"]. *)

@@ -161,7 +161,7 @@ let handle_slow (req : Http.request) =
   let until = Clock.now () +. seconds in
   while Clock.now () < until do
     Budget.check ();
-    Unix.sleepf 0.005
+    Aladin_resilience.Retry.sleepf 0.005
   done;
   Http.response 200 (Printf.sprintf "slept %.3fs\n" seconds)
 

@@ -10,6 +10,7 @@ let fsync_dir dir =
   | exception Unix.Unix_error _ -> ()
 
 let write_raw path content =
+  Fault.op ();
   let oc = open_out_bin path in
   let n = String.length content in
   let k = Fault.request n in
@@ -23,11 +24,28 @@ let write_raw path content =
   close_out oc;
   if k < n then raise Fault.Killed
 
-let write path content =
+let write ?(sync_dir = true) path content =
   let tmp = path ^ temp_suffix in
   write_raw tmp content;
   Fault.check_op ();
+  Fault.op ();
   Sys.rename tmp path;
+  if sync_dir then fsync_dir (Filename.dirname path)
+
+let append path content =
+  Fault.op ();
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  let n = String.length content in
+  let k = Fault.request n in
+  (try
+     output_substring oc content 0 k;
+     flush oc;
+     fsync_fd (Unix.descr_of_out_channel oc)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  if k < n then raise Fault.Killed;
   fsync_dir (Filename.dirname path)
 
 let read path =

@@ -12,8 +12,11 @@ val temp_suffix : string
 (** [".aladin-tmp"] — what interrupted writes leave behind and sweeps
     look for. *)
 
-val write : string -> string -> unit
+val write : ?sync_dir:bool -> string -> string -> unit
 (** Atomic: temp → fsync → rename → directory fsync.
+    [~sync_dir:false] skips the final directory fsync — for batches
+    where the caller fsyncs each directory once after writing many
+    files into it (the journal's checkpoint artifacts).
     @raise Sys_error on I/O failure, @raise Fault.Killed under an armed
     fault. *)
 
@@ -22,6 +25,12 @@ val write_raw : string -> string -> unit
     that are invisible until a later {!write} commits a reference to
     them (snapshot members inside an uncommitted generation
     directory). *)
+
+val append : string -> string -> unit
+(** Fsynced append to [path] (created if absent). Not atomic: a crash
+    mid-append leaves a torn suffix — only safe for formats whose
+    reader detects and drops a torn trailing record (the journal's
+    per-line CRCs). {!Fault}-aware like {!write}. *)
 
 val read : string -> string
 (** Whole file. @raise Sys_error *)

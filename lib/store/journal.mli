@@ -1,0 +1,105 @@
+(** Write-ahead integration journal: append-only intent/commit records
+    with per-line CRC-32, each committed step checkpointing its artifact
+    files next to the log.
+
+    Layout:
+    {v
+    <dir>/JOURNAL                   header + intent/commit records
+    <dir>/steps/0003-source-pdb/... artifacts of committed step seq 3
+    v}
+
+    Protocol, per step: append an {!intent} record; do the work; write
+    every artifact member durably ({!Atomic_file.write}); only then
+    append the {!commit} record naming each artifact's length and CRC.
+    A process killed at any instant therefore leaves one of three
+    states, all of which {!replay} resolves:
+
+    - kill before the commit append: the step is uncommitted (a pending
+      intent at most) — the resumer recomputes it;
+    - kill {e inside} an append: a torn trailing [JOURNAL] line whose
+      CRC cannot verify — dropped (and counted) on replay, leaving the
+      previous record in force;
+    - kill after the commit append: the step is committed and its
+      artifacts verify — the resumer restores it without recomputation.
+
+    Every line is ["<crc32 hex>\t<escaped tab-separated payload>"]. The
+    header carries {!format_version} (replay refuses newer) and the
+    caller's [meta] key=value pairs — the integration {e plan}. All
+    writes are {!Fault}-aware, so chaos sweeps can kill at any byte,
+    operation or step boundary. Single-process, single-writer. *)
+
+type artifact = {
+  a_path : string;  (** member path relative to the step directory *)
+  a_kind : Snapshot.kind;  (** on-disk encoding, as for snapshot members *)
+  a_len : int;  (** stored (encoded) length *)
+  a_crc : int;  (** CRC-32 of the stored bytes *)
+}
+
+type committed = {
+  seq : int;
+  step : string;
+  info : (string * string) list;
+  artifacts : artifact list;
+}
+
+type replay = {
+  meta : (string * string) list;  (** header key=values, in order *)
+  committed : committed list;  (** commit records, in append order *)
+  pending : (int * string) option;
+      (** an intent with no matching commit — the step in flight when
+          the process died *)
+  dropped : int;  (** torn/corrupt trailing records dropped *)
+}
+
+type t
+(** Open handle; holds no file descriptor, only the next sequence
+    number. *)
+
+val format_version : int
+
+val exists : string -> bool
+(** A [JOURNAL] file is present in the directory. *)
+
+val create : string -> meta:(string * string) list -> (t, string) result
+(** Start a fresh journal (creating the directory). Refuses an existing
+    journal (resume it instead), a non-empty foreign directory, and
+    meta keys containing ['=']. *)
+
+val replay : string -> (replay, string) result
+(** Read-only replay of the record log. [Error] only for journal-level
+    damage (missing/unparseable header, unsupported version); torn
+    trailing records are dropped and counted, not errors. *)
+
+val open_resume : string -> (t * replay, string) result
+(** {!replay}, plus a handle positioned after the highest sequence seen
+    — new steps append monotonically. A torn trailing record is
+    physically truncated off the log first, so subsequent appends start
+    on a clean line boundary instead of concatenating onto garbage. *)
+
+val intent : t -> step:string -> int
+(** Append an intent record; returns the step's sequence number.
+    @raise Sys_error on I/O failure, @raise Fault.Killed under an armed
+    fault. *)
+
+val commit :
+  t ->
+  seq:int ->
+  step:string ->
+  ?info:(string * string) list ->
+  Snapshot.member list ->
+  committed
+(** Durably write the members under [steps/<seq>-<step>/], then append
+    the commit record referencing them. Artifacts are on disk (written
+    atomically, fsynced) {e before} the record that makes them
+    authoritative exists.
+    @raise Invalid_argument on invalid member paths or ['='] in info
+    keys, @raise Sys_error, @raise Fault.Killed. *)
+
+val read_artifact : dir:string -> committed -> string -> string option
+(** Decoded content of the named artifact of a committed step, verified
+    against the recorded length and CRC; [None] when absent, damaged or
+    undecodable — the caller treats the step as uncommitted and
+    recomputes. *)
+
+val step_dirname : seq:int -> step:string -> string
+(** The (sanitized) artifact directory name under [steps/]. *)

@@ -56,6 +56,20 @@ if grep -rnE '\bopen_out|Sys\.rename' \
 fi
 echo "grep-gate ok: no raw open_out/Sys.rename outside lib/store"
 
+# Blocking sleeps belong to the retry/backoff policy alone: Retry.sleepf
+# is budget-clamped and EINTR-tolerant, and seeded backoff keeps waits
+# deterministic. A raw Unix.sleep/sleepf anywhere else is an unbounded,
+# untracked stall. (retry.ml holds the one blessed call site; tests are
+# not scanned.)
+if grep -rnE 'Unix\.sleepf?\b' lib bin bench examples \
+    --include='*.ml' --include='*.mli' 2>/dev/null \
+    | grep -v '^lib/resilience/retry\.ml' \
+    | grep -v '^lib/resilience/retry\.mli'; then
+  echo "error: raw Unix.sleep/sleepf outside Retry (use Aladin_resilience.Retry.sleepf)" >&2
+  exit 1
+fi
+echo "grep-gate ok: no raw Unix.sleep/sleepf outside lib/resilience/retry.ml"
+
 # Raw sockets are the serving subsystem's business only: every HTTP/socket
 # call site must live in lib/serve (the server, its client, and nothing
 # else). Other layers talk to a server through Aladin_serve.Client.
@@ -172,6 +186,47 @@ fi
 ./_build/default/bin/aladin_cli.exe fsck "$sdir" > /dev/null
 ./_build/default/bin/aladin_cli.exe load --strict "$sdir" > /dev/null
 echo "durability ok: fsck detects damage, --repair restores a clean store"
+
+# Kill-anywhere resume: a journaled integration killed by an injected
+# fault (exit 3) must resume from its checkpoints — under a different
+# domain count, even — to the byte-identical link set of an unkilled run.
+kdir=$(mktemp -d)
+trap 'rm -f "$q1" "$q2" "$f1" "$slog"; rm -rf "$sdir" "$kdir"' EXIT
+cat > "$kdir/uniprot.csv" <<'EOF'
+acc,name,description
+P100,alpha,alpha kinase involved in signal transduction
+P200,beta,beta kinase involved in cell cycle control
+P300,gamma,gamma receptor binding membrane protein
+EOF
+cat > "$kdir/pdb.csv" <<'EOF'
+id,acc,resolution
+1ABC,P100,1.9
+2DEF,P200,2.4
+EOF
+integrate() { ./_build/default/bin/aladin_cli.exe integrate "$@"; }
+integrate --links-out "$kdir/links-plain.csv" \
+  "$kdir/uniprot.csv" "$kdir/pdb.csv" > /dev/null
+integrate --journal "$kdir/j0" --links-out "$kdir/links-journaled.csv" \
+  "$kdir/uniprot.csv" "$kdir/pdb.csv" > /dev/null
+diff -u "$kdir/links-plain.csv" "$kdir/links-journaled.csv" || {
+  echo "error: journaled links differ from plain integrate" >&2; exit 1; }
+if integrate --journal "$kdir/j1" --chaos-kill-step 4 \
+    "$kdir/uniprot.csv" "$kdir/pdb.csv" > /dev/null 2>&1; then
+  echo "error: --chaos-kill-step run should have been killed" >&2
+  exit 1
+else
+  [ $? -eq 3 ] || { echo "error: injected kill must exit 3" >&2; exit 1; }
+fi
+rout=$(ALADIN_DOMAINS=4 integrate --resume "$kdir/j1" \
+  --links-out "$kdir/links-resumed.csv")
+echo "$rout" | grep -q 'resumed 1 committed step' || {
+  echo "error: resume did not report its restored checkpoint" >&2
+  echo "$rout" >&2
+  exit 1
+}
+diff -u "$kdir/links-plain.csv" "$kdir/links-resumed.csv" || {
+  echo "error: resumed links differ from an unkilled run" >&2; exit 1; }
+echo "resume ok: killed journaled run resumed byte-identical at 4 domains"
 
 # Serving: the daemon must come up on a saved store, answer /healthz,
 # serve a search from cache on repeat (x-cache: hit), expose /metrics,

@@ -65,12 +65,15 @@ let pool_tests =
         with_pool 2 (fun p ->
             match
               Budget.with_budget ~step:"single" 0.01 (fun () ->
-                  (* spin until strictly past the deadline: the clock has
-                     finite resolution and check () raises only on > *)
+                  (* spin until strictly past the deadline: remaining is
+                     clamped at 0.0, so once it hits zero burn one more
+                     clock tick — check () raises only on > *)
                   let rec spin () =
                     match Budget.remaining () with
-                    | Some r when r >= 0.0 -> spin ()
-                    | _ -> ()
+                    | Some r when r > 0.0 -> spin ()
+                    | _ ->
+                        let t0 = Obs.Clock.now () in
+                        while Obs.Clock.now () <= t0 do () done
                   in
                   spin ();
                   Pool.parallel_map p succ [ 1 ])

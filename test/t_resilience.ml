@@ -322,12 +322,312 @@ let import_error_tests =
              (Import_error.record_error_to_string r)));
   ]
 
+(* --- satellite: Budget.remaining never goes negative --- *)
+
+let budget_clamp_tests =
+  [
+    Alcotest.test_case "remaining is positive inside a live budget" `Quick
+      (fun () ->
+        let r =
+          Budget.with_budget ~step:"live" 60.0 (fun () -> Budget.remaining ())
+        in
+        match r with
+        | Some s -> check Alcotest.bool "0 < s <= 60" true (s > 0.0 && s <= 60.0)
+        | None -> Alcotest.fail "no active budget");
+    Alcotest.test_case "remaining is clamped at zero after expiry" `Quick
+      (fun () ->
+        let seen = ref None in
+        (try
+           Budget.with_budget ~step:"clamp" 0.0005 (fun () ->
+               let t0 = Aladin_obs.Clock.now () in
+               while Aladin_obs.Clock.now () -. t0 < 0.002 do
+                 ()
+               done;
+               seen := Budget.remaining ())
+         with Budget.Expired _ -> ());
+        match !seen with
+        | Some s ->
+            check (Alcotest.float 0.0) "exactly zero, never negative" 0.0 s
+        | None -> Alcotest.fail "no active budget");
+  ]
+
+(* --- satellite: fatal exceptions pass through the boundary --- *)
+
+let boundary_fatal_tests =
+  [
+    Alcotest.test_case "Fault.Killed escapes the boundary" `Quick (fun () ->
+        Alcotest.check_raises "killed" Aladin_store.Fault.Killed (fun () ->
+            ignore
+              (Boundary.protect ~step:"s" (fun () ->
+                   raise Aladin_store.Fault.Killed))));
+    Alcotest.test_case "Stack_overflow escapes the boundary" `Quick (fun () ->
+        Alcotest.check_raises "overflow" Stack_overflow (fun () ->
+            ignore (Boundary.protect ~step:"s" (fun () -> raise Stack_overflow))));
+    Alcotest.test_case "Out_of_memory escapes the boundary" `Quick (fun () ->
+        Alcotest.check_raises "oom" Out_of_memory (fun () ->
+            ignore (Boundary.protect ~step:"s" (fun () -> raise Out_of_memory))));
+    Alcotest.test_case "an ordinary exception is still captured" `Quick
+      (fun () ->
+        match Boundary.protect ~step:"s" (fun () -> failwith "boom") with
+        | Error (Run_report.Crashed _) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "expected Crashed");
+  ]
+
+(* --- bounded retries with deterministic backoff --- *)
+
+let fast_policy =
+  { Retry.default_policy with attempts = 4; base_delay = 1e-5; max_delay = 1e-4 }
+
+let transient_exn = Unix.Unix_error (Unix.EINTR, "read", "")
+
+let retry_tests =
+  [
+    Alcotest.test_case "backoff is deterministic and bounded" `Quick (fun () ->
+        let p = Retry.default_policy in
+        let d1 = Retry.backoff_delay p ~step:"seq pass" ~attempt:2 in
+        let d2 = Retry.backoff_delay p ~step:"seq pass" ~attempt:2 in
+        check (Alcotest.float 0.0) "replayed identically" d1 d2;
+        for a = 0 to 6 do
+          let d = Retry.backoff_delay p ~step:"x" ~attempt:a in
+          check Alcotest.bool "within jittered cap" true
+            (d >= 0.0 && d <= p.max_delay *. (1.0 +. p.jitter))
+        done);
+    Alcotest.test_case "transient failures are retried" `Quick (fun () ->
+        let calls = ref 0 in
+        let v, attempts =
+          Retry.run_counted ~policy:fast_policy ~step:"t" (fun () ->
+              incr calls;
+              if !calls < 3 then raise transient_exn else "ok")
+        in
+        check Alcotest.string "succeeded" "ok" v;
+        check Alcotest.int "third attempt won" 3 attempts);
+    Alcotest.test_case "permanent failures are not retried" `Quick (fun () ->
+        let calls = ref 0 in
+        (try
+           Retry.run ~policy:fast_policy ~step:"p" (fun () ->
+               incr calls;
+               failwith "deterministic")
+         with Failure _ -> ());
+        check Alcotest.int "single attempt" 1 !calls);
+    Alcotest.test_case "attempts are bounded" `Quick (fun () ->
+        let calls = ref 0 in
+        (try
+           Retry.run ~policy:fast_policy ~step:"b" (fun () ->
+               incr calls;
+               raise transient_exn)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        check Alcotest.int "policy.attempts calls" fast_policy.attempts !calls);
+    Alcotest.test_case "kills are never retried" `Quick (fun () ->
+        let calls = ref 0 in
+        (try
+           Retry.run ~policy:fast_policy ~step:"k" (fun () ->
+               incr calls;
+               raise Aladin_store.Fault.Killed)
+         with Aladin_store.Fault.Killed -> ());
+        check Alcotest.int "single attempt" 1 !calls);
+  ]
+
+(* --- kill-anywhere resumable integration (ISSUE 9 acceptance) --- *)
+
+module Fault = Aladin_store.Fault
+
+let fresh_dir tag =
+  let d = Filename.temp_file "aladin-res" tag in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let rm_rf path = if Sys.file_exists path then rm_rf path
+
+let kr_catalogs () =
+  [
+    Aladin_formats.Dump.load ~name:"uniprot"
+      [ ( "entry",
+          "acc,name,description\nP10001,alpha,first protein of the set\n\
+           P10002,beta,second protein of the set\n\
+           P10003,gamma,third protein of the set\n" ) ];
+    Aladin_formats.Dump.load ~name:"pdb"
+      [ ("item", "id,acc,score\n1,P10001,0.5\n2,P10003,1.5\n") ];
+  ]
+
+let links_csv w = Aladin_access.Link_export.to_csv (Warehouse.links w)
+
+let journaled_exn ~journal catalogs =
+  match Warehouse.integrate_journaled ~journal catalogs with
+  | Ok (w, info) -> (w, info)
+  | Error e -> Alcotest.fail ("integrate_journaled: " ^ e)
+
+let resume_tests =
+  [
+    Alcotest.test_case "journaled run matches plain integrate" `Quick
+      (fun () ->
+        let expect = links_csv (Warehouse.integrate (kr_catalogs ())) in
+        let dir = fresh_dir "jeq" in
+        let w, (info : Warehouse.resume_info) =
+          journaled_exn ~journal:dir (kr_catalogs ())
+        in
+        check Alcotest.string "links identical" expect (links_csv w);
+        check
+          Alcotest.(list string)
+          "all executed" [ "uniprot"; "pdb" ] info.executed_sources;
+        rm_rf dir);
+    Alcotest.test_case "kill at every step boundary, resume byte-identical"
+      `Slow (fun () ->
+        let expect = links_csv (Warehouse.integrate (kr_catalogs ())) in
+        (* count the boundaries on a clean run *)
+        let probe = fresh_dir "jprobe" in
+        Fault.reset_counters ();
+        ignore (journaled_exn ~journal:probe (kr_catalogs ()));
+        let _, _, steps_total = Fault.counters () in
+        rm_rf probe;
+        check Alcotest.bool "several boundaries" true (steps_total >= 6);
+        for k = 0 to steps_total - 1 do
+          let dir = fresh_dir "jkill" in
+          Fault.reset_counters ();
+          Fault.arm_step ~index:k;
+          (match Warehouse.integrate_journaled ~journal:dir (kr_catalogs ())
+           with
+          | Ok _ | Error _ ->
+              Fault.disarm ();
+              Alcotest.fail (Printf.sprintf "step %d: expected a kill" k)
+          | exception Fault.Killed -> Fault.disarm ());
+          let w, (info : Warehouse.resume_info) =
+            journaled_exn ~journal:dir (kr_catalogs ())
+          in
+          check Alcotest.string
+            (Printf.sprintf "links identical after kill at %d" k)
+            expect (links_csv w);
+          List.iter
+            (fun s ->
+              check Alcotest.bool
+                (Printf.sprintf "%s covered after kill at %d" s k)
+                true
+                (List.mem s (info.resumed_sources @ info.executed_sources)))
+            [ "uniprot"; "pdb" ];
+          rm_rf dir
+        done);
+    Alcotest.test_case "restored reports are flagged resumed" `Quick
+      (fun () ->
+        let dir = fresh_dir "jflag" in
+        (* kill at the second source's first boundary: uniprot committed *)
+        Fault.reset_counters ();
+        Fault.arm_step ~index:3;
+        (match Warehouse.integrate_journaled ~journal:dir (kr_catalogs ())
+         with
+        | Ok _ | Error _ ->
+            Fault.disarm ();
+            Alcotest.fail "expected a kill"
+        | exception Fault.Killed -> Fault.disarm ());
+        let w, (info : Warehouse.resume_info) =
+          journaled_exn ~journal:dir (kr_catalogs ())
+        in
+        check
+          Alcotest.(list string)
+          "uniprot restored" [ "uniprot" ] info.resumed_sources;
+        check
+          Alcotest.(list string)
+          "pdb recomputed" [ "pdb" ] info.executed_sources;
+        (match Warehouse.run_report w "uniprot" with
+        | Some r ->
+            check Alcotest.bool "every step flagged" true
+              (List.for_all
+                 (fun (s : Run_report.step_report) -> s.resumed)
+                 r.steps)
+        | None -> Alcotest.fail "no restored report for uniprot");
+        (match Warehouse.run_report w "pdb" with
+        | Some r ->
+            check Alcotest.bool "recomputed steps not flagged" true
+              (List.for_all
+                 (fun (s : Run_report.step_report) -> not s.resumed)
+                 r.steps)
+        | None -> Alcotest.fail "no report for pdb");
+        rm_rf dir);
+    Alcotest.test_case "torn trailing journal record salvaged on resume"
+      `Quick (fun () ->
+        let expect = links_csv (Warehouse.integrate (kr_catalogs ())) in
+        let dir = fresh_dir "jtorn" in
+        ignore (journaled_exn ~journal:dir (kr_catalogs ()));
+        (* simulate an append killed mid-record: a CRC-less fragment *)
+        let oc =
+          open_out_gen
+            [ Open_append; Open_binary ] 0o644
+            (Filename.concat dir "JOURNAL")
+        in
+        output_string oc "deadbeef\tintent\t9";
+        close_out oc;
+        let w, (info : Warehouse.resume_info) =
+          journaled_exn ~journal:dir (kr_catalogs ())
+        in
+        check Alcotest.int "torn record counted" 1 info.dropped_records;
+        check
+          Alcotest.(list string)
+          "both sources restored" [ "uniprot"; "pdb" ] info.resumed_sources;
+        check Alcotest.string "links identical" expect (links_csv w);
+        rm_rf dir);
+    Alcotest.test_case "resume refuses a changed source" `Quick (fun () ->
+        let dir = fresh_dir "jdig" in
+        Fault.reset_counters ();
+        Fault.arm_step ~index:3;
+        (match Warehouse.integrate_journaled ~journal:dir (kr_catalogs ())
+         with
+        | Ok _ | Error _ ->
+            Fault.disarm ();
+            Alcotest.fail "expected a kill"
+        | exception Fault.Killed -> Fault.disarm ());
+        let changed =
+          [
+            List.hd (kr_catalogs ());
+            Aladin_formats.Dump.load ~name:"pdb"
+              [ ("item", "id,acc,score\n1,P10002,9.9\n") ];
+          ]
+        in
+        (match Warehouse.integrate_journaled ~journal:dir changed with
+        | Error e ->
+            check Alcotest.bool "names the digest mismatch" true
+              (Aladin_text.Strdist.contains ~needle:"digest" e)
+        | Ok _ -> Alcotest.fail "expected a digest-mismatch refusal");
+        rm_rf dir);
+    Alcotest.test_case "journal_status names uncommitted work" `Quick
+      (fun () ->
+        let dir = fresh_dir "jstat" in
+        Fault.reset_counters ();
+        Fault.arm_step ~index:3;
+        (match Warehouse.integrate_journaled ~journal:dir (kr_catalogs ())
+         with
+        | Ok _ | Error _ ->
+            Fault.disarm ();
+            Alcotest.fail "expected a kill"
+        | exception Fault.Killed -> Fault.disarm ());
+        (match Warehouse.journal_status dir with
+        | Ok entries ->
+            check
+              Alcotest.(list (pair string bool))
+              "committed flags"
+              [ ("uniprot", true); ("pdb", false) ]
+              (List.map
+                 (fun (e : Warehouse.journal_source) ->
+                   (e.js_name, e.js_committed))
+                 entries)
+        | Error e -> Alcotest.fail e);
+        rm_rf dir);
+  ]
+
 let tests =
   [
     ("resilience.budget", budget_tests);
+    ("resilience.budget_clamp", budget_clamp_tests);
     ("resilience.boundary", boundary_tests);
+    ("resilience.boundary_fatal", boundary_fatal_tests);
+    ("resilience.retry", retry_tests);
     ("resilience.report", report_tests);
     ("resilience.quarantine", quarantine_tests);
     ("resilience.budget_zero", budget_zero_tests);
     ("resilience.import_error", import_error_tests);
+    ("resilience.resume", resume_tests);
   ]

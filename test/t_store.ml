@@ -547,11 +547,176 @@ let warehouse_store_tests =
           (Warehouse.sources w2));
   ]
 
+(* --- the write-ahead integration journal (ISSUE 9) --- *)
+
+let journal_create_exn dir ~meta =
+  match Journal.create dir ~meta with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail ("journal create: " ^ msg)
+
+let journal_replay_exn dir =
+  match Journal.replay dir with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail ("journal replay: " ^ msg)
+
+let journal_resume_exn dir =
+  match Journal.open_resume dir with
+  | Ok jr -> jr
+  | Error msg -> Alcotest.fail ("journal resume: " ^ msg)
+
+let member path kind content = { Snapshot.path; kind; content }
+
+let journal_size dir =
+  let ic = open_in_bin (Filename.concat dir "JOURNAL") in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+let journal_tests =
+  [
+    Alcotest.test_case "create/intent/commit/replay roundtrip" `Quick
+      (fun () ->
+        let dir = fresh_dir "jrt" in
+        let j = journal_create_exn dir ~meta:[ ("plan", "demo") ] in
+        let seq = Journal.intent j ~step:"source:a" in
+        check Alcotest.int "first seq" 0 seq;
+        let c =
+          Journal.commit j ~seq ~step:"source:a"
+            ~info:[ ("quarantined", "0") ]
+            [ member "metadata.txt" Snapshot.Records "k\tv\nline two\n";
+              member "source/a.csv" Snapshot.Csv "acc,name\nP1,alpha\n" ]
+        in
+        check Alcotest.int "two artifacts" 2 (List.length c.artifacts);
+        let r = journal_replay_exn dir in
+        check
+          Alcotest.(list (pair string string))
+          "meta" [ ("plan", "demo") ] r.meta;
+        check Alcotest.int "committed" 1 (List.length r.committed);
+        check Alcotest.int "dropped" 0 r.dropped;
+        check Alcotest.bool "no pending" true (r.pending = None);
+        let c = List.hd r.committed in
+        check Alcotest.string "step" "source:a" c.step;
+        check
+          Alcotest.(option string)
+          "records member round-trips" (Some "k\tv\nline two\n")
+          (Journal.read_artifact ~dir c "metadata.txt");
+        check
+          Alcotest.(option string)
+          "csv member round-trips" (Some "acc,name\nP1,alpha\n")
+          (Journal.read_artifact ~dir c "source/a.csv"));
+    Alcotest.test_case "pending intent survives replay" `Quick (fun () ->
+        let dir = fresh_dir "jpend" in
+        let j = journal_create_exn dir ~meta:[] in
+        ignore (Journal.intent j ~step:"source:a");
+        let r = journal_replay_exn dir in
+        check Alcotest.int "no commits" 0 (List.length r.committed);
+        check Alcotest.bool "pending" true
+          (r.pending = Some (0, "source:a")));
+    Alcotest.test_case "create refuses an existing journal" `Quick (fun () ->
+        let dir = fresh_dir "jdup" in
+        ignore (journal_create_exn dir ~meta:[]);
+        check Alcotest.bool "refused" true
+          (Result.is_error (Journal.create dir ~meta:[])));
+    Alcotest.test_case "create refuses '=' in meta keys" `Quick (fun () ->
+        let dir = fresh_dir "jeq" in
+        check Alcotest.bool "refused" true
+          (Result.is_error (Journal.create dir ~meta:[ ("a=b", "v") ])));
+    Alcotest.test_case "damaged artifact reads as None" `Quick (fun () ->
+        let dir = fresh_dir "jdam" in
+        let j = journal_create_exn dir ~meta:[] in
+        let seq = Journal.intent j ~step:"source:a" in
+        ignore
+          (Journal.commit j ~seq ~step:"source:a"
+             [ member "m.txt" Snapshot.Records "precious\n" ]);
+        let r = journal_replay_exn dir in
+        let c = List.hd r.committed in
+        let path =
+          Filename.concat dir
+            (Filename.concat "steps"
+               (Filename.concat
+                  (Journal.step_dirname ~seq ~step:"source:a")
+                  "m.txt"))
+        in
+        write_file path (Corrupt.flip_bit_at (read_file path) ~byte:3 ~bit:1);
+        check
+          Alcotest.(option string)
+          "refused" None
+          (Journal.read_artifact ~dir c "m.txt"));
+    (* satellite: a torn trailing record — the append killed at EVERY
+       byte offset — is dropped on replay, the committed prefix stays in
+       force, and the truncated-on-resume journal accepts new commits *)
+    Alcotest.test_case "torn trailing record: full byte sweep" `Slow
+      (fun () ->
+        let commit_a dir =
+          let j = journal_create_exn dir ~meta:[ ("plan", "t") ] in
+          let seq = Journal.intent j ~step:"source:a" in
+          ignore
+            (Journal.commit j ~seq ~step:"source:a"
+               [ member "m.txt" Snapshot.Records "hello\n" ])
+        in
+        (* measure the appended intent record's length on a scratch dir *)
+        let len =
+          let dir = fresh_dir "jlen" in
+          commit_a dir;
+          let s0 = journal_size dir in
+          let j, _ = journal_resume_exn dir in
+          ignore (Journal.intent j ~step:"source:b");
+          journal_size dir - s0
+        in
+        check Alcotest.bool "measurable record" true (len > 8);
+        for k = 1 to len - 1 do
+          let dir = fresh_dir "jtear" in
+          commit_a dir;
+          let j, _ = journal_resume_exn dir in
+          Fault.arm ~bytes:k;
+          (match Journal.intent j ~step:"source:b" with
+          | _ -> Alcotest.fail "expected the armed fault to kill the append"
+          | exception Fault.Killed -> ());
+          Fault.disarm ();
+          let r = journal_replay_exn dir in
+          check Alcotest.int
+            (Printf.sprintf "committed prefix intact at %d" k)
+            1 (List.length r.committed);
+          (* killed mid-line: the fragment fails its CRC and is dropped.
+             Killed between the last payload byte and the terminator
+             (k = len - 1): the fragment is a complete record and counts
+             as the pending intent. *)
+          (match (r.dropped, r.pending) with
+          | 1, None -> ()
+          | 0, Some (_, "source:b") -> ()
+          | d, p ->
+              Alcotest.fail
+                (Printf.sprintf
+                   "at %d: dropped=%d pending=%s (expected a dropped torn \
+                    tail or a terminator-less pending intent)"
+                   k d
+                   (match p with
+                   | Some (_, s) -> s
+                   | None -> "none")));
+          (* resume truncates the tail; the journal must accept and keep
+             a fresh commit *)
+          let j, r' = journal_resume_exn dir in
+          check Alcotest.int "resume sees the prefix" 1
+            (List.length r'.committed);
+          let seq = Journal.intent j ~step:"source:b" in
+          ignore
+            (Journal.commit j ~seq ~step:"source:b"
+               [ member "m.txt" Snapshot.Records "world\n" ]);
+          let r'' = journal_replay_exn dir in
+          check Alcotest.int
+            (Printf.sprintf "both commits after heal at %d" k)
+            2
+            (List.length r''.committed);
+          check Alcotest.int "no drops after heal" 0 r''.dropped
+        done);
+  ]
+
 let tests =
   [
     ("store.crc32", crc_tests);
     ("store.records", records_tests);
     ("store.snapshot", snapshot_tests);
     ("store.torn-write", torn_write_tests);
+    ("store.journal", journal_tests);
     ("store.warehouse", warehouse_store_tests);
   ]
