@@ -1,0 +1,153 @@
+(* Incremental-integration bench (BENCH_incremental.json): what the
+   per-source-pair delta store buys over a full rebuild.
+
+     dune exec bench/incremental.exe
+
+   Three measurements over a 10x ~9-source corpus:
+     cold        integrate every source from scratch
+     add-one     integrate N-1 sources, then add the last (timed alone)
+     update-one  replace a middle source in place on a warm warehouse
+
+   The delta contract is asserted, not assumed: both incremental paths
+   must land on the byte-identical link CSV of the cold rebuild, and a
+   warm serve-layer cache entry over one source must survive an update
+   of an unrelated source (typed invalidation). *)
+
+open Aladin
+module Dg = Aladin_datagen
+module Serve = Aladin_serve
+
+let timed = Aladin_obs.Clock.timed
+
+let corpus_params =
+  {
+    Dg.Corpus.default_params with
+    universe =
+      { Dg.Universe.default_params with n_proteins = 600; n_genes = 300;
+        n_structures = 250; n_diseases = 100; n_terms = 160; n_families = 80 };
+    n_protein_sources = 3;
+    include_structures = true;
+    include_genes = true;
+    include_diseases = true;
+    include_ontology = true;
+    include_interactions = true;
+  }
+
+let render w = Aladin_access.Link_export.to_csv (Warehouse.links w)
+
+let req target =
+  match
+    Serve.Http.parse_request (Printf.sprintf "GET %s HTTP/1.1\r\n" target)
+  with
+  | Ok r -> r
+  | Error msg -> failwith msg
+
+(* a warm cached /query over one source must keep serving hits across an
+   update of a different source — the typed generation key at work *)
+let warm_cache_survives (corpus : Dg.Corpus.t) =
+  let eng = Engine.integrate corpus.catalogs in
+  let service = Serve.Service.create eng in
+  let r = req "/query?sql=SELECT%20*%20FROM%20uniprot.entry" in
+  ignore (Serve.Service.handle service r);
+  let unrelated =
+    List.find
+      (fun c -> Aladin_relational.Catalog.name c = "pdb")
+      corpus.catalogs
+  in
+  ignore
+    (Engine.update_source eng unrelated
+       ~changed_rows:(Aladin_relational.Catalog.total_rows unrelated));
+  let after = Serve.Service.handle service r in
+  List.assoc_opt "x-cache" after.Serve.Http.headers = Some "hit"
+
+let () =
+  let corpus = Dg.Corpus.generate corpus_params in
+  let catalogs = corpus.catalogs in
+  let n = List.length catalogs in
+  Printf.printf "corpus: %d sources\n%!" n;
+
+  let cold_w, cold_seconds = timed (fun () -> Warehouse.integrate catalogs) in
+  let cold_links = render cold_w in
+  Printf.printf "cold integrate (%d sources): %.3fs, %d links\n%!" n
+    cold_seconds
+    (List.length (Warehouse.links cold_w));
+
+  (* add-one: the base N-1 integration is setup, only the add is timed *)
+  let rec split_last = function
+    | [] | [ _ ] -> invalid_arg "corpus too small"
+    | [ x; last ] -> ([ x ], last)
+    | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+  in
+  let init, last = split_last catalogs in
+  let add_w = Warehouse.integrate init in
+  let _, add_one_seconds = timed (fun () -> Warehouse.add_source add_w last) in
+  let add_identical = render add_w = cold_links in
+  let add_audit = Warehouse.last_delta add_w in
+  Printf.printf "add-one (%s): %.3fs (%.1f%% of cold), identical links: %b\n%!"
+    (Aladin_relational.Catalog.name last)
+    add_one_seconds
+    (100.0 *. add_one_seconds /. cold_seconds)
+    add_identical;
+
+  (* update-one: replace a middle source in place on the warm warehouse *)
+  let upd_w = Warehouse.integrate catalogs in
+  let middle = List.nth catalogs (n / 2) in
+  let upd, update_one_seconds =
+    timed (fun () ->
+        Warehouse.update_source upd_w middle
+          ~changed_rows:(Aladin_relational.Catalog.total_rows middle))
+  in
+  (match upd.Warehouse.outcome with
+  | `Reanalyzed _ -> ()
+  | `Deferred -> failwith "full-source update was deferred");
+  let update_identical = render upd_w = cold_links in
+  Printf.printf
+    "update-one (%s): %.3fs (%.1f%% of cold), identical links: %b\n%!"
+    (Aladin_relational.Catalog.name middle)
+    update_one_seconds
+    (100.0 *. update_one_seconds /. cold_seconds)
+    update_identical;
+
+  let cache_ok = warm_cache_survives corpus in
+  Printf.printf "warm cache survives unrelated update: %b\n%!" cache_ok;
+
+  let audit_json =
+    match add_audit with
+    | None -> "null"
+    | Some a ->
+        Printf.sprintf "{ \"recomputed_pairs\": %d, \"reused_pairs\": %d }"
+          (List.length a.Delta.recomputed_pairs)
+          (List.length a.Delta.reused_pairs)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"incremental\",\n\
+      \  \"corpus_seed\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"sources\": %d,\n\
+      \  \"cold_seconds\": %.6f,\n\
+      \  \"add_one_seconds\": %.6f,\n\
+      \  \"add_ratio\": %.4f,\n\
+      \  \"add_delta\": %s,\n\
+      \  \"update_one_seconds\": %.6f,\n\
+      \  \"update_ratio\": %.4f,\n\
+      \  \"links_identical\": %b,\n\
+      \  \"warm_cache_survives\": %b\n\
+       }\n"
+      corpus_params.Dg.Corpus.seed
+      (Domain.recommended_domain_count ())
+      n cold_seconds add_one_seconds
+      (add_one_seconds /. cold_seconds)
+      audit_json update_one_seconds
+      (update_one_seconds /. cold_seconds)
+      (add_identical && update_identical)
+      cache_ok
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_incremental.json\n";
+  if not (add_identical && update_identical) then exit 1

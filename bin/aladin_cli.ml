@@ -10,6 +10,7 @@
    aladin serve FILE...         long-lived cached query-serving daemon
    aladin fetch TARGET          one HTTP request against a running server
    aladin demo                  integrate a generated synthetic corpus
+   aladin add STORE FILE...     add sources to a saved store (delta only)
    aladin load DIR              restore a saved warehouse store
    aladin fsck DIR              verify (or --repair) a warehouse store
 
@@ -57,6 +58,11 @@ let integrate_cmd =
     Arg.(value & opt (some string) None & info [ "links-out" ] ~docv:"FILE"
            ~doc:"Export the final link set to $(docv) as CSV.")
   in
+  let save_store_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
+           ~doc:"Also save the integrated warehouse as a store under \
+                 $(docv) (for later 'aladin add'/'load'/'serve --store').")
+  in
   let kill_step_arg =
     Arg.(value & opt (some int) None & info [ "chaos-kill-step" ] ~docv:"N"
            ~doc:"(testing) Kill the process at the $(docv)-th pipeline \
@@ -72,8 +78,8 @@ let integrate_cmd =
            ~doc:"(testing) Kill the process after $(docv) journal/store \
                  bytes have been written; exits 3.")
   in
-  let run paths journal resume save links_out config strict trace_file
-      kill_step kill_ops kill_bytes =
+  let run paths journal resume save links_out save_store config strict
+      trace_file kill_step kill_ops kill_bytes =
     (match kill_step with
     | Some i -> Aladin_store.Fault.arm_step ~index:i
     | None -> ());
@@ -163,6 +169,12 @@ let integrate_cmd =
                 (Aladin_access.Link_export.to_csv (Warehouse.links w));
               Printf.printf "links written to %s\n" path
           | None -> ());
+          (match save_store with
+          | Some dir -> (
+              match Warehouse.save_dir w dir with
+              | Ok () -> Printf.printf "warehouse saved to %s\n" dir
+              | Error msg -> die "aladin: save: %s" msg)
+          | None -> ());
           if strict && not (List.for_all Run_report.is_clean reports) then
             degraded "aladin: integration degraded (--strict)")
     with
@@ -174,8 +186,8 @@ let integrate_cmd =
   Cmd.v
     (Cmd.info "integrate" ~doc:"Integrate data sources hands-off (all five steps).")
     Term.(const run $ loose_paths $ journal_arg $ resume_arg $ save
-          $ links_out_arg $ config_arg $ strict_arg $ trace_file_arg
-          $ kill_step_arg $ kill_ops_arg $ kill_bytes_arg)
+          $ links_out_arg $ save_store_arg $ config_arg $ strict_arg
+          $ trace_file_arg $ kill_step_arg $ kill_ops_arg $ kill_bytes_arg)
 
 (* --- discover --- *)
 
@@ -510,6 +522,73 @@ let fetch_cmd =
              exits 2 on a non-2xx response.")
     Term.(const run $ target $ port_arg $ host_arg $ include_head)
 
+(* --- add --- *)
+
+let add_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE"
+           ~doc:"Warehouse store directory written by 'save' or 'demo --save'; \
+                 updated in place.")
+  in
+  let files =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE"
+           ~doc:"Source files to add. A source with the same name replaces \
+                 the stored one.")
+  in
+  let links_out_arg =
+    Arg.(value & opt (some string) None & info [ "links-out" ] ~docv:"FILE"
+           ~doc:"Export the final link set to $(docv) as CSV.")
+  in
+  let run dir files config strict links_out =
+    match Warehouse.load_dir ~config:(load_config config) dir with
+    | exception Sys_error msg -> die "aladin: %s" msg
+    | w, load_report ->
+        if not (Load_report.is_clean load_report) then
+          print_string (Load_report.render load_report);
+        let reports =
+          List.map
+            (fun path ->
+              let cat = import_or_die path in
+              let report = Warehouse.add_source w cat in
+              print_string (Run_report.render report);
+              (match Warehouse.last_delta w with
+              | Some (a : Delta.audit) ->
+                  let pair (x, y) = x ^ "<->" ^ y in
+                  Printf.printf
+                    "delta: %d pair%s recomputed (%s), %d reused\n"
+                    (List.length a.recomputed_pairs)
+                    (if List.length a.recomputed_pairs = 1 then "" else "s")
+                    (String.concat ", " (List.map pair a.recomputed_pairs))
+                    (List.length a.reused_pairs)
+              | None -> ());
+              report)
+            files
+        in
+        (match Warehouse.save_dir w dir with
+        | Ok () -> Printf.printf "warehouse saved to %s\n" dir
+        | Error msg -> die "aladin: save: %s" msg);
+        (match links_out with
+        | Some path ->
+            Aladin_store.Atomic_file.write path
+              (Aladin_access.Link_export.to_csv (Warehouse.links w));
+            Printf.printf "links written to %s\n" path
+        | None -> ());
+        if
+          strict
+          && not
+               (Load_report.is_clean load_report
+               && List.for_all Run_report.is_clean reports)
+        then degraded "aladin: add degraded (--strict)"
+  in
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:"Add sources to a saved warehouse store incrementally: only the \
+             source pairs touching each new source are recomputed (the \
+             printed delta says which); everything else is reused. The \
+             merged result is byte-identical to re-integrating from \
+             scratch.")
+    Term.(const run $ dir $ files $ config_arg $ strict_arg $ links_out_arg)
+
 (* --- load --- *)
 
 let load_cmd =
@@ -610,4 +689,5 @@ let () =
        (Cmd.group info
           [ integrate_cmd; discover_cmd; browse_cmd; search_cmd; query_cmd;
             links_cmd; trace_cmd; profile_cmd; dups_cmd; export_cmd;
-            shell_cmd; serve_cmd; fetch_cmd; demo_cmd; load_cmd; fsck_cmd ]))
+            shell_cmd; serve_cmd; fetch_cmd; demo_cmd; add_cmd; load_cmd;
+            fsck_cmd ]))

@@ -105,11 +105,11 @@ let () =
       Engine.reject_link eng weakest;
       Printf.printf
         "\nfeedback: rejected weakest link %s; %d -> %d links \
-         (engine generation %d)\n"
+         (engine epoch %d)\n"
         (Format.asprintf "%a" Lk.Link.pp weakest)
         before
         (List.length (Engine.links eng))
-        (Engine.generation eng)
+        (Engine.epoch eng)
   | [] -> ());
 
   (* 5. export the whole warehouse as a browsable static web site *)

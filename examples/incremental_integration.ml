@@ -38,10 +38,17 @@ let () =
   (match Warehouse.catalog w "uniprot" with
   | Some cat -> (
       let bulk = Aladin_relational.Catalog.total_rows cat in
-      match Warehouse.update_source w cat ~changed_rows:bulk with
+      let upd = Warehouse.update_source w cat ~changed_rows:bulk in
+      match upd.Warehouse.outcome with
       | `Reanalyzed (report : Warehouse.Run_report.t) ->
           Printf.printf "  %d changed rows -> reanalyzed (%d steps)\n" bulk
-            (List.length report.steps)
+            (List.length report.steps);
+          (match upd.Warehouse.delta with
+          | Some a ->
+              Printf.printf "  delta: %d pairs recomputed, %d reused\n"
+                (List.length a.Delta.recomputed_pairs)
+                (List.length a.Delta.reused_pairs)
+          | None -> ())
       | `Deferred -> print_endline "  bulk change deferred (unexpected)")
   | None -> ());
 

@@ -213,16 +213,6 @@ let of_file path =
       | Error (lineno, msg) -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
   | exception Sys_error msg -> Error msg
 
-let raise_config_error msg =
-  (* legacy shims only; new code handles the result *)
-  raise (Invalid_argument ("Config: " ^ msg)) (* DEPRECATED-OK *)
-
-let of_string_exn doc =
-  match of_string doc with Ok t -> t | Error msg -> raise_config_error msg
-
-let of_file_exn path =
-  match of_file path with Ok t -> t | Error msg -> raise_config_error msg
-
 let budget_to_string = function None -> "none" | Some f -> Printf.sprintf "%g" f
 
 let to_string t =

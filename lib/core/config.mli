@@ -77,13 +77,5 @@ val of_file : string -> (t, string) result
 (** Like {!of_string}; errors are prefixed ["<path>:<line>: ..."] and an
     unreadable file is an [Error], not an exception. *)
 
-val of_string_exn : string -> t
-(** @deprecated Legacy raising shim over {!of_string}.
-    @raise Invalid_argument on any parse error. *)
-
-val of_file_exn : string -> t
-(** @deprecated Legacy raising shim over {!of_file}.
-    @raise Invalid_argument on any parse error. *)
-
 val to_string : t -> string
 (** Render every supported key with its current value ([of_string]-parsable). *)

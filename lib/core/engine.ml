@@ -9,12 +9,12 @@ type t = {
   mutable search : Search.t;
   mutable link_query : Link_query.t;
   mutable paths : Path_rank.t;
-  mutable generation : int;
+  mutable epoch : int;
 }
 
 (* the warehouse memoizes each structure until its own invalidation, so
    pulling them here never builds twice; the facade pins the handles so
-   every access path of one generation shares the same session state *)
+   every access path of one epoch shares the same session state *)
 let create w =
   {
     w;
@@ -22,24 +22,39 @@ let create w =
     search = Warehouse.search w;
     link_query = Warehouse.link_query w;
     paths = Warehouse.path_index w;
-    generation = Warehouse.revision w;
+    epoch = Warehouse.revision w;
   }
 
 let integrate ?config catalogs = create (Warehouse.integrate ?config catalogs)
 
 let warehouse t = t.w
 
-let generation t = t.generation
+let epoch t = t.epoch
 
-let refresh t =
+(* the typed cache key: the warehouse generation counters pin exactly
+   the data the caller declared it reads, so a consumer keyed on
+   [key t [Source "uniprot"]] keeps its cache across updates of every
+   other source. The epoch is deliberately NOT part of the key — it
+   tracks structure rebuilds, which are deterministic functions of the
+   warehouse state the counters already pin. *)
+let key t deps = Generation.key (Warehouse.generation t.w) deps
+
+(* pull the memoized structures and advance the epoch; tied to the
+   warehouse's mutation counter so a resumed warehouse starts past every
+   restored step's epoch *)
+let rebuild t =
   t.browser <- Warehouse.browser t.w;
   t.search <- Warehouse.search t.w;
   t.link_query <- Warehouse.link_query t.w;
   t.paths <- Warehouse.path_index t.w;
-  (* tied to the warehouse's mutation counter so a resumed warehouse
-     starts past every restored step's generation; refresh still always
-     advances even when the warehouse was untouched *)
-  t.generation <- max (t.generation + 1) (Warehouse.revision t.w)
+  t.epoch <- max (t.epoch + 1) (Warehouse.revision t.w)
+
+(* the public refresh is for mutations not routed through this facade,
+   so it cannot know which counters the warehouse already bumped —
+   conservatively move every tracked one *)
+let refresh t =
+  rebuild t;
+  Generation.bump_all (Warehouse.generation t.w)
 
 (* --- browse --- *)
 
@@ -87,18 +102,21 @@ let paths t = t.paths
 
 (* --- mutation --- *)
 
+(* facade-routed mutations only [rebuild]: the warehouse bumped exactly
+   the generation counters the mutation touched, so keys over unrelated
+   sources/kinds — and the cache entries they guard — survive *)
 let add_source ?import_errors t catalog =
   let report = Warehouse.add_source ?import_errors t.w catalog in
-  refresh t;
+  rebuild t;
   report
 
 let update_source t catalog ~changed_rows =
-  match Warehouse.update_source t.w catalog ~changed_rows with
-  | `Deferred -> `Deferred
-  | `Reanalyzed report ->
-      refresh t;
-      `Reanalyzed report
+  let r = Warehouse.update_source t.w catalog ~changed_rows in
+  (match r.Warehouse.outcome with
+  | `Reanalyzed _ -> rebuild t
+  | `Deferred -> ());
+  r
 
 let reject_link t l =
   Warehouse.reject_link t.w l;
-  refresh t
+  rebuild t

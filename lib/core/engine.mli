@@ -9,11 +9,13 @@
     (or a sequence of CLI operations over one warehouse) never pays the
     per-command rebuild that the old entry points did.
 
-    The facade also tracks a {!generation} counter, bumped on every
-    mutation that can change query results ({!add_source},
-    {!update_source}, {!reject_link}, {!refresh}). Caches keyed on the
-    generation — such as the serving layer's response cache — are
-    thereby invalidated explicitly when a source is added or updated. *)
+    Invalidation is typed: the facade derives cache keys ({!key}) from
+    the warehouse's per-source / per-link-kind {!Generation.t}
+    counters. A consumer declares which dependencies a cached
+    computation reads (a [Source], a [Link_kind], or [Whole]); its key
+    then changes exactly when one of those moved, so — unlike the old
+    single generation counter — the serving layer's response cache
+    survives updates of unrelated sources. *)
 
 open Aladin_relational
 open Aladin_links
@@ -33,16 +35,31 @@ val integrate : ?config:Config.t -> Catalog.t list -> t
 
 val warehouse : t -> Warehouse.t
 
-val generation : t -> int
-(** Monotone counter identifying the engine's current contents; bumped
-    by every mutating operation below. Equal generations guarantee
+val epoch : t -> int
+(** Monotone counter identifying the access structures this engine
+    serves from; bumped whenever they are rebuilt ({!refresh} and the
+    mutations below). Equal epochs guarantee the same session
+    structures. Diagnostic only — deliberately {e not} part of {!key},
+    since rebuilds are deterministic functions of the warehouse state
+    the generation counters already pin. *)
+
+val key : t -> Generation.dep list -> string
+(** Typed cache key over the given dependencies:
+    {!Generation.key} of the warehouse's counters. Stable exactly
+    while none of the named dependencies changed — keys over
+    [[Source s]] survive additions and updates of every other source,
+    keys over [[Link_kind k]] survive changes to other kinds, and
+    [[Whole]] moves on every warehouse mutation. Equal keys guarantee
     byte-identical query results (see {!Aladin_access.Search}'s
     determinism contract). *)
 
 val refresh : t -> unit
-(** Rebuild the access structures from the warehouse's current state and
-    bump the generation. Call after mutating the warehouse directly
-    (anything not routed through this facade). *)
+(** Rebuild the access structures from the warehouse's current state,
+    bump the {!epoch} and conservatively bump every tracked generation
+    counter ({!Generation.bump_all}), invalidating every derived
+    {!key}. Call after mutating the warehouse directly (anything not
+    routed through this facade — the facade's own mutations bump only
+    the counters they touched). *)
 
 (** {2 Browse} *)
 
@@ -96,13 +113,15 @@ val add_source :
   t ->
   Catalog.t ->
   Run_report.t
-(** {!Warehouse.add_source}, then rebuild the access structures and bump
-    the generation. *)
+(** {!Warehouse.add_source}, then rebuild the access structures. Only
+    the new source's (and any changed link kinds') generation counters
+    move, so cached keys over other sources stay valid. *)
 
-val update_source :
-  t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of Run_report.t | `Deferred ]
-(** {!Warehouse.update_source}; the generation is bumped only on
-    [`Reanalyzed] (a deferred change leaves query results untouched). *)
+val update_source : t -> Catalog.t -> changed_rows:int -> Warehouse.update_report
+(** {!Warehouse.update_source}; the epoch (and the updated source's
+    generation counter) move only on [`Reanalyzed] — a deferred change
+    leaves query results, and every cache key, untouched. Even a
+    reanalysis leaves keys over {e other} sources intact. *)
 
 val reject_link : t -> Link.t -> unit
 (** §6.2 feedback: the link disappears immediately and stays gone. *)

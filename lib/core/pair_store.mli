@@ -1,0 +1,91 @@
+(** The warehouse's per-source-pair link store — the data structure the
+    delta pipeline reads and writes.
+
+    Every link the pipeline discovers belongs to exactly one unordered
+    source pair (the sources of its two endpoints), so the warehouse's
+    merged link set is a pure function of this map: integrating or
+    updating a source recomputes only the entries of pairs that touch
+    it, and {!all_links} merges the rest verbatim. The one exception is
+    the shared-term pass, whose per-object-pair confidence counts shared
+    targets across {e all} xref links (a third source's xrefs raise a
+    pair's confidence), so its output is held as a single global
+    component ({!onto}/{!set_onto}) recomputed on every delta — it is
+    cheap, derived from already-discovered xref links.
+
+    The store serializes to one line-record document ({!save}/{!load}),
+    persisted as the [pairs.txt] member (kind {!Aladin_store.Snapshot.kind.Pairs})
+    of warehouse snapshots and journal checkpoints. Groups are atomic on
+    load: a pair whose record group was damaged is dropped whole and
+    re-seeded from the metadata repository ({!seed_missing}), never
+    half-restored. *)
+
+open Aladin_links
+
+type entry = {
+  xref_links : Link.t list;
+  correspondences : Xref_disc.correspondence list;
+  seq_links : Link.t list;
+  text_links : Link.t list;  (** [Text_similarity] and [Entity_mention] *)
+  dup_links : Link.t list;
+  dup_candidates : int;  (** candidate pairs the dup pass verified *)
+}
+
+val empty_entry : entry
+
+type t
+
+val create : unit -> t
+
+val canon : string -> string -> string * string
+(** The canonical (sorted) form of an unordered source pair. *)
+
+val find : t -> string -> string -> entry option
+(** Order-insensitive. *)
+
+val set : t -> string -> string -> entry -> unit
+
+val mem : t -> string -> string -> bool
+
+val pairs : t -> ((string * string) * entry) list
+(** All entries, sorted by canonical pair key. *)
+
+val pair_keys : t -> (string * string) list
+
+val onto : t -> Link.t list
+(** The global shared-term component ([Shared_term] links). *)
+
+val set_onto : t -> Link.t list -> unit
+
+val all_links : t -> Link.t list
+(** Every pass's links over every pair, plus the shared-term component,
+    deduplicated into {!Link.dedup}'s canonical order — the warehouse's
+    merged link set (before feedback filtering). *)
+
+val correspondences : t -> Xref_disc.correspondence list
+(** All pairs' xref correspondences in one canonical (sorted) order. *)
+
+val dup_candidates_total : t -> int
+
+val exclude_triples : t -> source:string -> (string * string * string) list
+(** The (source, relation, attribute) triples of correspondences whose
+    {e source side} is [source], sorted — the attributes the dup pass
+    must keep out of [source]'s representations. Comparing this set
+    before and after an xref delta tells the pipeline which sources'
+    prepared representations (and hence which additional dup pairs) are
+    stale. *)
+
+val save : t -> string
+
+val load : string -> t * int
+(** [load doc] returns the store plus the number of record groups
+    dropped because they were truncated or unparseable (each dropped
+    group leaves its pair absent, to be re-seeded by {!seed_missing}). *)
+
+val seed_missing :
+  t -> links:Link.t list -> correspondences:Xref_disc.correspondence list -> unit
+(** Backfill from the metadata repository's merged links and
+    correspondences: every link maps to exactly one pair (and kind), so
+    partitioning them recovers the entries of any pairs this store does
+    not yet hold — old stores saved before the pair store existed, and
+    groups {!load} dropped. Pairs (and the shared-term component)
+    already present are left untouched. *)

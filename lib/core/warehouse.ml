@@ -22,8 +22,12 @@ type t = {
   mutable catalog_list : Catalog.t list;
   mutable profile_list : Profile_list.t;
   repo : Repository.t;
+  mutable pair_store : Pair_store.t;
+  repr_cache : Delta.repr_cache;
+  gen : Generation.t;
   mutable last_report : Linker.report option;
   mutable last_dups : Dup.Dup_detect.result option;
+  mutable last_delta : Delta.audit option;
   mutable cached_browser : Browser.t option;
   mutable cached_search : Search.t option;
   mutable cached_paths : Path_rank.t option;
@@ -43,8 +47,12 @@ let create ?(config = Config.default) () =
     catalog_list = [];
     profile_list = Profile_list.empty;
     repo = Repository.create ();
+    pair_store = Pair_store.create ();
+    repr_cache = Delta.cache_create ();
+    gen = Generation.create ();
     last_report = None;
     last_dups = None;
+    last_delta = None;
     cached_browser = None;
     cached_search = None;
     cached_paths = None;
@@ -61,8 +69,13 @@ let config t = t.cfg
 
 let revision t = t.revision
 
+let generation t = t.gen
+
+let last_delta t = t.last_delta
+
 let invalidate t =
   t.revision <- t.revision + 1;
+  Generation.bump_whole t.gen;
   t.cached_browser <- None;
   t.cached_search <- None;
   t.cached_paths <- None;
@@ -99,204 +112,30 @@ let bounded ~name ?budget f =
 let skipped_span name =
   Obs.Trace.ambient_span name ~attrs:[ ("status", "skipped") ] (fun () -> ())
 
-let pass_budgets (b : Config.budgets) =
-  {
-    Linker.xref_budget = b.xref_pass;
-    seq_budget = b.seq_pass;
-    text_budget = b.text_pass;
-    onto_budget = b.onto_pass;
-  }
-
-(* a step whose sub-passes degraded is itself Degraded, with one warning
-   per unclean child; children that are merely disabled stay clean *)
-let outcome_of_children children =
-  let warnings =
-    List.filter_map
-      (fun (s : Report.step_report) ->
-        if Report.outcome_clean s.outcome then None
-        else
-          Some
-            {
-              Report.code = s.step;
-              detail =
-                (match s.outcome with
-                | Report.Skipped r -> Report.reason_to_string r
-                | Report.Failed e -> Report.error_to_string e
-                | o -> Report.outcome_name o);
-            })
-      children
+(* steps 4+5 go through the delta pipeline: recompute only the source
+   pairs the changed source touches (plus dup pairs whose exclude sets
+   shifted), merge every other pair's links verbatim from the pair
+   store. The repository always reflects the merged store view, and the
+   typed generation records which link kinds actually changed. *)
+let relink ~changed t =
+  let source_order = List.map Catalog.name t.catalog_list in
+  let out =
+    Delta.relink ~cfg:t.cfg ~pool:t.pool ~profiles:t.profile_list
+      ~source_order ~store:t.pair_store ~cache:t.repr_cache
+      ~seq_state:t.seq_state ~changed ()
   in
-  match warnings with [] -> Report.Ok | ws -> Report.Degraded ws
-
-(* --- incremental homology ---
-
-   Align only the new source's sequences against the persistent index; a
-   replaced source forces a rebuild. *)
-let seq_links_incremental t ~new_source =
-  let ensure_fresh_state () =
-    match t.seq_state with
-    | Some st when not (List.mem new_source (Seq_links.state_sources st)) -> st
-    | Some _ | None ->
-        (* (re)build the index over every source except the new one *)
-        let st = Seq_links.state_create ~params:t.cfg.linker.seq () in
-        List.iter
-          (fun (e : Profile_list.entry) ->
-            let s = Source_profile.source e.sp in
-            if s <> new_source then
-              ignore
-                (Seq_links.state_add_source ~pool:t.pool st t.profile_list
-                   ~source:s))
-          (Profile_list.entries t.profile_list);
-        t.seq_state <- Some st;
-        st
-  in
-  let st = ensure_fresh_state () in
-  ignore
-    (Seq_links.state_add_source ~pool:t.pool st t.profile_list
-       ~source:new_source);
-  Seq_links.state_links st
-
-(* the incremental stand-in for the linker's seq pass, with the same
-   budget key; a timeout discards the partial index so the next run
-   rebuilds deterministically instead of reusing half an index *)
-let incremental_seq_pass t ~source =
-  match t.cfg.budgets.seq_pass with
-  | Some b when b <= 0.0 ->
-      Obs.Trace.ambient_span "seq pass"
-        ~attrs:[ ("mode", "incremental"); ("status", "skipped") ]
-        (fun () -> ());
-      ([], Report.step "seq pass" (Report.Skipped Report.Budget_zero))
-  | seq_budget -> (
-      let res, secs =
-        Obs.Trace.ambient_span_timed "seq pass"
-          ~attrs:[ ("mode", "incremental"); ("source", source) ]
-          (fun () ->
-            let res =
-              Res.Boundary.protect ~step:"seq pass" ?budget:seq_budget
-                (fun () -> seq_links_incremental t ~new_source:source)
-            in
-            Obs.Trace.ambient_add_attr "status" (Res.Boundary.status_of res);
-            res)
-      in
-      match res with
-      | Ok links -> (links, Report.step ~seconds:secs "seq pass" Report.Ok)
-      | Error (Report.Timeout b) ->
-          t.seq_state <- None;
-          ( [],
-            Report.step ~seconds:secs "seq pass"
-              (Report.Skipped (Report.Budget_exhausted b)) )
-      | Error (Report.Crashed _ as e) ->
-          t.seq_state <- None;
-          ([], Report.step ~seconds:secs "seq pass" (Report.Failed e)))
-
-(* steps 4+5 are global: re-run link and duplicate discovery over every
-   analyzed source; statistics inside each Source_profile are reused.
-   Each step runs inside its own boundary: a failed step contributes no
-   links (its partial results are discarded) and the run continues. *)
-let relink ?new_source t =
-  let budgets = t.cfg.budgets in
-  let incremental =
-    t.cfg.incremental_seq && t.cfg.linker.enable_seq && new_source <> None
-  in
-  (* step 4 *)
-  let link_step =
-    match budgets.links with
-    | Some b when b <= 0.0 ->
-        skipped_span "link discovery";
-        t.last_report <- None;
-        Report.step "link discovery" (Report.Skipped Report.Budget_zero)
-    | link_budget -> (
-        let res, link_secs =
-          bounded ~name:"link discovery" ?budget:link_budget (fun () ->
-              if incremental then begin
-                let params = { t.cfg.linker with enable_seq = false } in
-                let report =
-                  Linker.discover ~params ~pool:t.pool
-                    ~budgets:(pass_budgets budgets) t.profile_list
-                in
-                let source = Option.get new_source in
-                (* the linker skipped its seq pass; the incremental one
-                   is its stand-in and replaces its pass record *)
-                let seq_links, seq_step = incremental_seq_pass t ~source in
-                {
-                  report with
-                  links = Link.dedup (seq_links @ report.links);
-                  seq_result = None;
-                  passes =
-                    List.map
-                      (fun (s : Report.step_report) ->
-                        if s.step = "seq pass" then seq_step else s)
-                      report.passes;
-                }
-              end
-              else begin
-                t.seq_state <- None;
-                Linker.discover ~params:t.cfg.linker ~pool:t.pool
-                  ~budgets:(pass_budgets budgets) t.profile_list
-              end)
-        in
-        match res with
-        | Ok report ->
-            t.last_report <- Some report;
-            Report.step ~seconds:link_secs ~children:report.passes
-              "link discovery"
-              (outcome_of_children report.passes)
-        | Error err ->
-            (* discard partial link results; links below come out empty *)
-            t.last_report <- None;
-            t.seq_state <- None;
-            Report.step ~seconds:link_secs "link discovery" (Report.Failed err))
-  in
-  (* step 5 knows the step-4 cross-reference attributes and keeps them out
-     of the duplicate evidence *)
-  let exclude_attributes =
-    match t.last_report with
-    | Some { xref_result = Some r; _ } ->
-        List.map
-          (fun (c : Xref_disc.correspondence) ->
-            (c.src_source, c.src_relation, c.src_attribute))
-          r.correspondences
-    | Some _ | None -> []
-  in
-  let dups_opt, dup_step =
-    match budgets.dups with
-    | Some b when b <= 0.0 ->
-        skipped_span "duplicate detection";
-        (None, Report.step "duplicate detection" (Report.Skipped Report.Budget_zero))
-    | dup_budget -> (
-        let res, dup_secs =
-          bounded ~name:"duplicate detection" ?budget:dup_budget (fun () ->
-              let (dups : Dup.Dup_detect.result) =
-                Dup.Dup_detect.detect ~params:t.cfg.dup ~pool:t.pool
-                  ~exclude_attributes t.profile_list
-              in
-              Obs.Trace.ambient_incr ~by:dups.candidates_checked
-                "dup.candidates_checked";
-              Obs.Trace.ambient_incr ~by:(List.length dups.links) "dup.links";
-              dups)
-        in
-        match res with
-        | Ok dups ->
-            (Some dups, Report.step ~seconds:dup_secs "duplicate detection" Report.Ok)
-        | Error (Report.Timeout b) ->
-            ( None,
-              Report.step ~seconds:dup_secs "duplicate detection"
-                (Report.Skipped (Report.Budget_exhausted b)) )
-        | Error (Report.Crashed _ as e) ->
-            (None, Report.step ~seconds:dup_secs "duplicate detection" (Report.Failed e)))
-  in
-  t.last_dups <- dups_opt;
-  let link_links = match t.last_report with Some r -> r.links | None -> [] in
-  let dup_links =
-    match dups_opt with Some (d : Dup.Dup_detect.result) -> d.links | None -> []
-  in
+  t.seq_state <- out.Delta.seq_state;
+  t.last_report <- out.report;
+  t.last_dups <- out.dups;
+  t.last_delta <- Some out.audit;
+  List.iter
+    (fun k -> Generation.bump_kind t.gen (Link.kind_name k))
+    out.changed_kinds;
   Repository.set_links t.repo
-    (Feedback.filter_links t.feedback (Link.dedup (link_links @ dup_links)));
-  (match t.last_report with
-  | Some { xref_result = Some r; _ } ->
-      Repository.set_correspondences t.repo r.correspondences
-  | Some _ | None -> ());
-  (link_step, dup_step)
+    (Feedback.filter_links t.feedback (Pair_store.all_links t.pair_store));
+  Repository.set_correspondences t.repo
+    (Pair_store.correspondences t.pair_store);
+  (out.link_step, out.dup_step)
 
 let import_step_report ~name ~catalog import_errors =
   let outcome =
@@ -424,8 +263,9 @@ let add_source_raw ?trace ?(import_errors = []) t catalog =
             t.profile_list <- Profile_list.add t.profile_list sp;
             Repository.add_source t.repo sp;
             (* steps 4 + 5 *)
-            let link_step, dup_step = relink ~new_source:name t in
+            let link_step, dup_step = relink ~changed:name t in
             Hashtbl.remove t.pending_changes name;
+            Generation.bump_source t.gen name;
             invalidate t;
             {
               Report.source = name;
@@ -508,6 +348,12 @@ let commit_members t ~catalog ~quarantined =
     { Snapshot.path = "metadata.txt"; kind = Snapshot.Opaque;
       content = Repository.save t.repo }
   in
+  (* like metadata.txt this member is cumulative: it carries the whole
+     per-pair store so resume restores it without recomputation *)
+  let pairs_member =
+    { Snapshot.path = "pairs.txt"; kind = Snapshot.Pairs;
+      content = Pair_store.save t.pair_store }
+  in
   if quarantined then [ meta_member ]
   else
     let cat_members =
@@ -538,7 +384,7 @@ let commit_members t ~catalog ~quarantined =
             content = Link_export.to_csv (List.rev (Hashtbl.find tbl key)) })
         !order
     in
-    (meta_member :: cat_members) @ pair_members
+    (meta_member :: pairs_member :: cat_members) @ pair_members
 
 let journaled_add_source ?trace ?import_errors t j catalog =
   let name = Catalog.name catalog in
@@ -599,11 +445,12 @@ type restored_step = { rs_name : string; rs_catalog : Catalog.t option }
 
 (* the longest prefix of commit records whose artifacts all verify;
    anything after the first damaged artifact is recomputed instead.
-   Returns the prefix plus the last verified repository document, which
-   is authoritative for links/correspondences/reports/provenance. *)
+   Returns the prefix plus the last verified repository and pair-store
+   documents, which are authoritative for links/correspondences/reports
+   and the per-pair link sets. *)
 let scan_committed ~dir commits =
-  let rec go acc meta = function
-    | [] -> (List.rev acc, meta)
+  let rec go acc meta pairs = function
+    | [] -> (List.rev acc, meta, pairs)
     | (c : Journal.committed) :: rest -> (
         let name =
           match List.assoc_opt "source" c.info with
@@ -612,12 +459,19 @@ let scan_committed ~dir commits =
         in
         let quarantined = List.assoc_opt "quarantined" c.info = Some "1" in
         match Journal.read_artifact ~dir c "metadata.txt" with
-        | None -> (List.rev acc, meta)
+        | None -> (List.rev acc, meta, pairs)
         | Some meta_doc ->
+            (* absent in quarantined steps and in pre-pair-store
+               journals; the last verified one wins, like metadata *)
+            let pairs =
+              match Journal.read_artifact ~dir c "pairs.txt" with
+              | Some doc -> Some doc
+              | None -> pairs
+            in
             if quarantined then
               go
                 ({ rs_name = name; rs_catalog = None } :: acc)
-                (Some meta_doc) rest
+                (Some meta_doc) pairs rest
             else
               let member_paths =
                 List.filter_map
@@ -641,20 +495,20 @@ let scan_committed ~dir commits =
                           ps)
               in
               (match read_all [] member_paths with
-              | None -> (List.rev acc, meta)
+              | None -> (List.rev acc, meta, pairs)
               | Some local ->
                   let cat, _errs =
                     Aladin_formats.Dump.catalog_of_members ~name local
                   in
-                  if Catalog.relations cat = [] then (List.rev acc, meta)
+                  if Catalog.relations cat = [] then (List.rev acc, meta, pairs)
                   else
                     go
                       ({ rs_name = name; rs_catalog = Some cat } :: acc)
-                      (Some meta_doc) rest))
+                      (Some meta_doc) pairs rest))
   in
-  go [] None commits
+  go [] None None commits
 
-let apply_restored t steps meta_doc =
+let apply_restored t steps meta_doc pairs_doc =
   List.iter
     (fun rs ->
       match rs.rs_catalog with
@@ -679,6 +533,18 @@ let apply_restored t steps meta_doc =
       List.iter
         (fun r -> Repository.set_run_report t.repo (Report.mark_resumed r))
         (Repository.run_reports meta));
+  (* restore the per-pair link store the same way: the checkpointed
+     document is authoritative, and anything it lost (damaged groups,
+     pre-pair-store journals) is re-seeded from the repository's merged
+     links so the next delta reuses instead of recomputing *)
+  (match pairs_doc with
+  | None -> ()
+  | Some doc ->
+      let ps, _dropped = Pair_store.load doc in
+      t.pair_store <- ps);
+  Pair_store.seed_missing t.pair_store
+    ~links:(Repository.links t.repo)
+    ~correspondences:(Repository.correspondences t.repo);
   (* rebuild the persistent homology index over the restored prefix:
      sequences are re-indexed without any searching, and the
      checkpointed Seq_similarity links seed the accumulated set — the
@@ -756,7 +622,7 @@ let journal_status journal =
       match plan_of_meta r.meta with
       | Error e -> Error e
       | Ok plan ->
-          let restored, _ = scan_committed ~dir:journal r.committed in
+          let restored, _, _ = scan_committed ~dir:journal r.committed in
           let names = List.map (fun rs -> rs.rs_name) restored in
           Ok
             (List.map
@@ -803,12 +669,12 @@ let resume_journaled ~config ?trace journal catalogs =
             match mismatch with
             | Some e -> Error e
             | None -> (
-                let restored, meta_doc =
+                let restored, meta_doc, pairs_doc =
                   scan_committed ~dir:journal r.committed
                 in
                 let t = create ~config () in
                 t.journal <- Some j;
-                apply_restored t restored meta_doc;
+                apply_restored t restored meta_doc pairs_doc;
                 let restored_names =
                   List.fold_left
                     (fun acc rs ->
@@ -963,13 +829,21 @@ let notify_change t ~source ~changed_rows =
     `Reanalyze
   else `Defer
 
+type update_report = {
+  outcome : [ `Reanalyzed of Run_report.t | `Deferred ];
+  delta : Delta.audit option;
+      (* which source pairs the reanalysis recomputed vs reused; None
+         when the change was deferred (nothing ran) *)
+}
+
 let update_source t new_catalog ~changed_rows =
   let source = Catalog.name new_catalog in
   match notify_change t ~source ~changed_rows with
-  | `Defer -> `Deferred
+  | `Defer -> { outcome = `Deferred; delta = None }
   | `Reanalyze ->
       Hashtbl.remove t.pending_changes source;
-      `Reanalyzed (add_source t new_catalog)
+      let report = add_source t new_catalog in
+      { outcome = `Reanalyzed report; delta = t.last_delta }
 
 let link_query t =
   match t.cached_link_query with
@@ -981,9 +855,12 @@ let link_query t =
 
 let feedback t = t.feedback
 
-let reject_link t l =
+let reject_link t (l : Link.t) =
   Feedback.reject_link t.feedback l;
   Repository.set_links t.repo (Feedback.filter_links t.feedback (links t));
+  (* only this link's kind changed; routes watching other kinds keep
+     their cached responses *)
+  Generation.bump_kind t.gen (Link.kind_name l.kind);
   invalidate t
 
 let reject_fk t ~source fk =
@@ -1009,6 +886,8 @@ let save_dir t dir =
             | ss -> String.concat "\n" ss ^ "\n") };
         { Snapshot.path = "metadata.txt"; kind = Snapshot.Records;
           content = Repository.save t.repo };
+        { Snapshot.path = "pairs.txt"; kind = Snapshot.Pairs;
+          content = Pair_store.save t.pair_store };
         { Snapshot.path = "feedback.txt"; kind = Snapshot.Records;
           content = Feedback.save t.feedback };
       ]
@@ -1112,5 +991,17 @@ let load_dir ?config ?(reanalyze = false) dir =
             | Some e -> Repository.add_source t.repo e.sp
             | None -> ())
           catalogs;
+        (* the per-pair link store: restored from its own member when
+           present; any missing or damaged pair groups (and whole stores
+           saved before the member existed) are re-seeded by partitioning
+           the repository's merged links *)
+        (match Snapshot.find members "pairs.txt" with
+        | Some doc ->
+            let ps, dropped = Pair_store.load doc in
+            bump "pairs.txt" dropped;
+            t.pair_store <- ps
+        | None -> ());
+        Pair_store.seed_missing t.pair_store ~links:(links t)
+          ~correspondences:(Repository.correspondences t.repo);
         (t, !report)
       end

@@ -2,8 +2,14 @@
     (Figure 2) plus the access engine on top (Figure 1).
 
     Sources are added incrementally; per-source statistics are computed
-    once and reused, links and duplicates are recomputed against the
-    existing warehouse on every addition.
+    once and reused, and links and duplicates live in a per-source-pair
+    store ({!Pair_store}): adding or updating a source runs the
+    {!Delta} pipeline, which recomputes only the pairs touching the
+    changed source and merges every other pair's links verbatim — the
+    merged result is byte-identical to a cold rebuild. Which link kinds
+    actually changed feeds a typed {!Generation.t}, so downstream
+    caches (the serve layer) can invalidate per source and per link
+    kind instead of wholesale.
 
     Every pipeline step runs inside an error boundary with an optional
     wall-clock budget ({!Config.budgets}). A step that times out or
@@ -31,8 +37,19 @@ val config : t -> Config.t
 
 val revision : t -> int
 (** Monotonic mutation counter: bumped on every warehouse change
-    (source added/replaced/quarantined, link rejected, resume restore).
-    The engine's cache generation is tied to it. *)
+    (source added/replaced/quarantined, link rejected, resume restore). *)
+
+val generation : t -> Generation.t
+(** The typed invalidation state: the whole-warehouse counter moves with
+    {!revision}, per-source counters bump when that source is added or
+    replaced, per-link-kind counters bump when the delta pipeline (or
+    {!reject_link}) actually changed that kind's merged link set.
+    Derive cache keys from it with {!Generation.key} over the
+    dependencies a consumer reads. *)
+
+val last_delta : t -> Delta.audit option
+(** Which source pairs the most recent {!add_source}/{!update_source}
+    recomputed vs reused ([None] before any source). *)
 
 val add_source :
   ?trace:Aladin_obs.Trace.t ->
@@ -164,10 +181,17 @@ val notify_change : t -> source:string -> changed_rows:int -> [ `Reanalyze | `De
     [config.change_threshold]. Deferred changes accumulate until the
     threshold trips. *)
 
-val update_source :
-  t -> Catalog.t -> changed_rows:int -> [ `Reanalyzed of Run_report.t | `Deferred ]
-(** Apply {!notify_change}; on [`Reanalyze] the source is replaced and
-    re-integrated and the pending counter resets. *)
+type update_report = {
+  outcome : [ `Reanalyzed of Run_report.t | `Deferred ];
+  delta : Delta.audit option;
+      (** the reanalysis' recomputed-vs-reused source pairs; [None] when
+          the change was deferred (nothing ran) *)
+}
+
+val update_source : t -> Catalog.t -> changed_rows:int -> update_report
+(** Apply {!notify_change}; on [`Reanalyze] the source is replaced, the
+    pending counter resets, and only the source pairs touching it are
+    recomputed (see {!Delta}) — the report's [delta] says which. *)
 
 val link_query : t -> Link_query.t
 (** Cross-database path queries over the link graph (cached). *)
@@ -187,7 +211,9 @@ val save_dir : t -> string -> (unit, string) result
 (** Materialize the warehouse as a crash-safe [Aladin_store] snapshot:
     each source's relations as checksummed CSVs under
     [<source>/<relation>.csv] (with its declared constraints), plus
-    [sources.txt], [metadata.txt] (the repository) and [feedback.txt] as
+    [sources.txt], [metadata.txt] (the repository), [pairs.txt] (the
+    per-source-pair link store, so a later [aladin add] onto the loaded
+    store pays only the new source's delta) and [feedback.txt] as
     per-record-checksummed record files — all committed atomically by
     the manifest rename, so a crash mid-save leaves the previous
     snapshot fully intact. Creates the directory; refuses ([Error]) to

@@ -206,3 +206,19 @@ let detect_on ?(params = default_params) ?pool reprs =
 
 let detect ?params ?pool ?exclude_attributes profiles =
   detect_on ?params ?pool (Object_sim.build_reprs ?exclude_attributes profiles)
+
+(* --- pairwise entry points (delta pipeline) --- *)
+
+let prep_source ?exclude_attributes profiles ~source =
+  Object_sim.build_reprs ?exclude_attributes
+    (Profile_list.restrict profiles [ source ])
+
+let detect_between ?params ?pool ~reprs_a ~reprs_b () =
+  (* each per-source list is sorted by object (build_reprs' contract), so
+     the sorted merge reproduces exactly what build_reprs over the
+     two-source restriction would return — but the per-source halves are
+     cached across delta runs instead of being rebuilt per pair *)
+  let cmp (x : Object_sim.repr) (y : Object_sim.repr) =
+    Objref.compare x.obj y.obj
+  in
+  detect_on ?params ?pool (List.merge cmp reprs_a reprs_b)

@@ -55,3 +55,27 @@ val detect :
 val detect_on :
   ?params:params -> ?pool:Aladin_par.Pool.t -> Object_sim.repr list -> result
 (** Same, over prebuilt representations (lets experiments reuse them). *)
+
+val prep_source :
+  ?exclude_attributes:(string * string * string) list ->
+  Profile_list.t ->
+  source:string ->
+  Object_sim.repr list
+(** One source's representations ({!Object_sim.build_reprs} over the
+    restriction to [source]) — the per-source half the delta pipeline
+    caches and reuses across {!detect_between} calls. Only
+    [exclude_attributes] triples naming [source] matter here. *)
+
+val detect_between :
+  ?params:params ->
+  ?pool:Aladin_par.Pool.t ->
+  reprs_a:Object_sim.repr list ->
+  reprs_b:Object_sim.repr list ->
+  unit ->
+  result
+(** {!detect_on} over the sorted merge of two sources' prepared
+    representations — the delta pipeline's unit of dup work. Candidate
+    blocking is cross-source only, so the pair's links depend only on the
+    two sources; token document frequencies and the blocking cap are
+    pair-local (a refinement of the old whole-warehouse statistics,
+    applied uniformly by routing every dup pass through pairs). *)

@@ -217,17 +217,3 @@ let import_path ~name path =
   | exception Sys_error msg -> Error (Import_error.make ~source:name ~kind:Io msg)
   | exception e ->
       Error (Import_error.make ~source:name ~kind:Parse (Printexc.to_string e))
-
-let raise_import_error e =
-  (* legacy shims only; new code handles the result *)
-  raise (Invalid_argument (Import_error.to_string e)) (* DEPRECATED-OK *)
-
-let import_string_exn ~name doc =
-  match import_string ~name doc with
-  | Ok i -> i.catalog
-  | Error e -> raise_import_error e
-
-let import_path_exn ~name path =
-  match import_path ~name path with
-  | Ok i -> i.catalog
-  | Error e -> raise_import_error e

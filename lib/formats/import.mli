@@ -36,12 +36,3 @@ val import_string : name:string -> string -> (import, Import_error.t) result
 val import_path : name:string -> string -> (import, Import_error.t) result
 (** A directory is loaded as a CSV dump; a file is sniffed and parsed.
     Unreadable paths yield [Error] with kind [Io]. Never raises. *)
-
-val import_string_exn : name:string -> string -> Catalog.t
-(** @deprecated Legacy raising shim over {!import_string}; record errors
-    are silently dropped.
-    @raise Invalid_argument on any import error. *)
-
-val import_path_exn : name:string -> string -> Catalog.t
-(** @deprecated Legacy raising shim over {!import_path}.
-    @raise Invalid_argument on any import error. *)

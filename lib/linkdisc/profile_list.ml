@@ -24,6 +24,13 @@ let find t name =
 
 let size t = List.length t
 
+let restrict t names =
+  (* entries (and their owner maps) are reused, never rebuilt; the result
+     follows the order of [names], so a caller restricting to a sorted
+     source pair gets the same list whatever order the warehouse holds
+     the sources in *)
+  List.filter_map (find t) names
+
 let targets t =
   List.filter_map
     (fun e ->

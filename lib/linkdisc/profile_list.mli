@@ -26,6 +26,12 @@ val find : t -> string -> entry option
 
 val size : t -> int
 
+val restrict : t -> string list -> t
+(** The sub-list holding exactly the named sources, in the order of
+    [names] (unknown names are skipped). Entries are shared with the
+    original — no owner map is rebuilt — so restricting to a canonical
+    source pair is how the delta pipeline runs a pairwise pass. *)
+
 val targets : t -> (string * string * string) list
 (** Possible link targets: "cross-references always point to primary
     objects in other databases" (§3) — (source, relation, accession

@@ -310,3 +310,13 @@ let discover ?(params = default_params) ?pool profiles =
     kinds;
   { links = Link.dedup !links; fields; sequences_indexed = !indexed;
     pairs_verified = !pairs_verified }
+
+(* Pairwise entry point for the non-incremental (batch) homology path:
+   index and align the two sources alone. Alignment scores depend only
+   on the two sequences, so the union over pairs equals the global
+   all-pairs run. *)
+let discover_between ?params ?pool profiles ~a ~b =
+  let lo, hi = if String.compare a b <= 0 then (a, b) else (b, a) in
+  (* a self pair restricts to the single source once, not twice *)
+  let names = if lo = hi then [ lo ] else [ lo; hi ] in
+  discover ?params ?pool (Profile_list.restrict profiles names)

@@ -72,3 +72,16 @@ val state_index_source : state -> Profile_list.t -> source:string -> unit
 val state_seed_links : state -> Link.t list -> unit
 (** Merge checkpoint-restored links into the accumulated set
     (deduplicated, canonical order — same as if discovered live). *)
+
+val discover_between :
+  ?params:params ->
+  ?pool:Aladin_par.Pool.t ->
+  Profile_list.t ->
+  a:string ->
+  b:string ->
+  result
+(** Batch {!discover} restricted to the canonically ordered source pair
+    [(a, b)] — the delta pipeline's non-incremental fallback when the
+    persistent index is disabled. Alignment scores depend only on the
+    two sequences, so the union over pairs equals the global all-pairs
+    run. Symmetric in [a]/[b]. *)

@@ -191,3 +191,17 @@ let discover ?(params = default_params) ?pool profiles =
   { links = Link.dedup (List.concat (!links :: mention_shards));
     documents = List.length documents;
     mention_links }
+
+(* Pairwise entry point for the delta pipeline. The tf-idf corpus, the
+   document frequencies and the name dictionary are rebuilt over the two
+   sources alone, in canonical (sorted) source order — so a pair's
+   result depends only on the pair's contents, never on what else the
+   warehouse holds or in what order it was integrated. This is a
+   deliberate semantic refinement over the old whole-warehouse pass,
+   whose tf-idf weights (and dictionary collisions) shifted whenever an
+   unrelated source arrived. *)
+let discover_between ?params ?pool profiles ~a ~b =
+  let lo, hi = if String.compare a b <= 0 then (a, b) else (b, a) in
+  (* a self pair restricts to the single source once, not twice *)
+  let names = if lo = hi then [ lo ] else [ lo; hi ] in
+  discover ?params ?pool (Profile_list.restrict profiles names)

@@ -36,3 +36,17 @@ val discover :
     pool by query-document range; entity-mention recognition fans out per
     document. Per-shard accumulators are merged deterministically at the
     join, so the result is byte-identical at any pool size. *)
+
+val discover_between :
+  ?params:params ->
+  ?pool:Aladin_par.Pool.t ->
+  Profile_list.t ->
+  a:string ->
+  b:string ->
+  result
+(** {!discover} restricted to the canonically ordered source pair
+    [(a, b)] — the delta pipeline's unit of work. The tf-idf corpus and
+    the mention dictionary are pair-local, so a pair's links are a pure
+    function of the two sources' contents (order-independent); this
+    refines the old global-corpus semantics, whose weights shifted with
+    every unrelated source. Symmetric in [a]/[b]. *)

@@ -226,3 +226,15 @@ let discover ?(params = default_params) ?pool profiles =
     attributes_scanned = !attributes_scanned;
     pairs_compared = !pairs_compared;
   }
+
+(* Pairwise entry point for the delta pipeline: the cross-reference scan
+   restricted to one source pair. Because the global scan only ever
+   matches an attribute against OTHER sources' target sets and scores
+   each (attribute, target) independently, the global result is exactly
+   the union of the per-pair results — restricting the profile list to
+   the canonically ordered pair IS the pairwise pass. *)
+let discover_between ?params ?pool profiles ~a ~b =
+  let lo, hi = if String.compare a b <= 0 then (a, b) else (b, a) in
+  (* a self pair restricts to the single source once, not twice *)
+  let names = if lo = hi then [ lo ] else [ lo; hi ] in
+  discover ?params ?pool (Profile_list.restrict profiles names)

@@ -44,3 +44,16 @@ val discover :
 (** With a [pool] the attribute x target scans fan out across domains;
     links, correspondences and counters are identical to the sequential
     run (link order is made canonical by {!Link.dedup}). *)
+
+val discover_between :
+  ?params:params ->
+  ?pool:Aladin_par.Pool.t ->
+  Profile_list.t ->
+  a:string ->
+  b:string ->
+  result
+(** {!discover} restricted to the canonically ordered source pair
+    [(a, b)] — the delta pipeline's unit of work. The xref scan is
+    strictly cross-source and scores each (attribute, target)
+    independently, so the union of the per-pair results over all pairs
+    equals the whole-warehouse run. Symmetric in [a]/[b]. *)

@@ -3,9 +3,12 @@
     Single-domain by design: the server's accept loop is the only
     mutator (cache lookups and stores never happen inside a pool
     fan-out), so no locking is needed. Keys are normalized request
-    targets prefixed with the engine generation, which is what makes
-    invalidation on source add/update explicit — a generation bump
-    orphans every previous entry, and {!flush} reclaims them eagerly.
+    targets prefixed with the engine's typed cache key over the data
+    the route reads ({!Aladin.Engine.key}), which is what makes
+    invalidation explicit {e and} selective — updating a source orphans
+    exactly the entries whose key named it (or the whole warehouse),
+    while entries over unrelated sources keep serving hits; {!flush}
+    reclaims orphans eagerly.
 
     Recency is tracked with a lazy-deletion queue: every touch enqueues
     a fresh (key, sequence) ticket and eviction pops tickets until one

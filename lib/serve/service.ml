@@ -1,4 +1,5 @@
 module Engine = Aladin.Engine
+module Generation = Aladin.Generation
 module Pool = Aladin_par.Pool
 module Boundary = Aladin_resilience.Boundary
 module Budget = Aladin_resilience.Budget
@@ -70,15 +71,49 @@ let route_of (req : Http.request) =
   else if p = "/slow" then "slow"
   else "other"
 
-(* responses for the cacheable routes depend only on (engine generation,
-   normalized target), which is exactly the cache key *)
+(* responses for the cacheable routes depend only on (engine key over
+   the data the route reads, normalized target), which is exactly the
+   cache key *)
 let cacheable route =
   match route with
   | "search" | "object" | "resolve" | "query" | "links" -> true
   | _ -> false
 
-let cache_key t req =
-  string_of_int (Engine.generation t.engine) ^ ":" ^ Http.normalize_target req
+(* which warehouse data a cacheable route reads, as typed dependencies:
+   a /query over source-qualified tables reads exactly those sources
+   ("source.relation" lexes as a single dotted identifier), and
+   /links?kind=K reads one link kind. Anything else — bare table names,
+   unparseable SQL, search/browse routes — conservatively depends on
+   the whole warehouse. Cached responses therefore survive additions
+   and updates of sources they never read. *)
+let deps_of_req route (req : Http.request) =
+  match route with
+  | "query" -> (
+      match Http.query_param req "sql" with
+      | None | Some "" -> [ Generation.Whole ]
+      | Some sql -> (
+          match Aladin_access.Sql_parser.parse sql with
+          | q ->
+              let tables =
+                q.Aladin_access.Sql_parser.from_table
+                :: List.map (fun (tbl, _, _) -> tbl)
+                     q.Aladin_access.Sql_parser.joins
+              in
+              List.map
+                (fun tbl ->
+                  match String.index_opt tbl '.' with
+                  | Some i -> Generation.Source (String.sub tbl 0 i)
+                  | None -> Generation.Whole)
+                tables
+          | exception _ -> [ Generation.Whole ]))
+  | "links" -> (
+      match Http.query_param req "kind" with
+      | None | Some "" -> [ Generation.Whole ]
+      | Some k -> [ Generation.Link_kind k ])
+  | _ -> [ Generation.Whole ]
+
+let cache_key t route req =
+  Engine.key t.engine (deps_of_req route req) ^ ":" ^ Http.normalize_target req
 
 (* --- handlers (pure engine reads; run inside the pool fan-out) --- *)
 
@@ -244,7 +279,7 @@ let observe t route seconds status =
 let metrics_text ?(extra = []) t =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "aladin_engine_generation %d" (Engine.generation t.engine);
+  line "aladin_engine_epoch %d" (Engine.epoch t.engine);
   let cs = Cache.stats t.cache in
   line "aladin_cache_hits_total %d" cs.hits;
   line "aladin_cache_misses_total %d" cs.misses;
@@ -293,7 +328,7 @@ let handle_batch t reqs =
       (fun req ->
         let route = route_of req in
         if cacheable route && req.meth = "GET" then
-          let key = cache_key t req in
+          let key = cache_key t route req in
           match Cache.find t.cache key with
           | Some resp -> Hit (route, resp)
           | None -> Run (route, Some key, req)

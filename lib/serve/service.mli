@@ -7,9 +7,10 @@
     any I/O. All shared mutable state (cache, metrics) is touched only
     by the calling domain; the per-request work fanned out on the pool
     is pure engine reads, honouring {!Aladin_par.Pool}'s domain-safety
-    contract. Responses are deterministic: for a fixed engine
-    generation, equal requests produce byte-identical bodies at any pool
-    size, cached or not (the [x-cache] header is the only difference).
+    contract. Responses are deterministic: for a fixed engine cache key
+    ({!Aladin.Engine.key} over the data the route reads), equal requests
+    produce byte-identical bodies at any pool size, cached or not (the
+    [x-cache] header is the only difference).
 
     Routes: [/healthz], [/metrics], [/search?q=&source=&field=&limit=],
     [/object/SOURCE/ACCESSION] (or [/object?accession=&source=]),
@@ -46,17 +47,19 @@ val handle : t -> Http.request -> Http.response
 val handle_batch : t -> Http.request list -> Http.response list
 (** Evaluate a batch: cache lookups on the calling domain, the misses
     fanned out over the pool, results stored back and responses returned
-    in request order. Cache keys include the engine generation, so
-    entries from before a source add/update can never be served. *)
+    in request order. Cache keys embed the engine's typed key over the
+    sources / link kinds the route reads, so entries from before a
+    relevant source add/update can never be served — while entries over
+    unrelated sources keep their hits. *)
 
 val cache_stats : t -> Cache.stats
 
 val flush_cache : t -> unit
-(** Explicit invalidation (also happens implicitly via the generation
-    key when the engine changes). *)
+(** Explicit invalidation (also happens implicitly, and selectively, via
+    the typed cache key when the engine's dependencies change). *)
 
 val metrics_text : ?extra:(string * float) list -> t -> string
 (** Prometheus-style text: per-route request counts and latency
     histograms (with estimated p50/p95/p99), cache and error counters,
-    engine generation, plus any [extra] gauges (the server adds queue
+    engine epoch, plus any [extra] gauges (the server adds queue
     depth and admission counters). *)

@@ -78,21 +78,23 @@ let kind_name = function
   | Snapshot.Records -> "records"
   | Snapshot.Csv -> "csv"
   | Snapshot.Opaque -> "opaque"
+  | Snapshot.Pairs -> "pairs"
 
 let kind_of_name = function
   | "records" -> Some Snapshot.Records
   | "csv" -> Some Snapshot.Csv
   | "opaque" -> Some Snapshot.Opaque
+  | "pairs" -> Some Snapshot.Pairs
   | _ -> None
 
 let encode_member kind content =
   match kind with
-  | Snapshot.Records -> Records.encode content
+  | Snapshot.Records | Snapshot.Pairs -> Records.encode content
   | Snapshot.Csv | Snapshot.Opaque -> content
 
 let decode_member kind stored =
   match kind with
-  | Snapshot.Records -> Records.decode stored
+  | Snapshot.Records | Snapshot.Pairs -> Records.decode stored
   | Snapshot.Csv | Snapshot.Opaque -> Some stored
 
 let valid_path p =

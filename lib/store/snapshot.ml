@@ -1,4 +1,4 @@
-type kind = Records | Csv | Opaque
+type kind = Records | Csv | Opaque | Pairs
 
 type member = { path : string; kind : kind; content : string }
 
@@ -14,12 +14,17 @@ let snap_prefix = "snap-"
 
 let gen_name gen = Printf.sprintf "%s%08d" snap_prefix gen
 
-let kind_name = function Records -> "records" | Csv -> "csv" | Opaque -> "opaque"
+let kind_name = function
+  | Records -> "records"
+  | Csv -> "csv"
+  | Opaque -> "opaque"
+  | Pairs -> "pairs"
 
 let kind_of_name = function
   | "records" -> Some Records
   | "csv" -> Some Csv
   | "opaque" -> Some Opaque
+  | "pairs" -> Some Pairs
   | _ -> None
 
 let is_store dir =
@@ -121,11 +126,13 @@ let sweep dir ~keep =
 (* --- per-kind on-disk encoding and salvage --- *)
 
 let encode m =
-  match m.kind with Records -> Records.encode m.content | Csv | Opaque -> m.content
+  match m.kind with
+  | Records | Pairs -> Records.encode m.content
+  | Csv | Opaque -> m.content
 
 let decode_strict kind stored =
   match kind with
-  | Records -> Records.decode stored
+  | Records | Pairs -> Records.decode stored
   | Csv | Opaque -> Some stored
 
 let csv_salvage stored =
@@ -148,7 +155,7 @@ let csv_salvage stored =
 
 let salvage kind stored =
   match kind with
-  | Records -> Records.decode_salvage stored
+  | Records | Pairs -> Records.decode_salvage stored
   | Csv -> csv_salvage stored
   | Opaque -> None
 

@@ -28,6 +28,12 @@ type kind =
   | Records  (** line records with per-record checksums; salvageable *)
   | Csv  (** CSV with header; salvaged by dropping non-conforming rows *)
   | Opaque  (** no structure to salvage; quarantined when damaged *)
+  | Pairs
+      (** the warehouse's per-source-pair link store ([pairs.txt]):
+          line records with per-record checksums, same wire codec as
+          {!Records} but named distinctly in the manifest so tooling can
+          tell the delta store apart; the loader additionally drops any
+          pair group a salvage left incomplete *)
 
 type member = { path : string; kind : kind; content : string }
 (** [path] is relative to the store ([/]-separated subdirectories

@@ -15,7 +15,7 @@
 #   - failwith / invalid_arg in the pipeline path (lib/formats importers,
 #     the warehouse/config/system layer): failures there must flow
 #     through the typed resilience API (results, Run_report), not
-#     exceptions. The deprecated raising shims are marked DEPRECATED-OK.
+#     exceptions.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,11 +36,26 @@ echo "grep-gate ok: no Domain.spawn/Mutex.create/Condition.create outside lib/pa
 if grep -rnE '\b(failwith|invalid_arg)\b' \
     lib/formats/import.ml lib/formats/dump.ml \
     lib/core/warehouse.ml lib/core/config.ml lib/core/aladin_system.ml \
-    2>/dev/null | grep -v 'DEPRECATED-OK'; then
+    lib/core/delta.ml lib/core/pair_store.ml \
+    2>/dev/null; then
   echo "error: failwith/invalid_arg in a pipeline path (return a result or use Boundary.protect)" >&2
   exit 1
 fi
 echo "grep-gate ok: no raising error paths in importers/warehouse/config"
+
+# Link and duplicate discovery in the core/CLI layer must go through the
+# delta pipeline (lib/core/delta.ml), which decomposes the work per
+# source pair and reuses every pair the mutation did not touch. A
+# whole-warehouse Linker.discover / Dup_detect.detect call anywhere else
+# silently reintroduces the O(all pairs) rebuild the delta store exists
+# to kill. (The pairwise *_between entry points are fine.)
+if grep -rnE 'Linker\.discover\b|Dup_detect\.detect\b' \
+    lib/core lib/serve bin --include='*.ml' 2>/dev/null \
+    | grep -v '^lib/core/delta\.ml'; then
+  echo "error: whole-warehouse relink outside lib/core/delta.ml (use the delta pipeline)" >&2
+  exit 1
+fi
+echo "grep-gate ok: all link/dup discovery goes through the delta pipeline"
 
 # open_out / Sys.rename on a persistence path bypasses the crash-safety
 # contract (write-temp -> fsync -> rename, manifest commit, fault hooks).
@@ -227,6 +242,35 @@ echo "$rout" | grep -q 'resumed 1 committed step' || {
 diff -u "$kdir/links-plain.csv" "$kdir/links-resumed.csv" || {
   echo "error: resumed links differ from an unkilled run" >&2; exit 1; }
 echo "resume ok: killed journaled run resumed byte-identical at 4 domains"
+
+# Incremental delta: adding a source to a saved store must recompute only
+# the new source's pairs (the CLI prints the delta audit) yet land on the
+# byte-identical link set of a cold rebuild over all sources — at 1 and
+# 4 domains.
+cat > "$kdir/genes.csv" <<'EOF'
+gene,acc,symbol
+G1,P100,ALPHA1
+G2,P300,GAMMA3
+EOF
+for d in 1 4; do
+  rm -rf "$kdir/inc-store"
+  ALADIN_DOMAINS=$d integrate --save "$kdir/inc-store" \
+    "$kdir/uniprot.csv" "$kdir/pdb.csv" > /dev/null
+  aout=$(ALADIN_DOMAINS=$d ./_build/default/bin/aladin_cli.exe add \
+    "$kdir/inc-store" "$kdir/genes.csv" --links-out "$kdir/links-delta.csv")
+  echo "$aout" | grep -q 'recomputed' || {
+    echo "error: aladin add printed no delta audit" >&2
+    echo "$aout" >&2
+    exit 1
+  }
+  ALADIN_DOMAINS=$d integrate --links-out "$kdir/links-cold.csv" \
+    "$kdir/uniprot.csv" "$kdir/pdb.csv" "$kdir/genes.csv" > /dev/null
+  diff -u "$kdir/links-cold.csv" "$kdir/links-delta.csv" || {
+    echo "error: delta-added links differ from a cold rebuild at $d domains" >&2
+    exit 1
+  }
+done
+echo "incremental ok: aladin add matches a cold rebuild byte-identically at 1 and 4 domains"
 
 # Serving: the daemon must come up on a saved store, answer /healthz,
 # serve a search from cache on repeat (x-cache: hit), expose /metrics,

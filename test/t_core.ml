@@ -223,10 +223,24 @@ let change_tests =
         | None -> Alcotest.fail "no catalog"
         | Some cat -> (
             let n = Catalog.total_rows cat in
-            match Warehouse.update_source w cat ~changed_rows:n with
+            let upd = Warehouse.update_source w cat ~changed_rows:n in
+            (match upd.Warehouse.outcome with
             | `Reanalyzed (r : Warehouse.Run_report.t) ->
                 check Alcotest.int "steps" 5 (List.length r.steps)
-            | `Deferred -> Alcotest.fail "should reanalyze"));
+            | `Deferred -> Alcotest.fail "should reanalyze");
+            match upd.Warehouse.delta with
+            | None -> Alcotest.fail "reanalysis should report a delta audit"
+            | Some a ->
+                check Alcotest.bool "recomputed pairs touch uniprot" true
+                  (a.Delta.recomputed_pairs <> []
+                  && List.for_all
+                       (fun (x, y) -> x = "uniprot" || y = "uniprot")
+                       a.Delta.recomputed_pairs);
+                List.iter
+                  (fun p ->
+                    check Alcotest.bool "reused pair not recomputed" false
+                      (List.mem p a.Delta.recomputed_pairs))
+                  a.Delta.reused_pairs));
   ]
 
 let system_tests =
@@ -527,9 +541,72 @@ let shell_tests =
         check Alcotest.string "empty" "" (out "   "));
   ]
 
+(* the delta contract: an incremental mutation (add onto a loaded store,
+   update in place) must land on the byte-identical link set of a cold
+   [integrate] over the same catalogs *)
+let delta_tests =
+  let render w = Aladin_access.Link_export.to_csv (Warehouse.links w) in
+  [
+    Alcotest.test_case "add onto a loaded store matches cold integrate"
+      `Quick (fun () ->
+        let c = Lazy.force small_corpus in
+        let cold = render (Warehouse.integrate c.catalogs) in
+        let rec split_last = function
+          | [] -> Alcotest.fail "empty corpus"
+          | [ x ] -> ([], x)
+          | x :: rest ->
+              let init, last = split_last rest in
+              (x :: init, last)
+        in
+        let init, last = split_last c.catalogs in
+        let dir = Filename.temp_file "aladin_delta" "" in
+        Sys.remove dir;
+        let w0 = Warehouse.integrate init in
+        (match Warehouse.save_dir w0 dir with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        let w1, _ = Warehouse.load_dir dir in
+        ignore (Warehouse.add_source w1 last);
+        check Alcotest.string "links byte-identical" cold (render w1);
+        (match Warehouse.last_delta w1 with
+        | None -> Alcotest.fail "add_source reported no delta audit"
+        | Some a ->
+            let name = Aladin_relational.Catalog.name last in
+            check Alcotest.bool "every recomputed pair touches the new source"
+              true
+              (List.for_all
+                 (fun (x, y) -> x = name || y = name)
+                 a.Delta.recomputed_pairs));
+        let rec rm path =
+          if Sys.is_directory path then begin
+            Array.iter (fun f -> rm (Filename.concat path f))
+              (Sys.readdir path);
+            Sys.rmdir path
+          end
+          else Sys.remove path
+        in
+        rm dir);
+    Alcotest.test_case "update in place matches cold integrate" `Quick
+      (fun () ->
+        let c = Lazy.force small_corpus in
+        let cold = render (Warehouse.integrate c.catalogs) in
+        let w = Warehouse.integrate c.catalogs in
+        (* replace a middle source with identical content: only its pairs
+           recompute, and the merged links must not move a byte *)
+        let cat = List.nth c.catalogs (List.length c.catalogs / 2) in
+        let upd =
+          Warehouse.update_source w cat ~changed_rows:(Catalog.total_rows cat)
+        in
+        (match upd.Warehouse.outcome with
+        | `Reanalyzed _ -> ()
+        | `Deferred -> Alcotest.fail "full-source change deferred");
+        check Alcotest.string "links byte-identical" cold (render w));
+  ]
+
 let tests =
   [
     ("core.warehouse", warehouse_tests);
+    ("core.delta", delta_tests);
     ("core.shell", shell_tests);
     ("core.config", config_tests);
     ("core.table_access", table_access_tests);

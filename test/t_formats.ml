@@ -486,10 +486,6 @@ let import_tests =
             check Alcotest.bool "unrecognized" true
               (e.kind = Import.Import_error.Unrecognized)
         | Ok _ -> Alcotest.fail "no error");
-    Alcotest.test_case "deprecated exn shim still raises" `Quick (fun () ->
-        match Import.import_string_exn ~name:"x" "" with
-        | exception Invalid_argument _ -> ()
-        | _ -> Alcotest.fail "no error");
   ]
 
 let all_tests () =

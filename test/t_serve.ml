@@ -171,7 +171,7 @@ let service_tests =
           (List.assoc_opt "x-cache" third.headers);
         check Alcotest.(option string) "hit via normalization" (Some "hit")
           (List.assoc_opt "x-cache" fourth.headers));
-    Alcotest.test_case "update_source invalidates via generation" `Quick
+    Alcotest.test_case "update_source invalidates via typed key" `Quick
       (fun () ->
         (* private engine: this test mutates it *)
         let corpus = Lazy.force small_corpus in
@@ -183,18 +183,59 @@ let service_tests =
         check Alcotest.(option string) "cached before update" (Some "hit")
           (List.assoc_opt "x-cache" hit.headers);
         let cat = List.hd corpus.catalogs in
-        let gen0 = Engine.generation eng in
-        (match
-           Engine.update_source eng cat
-             ~changed_rows:(Aladin_relational.Catalog.total_rows cat)
-         with
+        let epoch0 = Engine.epoch eng in
+        let upd =
+          Engine.update_source eng cat
+            ~changed_rows:(Aladin_relational.Catalog.total_rows cat)
+        in
+        (match upd.Aladin.Warehouse.outcome with
         | `Reanalyzed _ -> ()
         | `Deferred -> Alcotest.fail "full-source change was deferred");
-        check Alcotest.bool "generation bumped" true (Engine.generation eng > gen0);
+        check Alcotest.bool "epoch bumped" true (Engine.epoch eng > epoch0);
         let after = Serve.Service.handle service r in
         check Alcotest.(option string) "miss after update" (Some "miss")
           (List.assoc_opt "x-cache" after.headers);
         check Alcotest.string "same answer after reanalysis" hit.body after.body);
+    Alcotest.test_case "warm cache survives unrelated-source update" `Quick
+      (fun () ->
+        (* a /query over uniprot keys on [Source "uniprot"] only: an
+           update of pdb must leave its cached entry serving hits, while
+           an update of uniprot itself must orphan it *)
+        let corpus = Lazy.force small_corpus in
+        let eng = Engine.integrate corpus.catalogs in
+        let service = Serve.Service.create eng in
+        let find_cat name =
+          List.find
+            (fun c -> Aladin_relational.Catalog.name c = name)
+            corpus.catalogs
+        in
+        let update name =
+          let cat = find_cat name in
+          let upd =
+            Engine.update_source eng cat
+              ~changed_rows:(Aladin_relational.Catalog.total_rows cat)
+          in
+          match upd.Aladin.Warehouse.outcome with
+          | `Reanalyzed _ -> ()
+          | `Deferred -> Alcotest.fail (name ^ " update was deferred")
+        in
+        let r = req "/query?sql=SELECT%20*%20FROM%20uniprot.entry" in
+        let first = Serve.Service.handle service r in
+        check Alcotest.int "query ok" 200 first.status;
+        update "pdb";
+        let warm = Serve.Service.handle service r in
+        check Alcotest.(option string) "hit across unrelated update"
+          (Some "hit")
+          (List.assoc_opt "x-cache" warm.headers);
+        check Alcotest.string "same body across unrelated update" first.body
+          warm.body;
+        update "uniprot";
+        let cold = Serve.Service.handle service r in
+        check Alcotest.(option string) "miss after own-source update"
+          (Some "miss")
+          (List.assoc_opt "x-cache" cold.headers);
+        check Alcotest.string "same body after own-source reanalysis"
+          first.body cold.body);
     Alcotest.test_case "request budget maps to 503 with retry-after" `Quick
       (fun () ->
         let service =
